@@ -1,0 +1,26 @@
+/* A main-local escapes through a shared pointer (the `tmp` pattern of
+   Table 4.2: points-to must classify it shared). */
+#include <stdio.h>
+#include <pthread.h>
+
+double *shared_value;
+double outputs[4];
+
+void *tf(void *tid) {
+    int id = (int)tid;
+    outputs[id] = *shared_value * (id + 1);
+    pthread_exit(NULL);
+}
+
+int main() {
+    double seed = 2.5;
+    shared_value = &seed;
+    pthread_t t[4];
+    int i;
+    for (i = 0; i < 4; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 4; i++) {
+        pthread_join(t[i], NULL);
+        printf("out %d %.1f\n", i, outputs[i]);
+    }
+    return (int)(outputs[3] * 10.0);
+}

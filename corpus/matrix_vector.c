@@ -1,0 +1,37 @@
+/* Row-parallel matrix-vector product. */
+#include <stdio.h>
+#include <pthread.h>
+
+double matrix[16 * 16];
+double vector[16];
+double result[16];
+
+void *tf(void *tid) {
+    int id = (int)tid;
+    int rows = 16 / 4;
+    int r;
+    int c;
+    for (r = id * rows; r < (id + 1) * rows; r++) {
+        double acc = 0.0;
+        for (c = 0; c < 16; c++) {
+            acc = acc + matrix[r * 16 + c] * vector[c];
+        }
+        result[r] = acc;
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t t[4];
+    int i;
+    for (i = 0; i < 16 * 16; i++) matrix[i] = (i % 5) * 0.5;
+    for (i = 0; i < 16; i++) vector[i] = (i % 3) + 1.0;
+    double t0 = wtime();
+    for (i = 0; i < 4; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 4; i++) pthread_join(t[i], NULL);
+    double t1 = wtime();
+    double check = 0.0;
+    for (i = 0; i < 16; i++) check += result[i];
+    printf("mv checksum %.2f\n", check);
+    return (int)check;
+}

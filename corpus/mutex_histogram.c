@@ -1,0 +1,31 @@
+/* Threads classify numbers into a shared histogram under a mutex. */
+#include <stdio.h>
+#include <pthread.h>
+
+pthread_mutex_t lock;
+int histogram[4];
+
+void *tf(void *tid) {
+    int id = (int)tid;
+    int i;
+    for (i = id * 25; i < id * 25 + 25; i++) {
+        int bucket = (i * 7) % 4;
+        pthread_mutex_lock(&lock);
+        histogram[bucket] = histogram[bucket] + 1;
+        pthread_mutex_unlock(&lock);
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t t[4];
+    int i;
+    pthread_mutex_init(&lock, NULL);
+    for (i = 0; i < 4; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 4; i++) {
+        pthread_join(t[i], NULL);
+        printf("bucket %d: %d\n", i, histogram[i]);
+    }
+    pthread_mutex_destroy(&lock);
+    return histogram[0] + histogram[1] + histogram[2] + histogram[3];
+}

@@ -1,0 +1,35 @@
+/* Per-thread switch-based classification into per-thread counters. */
+#include <stdio.h>
+#include <pthread.h>
+
+int partial[2 * 3];
+
+void *tf(void *tid) {
+    int id = (int)tid;
+    int i;
+    for (i = id * 40; i < id * 40 + 40; i++) {
+        switch (i % 6) {
+            case 0:
+            case 3:
+                partial[id * 3 + 0]++;
+                break;
+            case 1:
+                partial[id * 3 + 1]++;
+                break;
+            default:
+                partial[id * 3 + 2]++;
+        }
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t t[2];
+    int i;
+    for (i = 0; i < 2; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 2; i++) pthread_join(t[i], NULL);
+    int classes[3];
+    for (i = 0; i < 3; i++) classes[i] = partial[i] + partial[3 + i];
+    printf("classes %d %d %d\n", classes[0], classes[1], classes[2]);
+    return classes[0] * 100 + classes[1] * 10 + classes[2];
+}

@@ -1,0 +1,373 @@
+//! Intra-procedural control-flow graphs.
+//!
+//! Built per function from the structured AST. The points-to stage uses the
+//! branch structure implicitly; the CFG exists for pass authors that need
+//! explicit join points (and mirrors the "Cetus-generated control-flow
+//! graphs" the paper mentions traversing).
+
+use hsm_cir::ast::*;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a basic block within a [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A basic block: a straight-line run of statement node ids.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BasicBlock {
+    /// Statement/expression node ids executed in this block, in order.
+    pub stmts: Vec<NodeId>,
+    /// Successor blocks.
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+/// A per-function control-flow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cfg {
+    /// Function name.
+    pub function: String,
+    /// Blocks; block 0 is the entry, the last block is the exit.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a function definition.
+    pub fn build(f: &FunctionDef) -> Self {
+        let mut b = Builder {
+            blocks: vec![BasicBlock::default()],
+            current: BlockId(0),
+            breaks: Vec::new(),
+            continues: Vec::new(),
+            exits: Vec::new(),
+        };
+        for s in &f.body {
+            b.stmt(s);
+        }
+        // Single exit block.
+        let exit = b.new_block();
+        let cur = b.current;
+        b.edge(cur, exit);
+        for ret_block in std::mem::take(&mut b.exits) {
+            b.edge(ret_block, exit);
+        }
+        Cfg {
+            function: f.name.clone(),
+            blocks: b.blocks,
+        }
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The exit block id.
+    pub fn exit(&self) -> BlockId {
+        BlockId(self.blocks.len() - 1)
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> BTreeSet<BlockId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![self.entry()];
+        while let Some(b) = stack.pop() {
+            if !seen.insert(b) {
+                continue;
+            }
+            for s in &self.blocks[b.0].succs {
+                stack.push(*s);
+            }
+        }
+        seen
+    }
+
+    /// Number of edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.succs.len()).sum()
+    }
+
+    /// Renders a `dot`-like textual summary (for debugging).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("cfg {} ({} blocks)\n", self.function, self.blocks.len());
+        for (i, b) in self.blocks.iter().enumerate() {
+            let succs: Vec<String> = b.succs.iter().map(|s| s.to_string()).collect();
+            out.push_str(&format!(
+                "  bb{i}: {} stmts -> [{}]\n",
+                b.stmts.len(),
+                succs.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+struct Builder {
+    blocks: Vec<BasicBlock>,
+    current: BlockId,
+    breaks: Vec<Vec<BlockId>>,
+    continues: Vec<Vec<BlockId>>,
+    exits: Vec<BlockId>,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock::default());
+        BlockId(self.blocks.len() - 1)
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        if !self.blocks[from.0].succs.contains(&to) {
+            self.blocks[from.0].succs.push(to);
+            self.blocks[to.0].preds.push(from);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Expr(_) | StmtKind::Decl(_) => {
+                let cur = self.current;
+                self.blocks[cur.0].stmts.push(s.id);
+            }
+            StmtKind::Block(stmts) => {
+                for st in stmts {
+                    self.stmt(st);
+                }
+            }
+            StmtKind::If(_, then, els) => {
+                let cond = self.current;
+                self.blocks[cond.0].stmts.push(s.id);
+                let then_block = self.new_block();
+                self.edge(cond, then_block);
+                self.current = then_block;
+                self.stmt(then);
+                let after_then = self.current;
+                let join = self.new_block();
+                self.edge(after_then, join);
+                if let Some(e) = els {
+                    let else_block = self.new_block();
+                    self.edge(cond, else_block);
+                    self.current = else_block;
+                    self.stmt(e);
+                    let after_else = self.current;
+                    self.edge(after_else, join);
+                } else {
+                    self.edge(cond, join);
+                }
+                self.current = join;
+            }
+            StmtKind::While(_, body) => {
+                let head = self.new_block();
+                let cur = self.current;
+                self.edge(cur, head);
+                self.blocks[head.0].stmts.push(s.id);
+                let body_block = self.new_block();
+                let after = self.new_block();
+                self.edge(head, body_block);
+                self.edge(head, after);
+                self.breaks.push(Vec::new());
+                self.continues.push(Vec::new());
+                self.current = body_block;
+                self.stmt(body);
+                let tail = self.current;
+                self.edge(tail, head);
+                for b in self.breaks.pop().unwrap() {
+                    self.edge(b, after);
+                }
+                for c in self.continues.pop().unwrap() {
+                    self.edge(c, head);
+                }
+                self.current = after;
+            }
+            StmtKind::DoWhile(body, _) => {
+                let body_block = self.new_block();
+                let cur = self.current;
+                self.edge(cur, body_block);
+                let after = self.new_block();
+                self.breaks.push(Vec::new());
+                self.continues.push(Vec::new());
+                self.current = body_block;
+                self.stmt(body);
+                let tail = self.current;
+                self.blocks[tail.0].stmts.push(s.id);
+                self.edge(tail, body_block);
+                self.edge(tail, after);
+                for b in self.breaks.pop().unwrap() {
+                    self.edge(b, after);
+                }
+                for c in self.continues.pop().unwrap() {
+                    self.edge(c, tail);
+                }
+                self.current = after;
+            }
+            StmtKind::For(_, _, _, body) => {
+                let head = self.new_block();
+                let cur = self.current;
+                self.edge(cur, head);
+                self.blocks[head.0].stmts.push(s.id);
+                let body_block = self.new_block();
+                let after = self.new_block();
+                self.edge(head, body_block);
+                self.edge(head, after);
+                self.breaks.push(Vec::new());
+                self.continues.push(Vec::new());
+                self.current = body_block;
+                self.stmt(body);
+                let tail = self.current;
+                self.edge(tail, head);
+                for b in self.breaks.pop().unwrap() {
+                    self.edge(b, after);
+                }
+                for c in self.continues.pop().unwrap() {
+                    self.edge(c, head);
+                }
+                self.current = after;
+            }
+            StmtKind::Switch(_, body) => {
+                // Conservative shape: the scrutinee block branches into
+                // the (fallthrough-sequential) body and past it; breaks
+                // leave to the after block.
+                let cond = self.current;
+                self.blocks[cond.0].stmts.push(s.id);
+                let body_block = self.new_block();
+                let after = self.new_block();
+                self.edge(cond, body_block);
+                self.edge(cond, after);
+                self.breaks.push(Vec::new());
+                self.current = body_block;
+                for st in body {
+                    self.stmt(st);
+                }
+                let tail = self.current;
+                self.edge(tail, after);
+                for b in self.breaks.pop().expect("switch frame") {
+                    self.edge(b, after);
+                }
+                self.current = after;
+            }
+            StmtKind::Case(_) | StmtKind::Default => {
+                let cur = self.current;
+                self.blocks[cur.0].stmts.push(s.id);
+            }
+            StmtKind::Return(_) => {
+                let cur = self.current;
+                self.blocks[cur.0].stmts.push(s.id);
+                self.exits.push(cur);
+                // Statements after a return are unreachable; start a fresh
+                // block with no predecessor.
+                self.current = self.new_block();
+            }
+            StmtKind::Break => {
+                let cur = self.current;
+                if let Some(level) = self.breaks.last_mut() {
+                    level.push(cur);
+                }
+                self.current = self.new_block();
+            }
+            StmtKind::Continue => {
+                let cur = self.current;
+                if let Some(level) = self.continues.last_mut() {
+                    level.push(cur);
+                }
+                self.current = self.new_block();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsm_cir::parser::parse;
+
+    fn cfg_of(src: &str, name: &str) -> Cfg {
+        let tu = parse(src).unwrap();
+        Cfg::build(tu.function(name).unwrap())
+    }
+
+    #[test]
+    fn straight_line_has_entry_and_exit() {
+        let cfg = cfg_of("int f() { int a = 1; a = 2; return a; }", "f");
+        assert!(cfg.blocks.len() >= 2);
+        assert!(cfg.reachable().contains(&cfg.exit()));
+    }
+
+    #[test]
+    fn if_else_creates_diamond() {
+        let cfg = cfg_of("int f(int x) { if (x) { x = 1; } else { x = 2; } return x; }", "f");
+        // entry(cond), then, join, else + exit-side blocks.
+        let r = cfg.reachable();
+        assert!(r.len() >= 4, "expected a diamond: {}", cfg.to_text());
+        // The join block has two predecessors.
+        let join_preds = cfg
+            .blocks
+            .iter()
+            .filter(|b| b.preds.len() >= 2)
+            .count();
+        assert!(join_preds >= 1);
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let cfg = cfg_of("int f(int x) { while (x) { x--; } return x; }", "f");
+        // A back edge exists: some block's successor has a smaller id.
+        let back_edges = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(i, b)| b.succs.iter().map(move |s| (i, s.0)))
+            .filter(|(i, s)| s <= i)
+            .count();
+        assert!(back_edges >= 1, "{}", cfg.to_text());
+    }
+
+    #[test]
+    fn break_exits_loop() {
+        let cfg = cfg_of(
+            "int f(int x) { while (1) { if (x) break; x++; } return x; }",
+            "f",
+        );
+        assert!(cfg.reachable().contains(&cfg.exit()), "{}", cfg.to_text());
+    }
+
+    #[test]
+    fn return_ends_block_and_reaches_exit() {
+        let cfg = cfg_of("int f(int x) { if (x) return 1; return 0; }", "f");
+        let exit = cfg.exit();
+        assert!(cfg.blocks[exit.0].preds.len() >= 2, "{}", cfg.to_text());
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        let cfg = cfg_of("int f() { return 1; }", "f");
+        // Reachable set excludes the dead block created after return
+        // (unless it merged with exit).
+        assert!(cfg.reachable().contains(&cfg.exit()));
+    }
+
+    #[test]
+    fn do_while_executes_body_first() {
+        let cfg = cfg_of("int f(int x) { do { x--; } while (x); return x; }", "f");
+        // Entry must flow into the body unconditionally.
+        let entry_succs = &cfg.blocks[cfg.entry().0].succs;
+        assert_eq!(entry_succs.len(), 1, "{}", cfg.to_text());
+    }
+
+    #[test]
+    fn edge_count_is_consistent_with_preds() {
+        let cfg = cfg_of(
+            "int f(int x) { for (int i = 0; i < x; i++) { if (i == 2) continue; x += i; } return x; }",
+            "f",
+        );
+        let pred_total: usize = cfg.blocks.iter().map(|b| b.preds.len()).sum();
+        assert_eq!(cfg.edge_count(), pred_total);
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion benches: one per paper table/figure, timing the simulation
+//! harness that regenerates it (reduced sizes keep Criterion iterations
+//! tractable — the `figures` binary runs the full-size versions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsm_core::experiment::{run, run_all_modes, Mode};
+use hsm_workloads::Bench;
+use scc_sim::SccConfig;
+
+fn reduced(bench: Bench, units: usize) -> hsm_workloads::Params {
+    let mut p = bench.default_params(units);
+    p.size = match bench {
+        Bench::CountPrimes => 3_000,
+        Bench::PiApprox => 20_000,
+        Bench::Sum35 => 40_000,
+        Bench::DotProduct => 1_024,
+        Bench::LuDecomp => 8,
+        Bench::Stream => 1_024,
+    };
+    p.reps = if bench == Bench::LuDecomp { 16 } else { 1 };
+    p
+}
+
+/// Figure 6.1: each benchmark through baseline + off-chip modes.
+fn fig6_1(c: &mut Criterion) {
+    let config = SccConfig::table_6_1();
+    let mut group = c.benchmark_group("fig6_1");
+    group.sample_size(10);
+    for bench in Bench::all() {
+        let p = reduced(bench, 16);
+        group.bench_function(bench.name().replace(' ', "_"), |b| {
+            b.iter(|| {
+                let base = run(bench, &p, Mode::PthreadBaseline, &config).expect("base");
+                let off = run(bench, &p, Mode::RcceOffChip, &config).expect("off");
+                std::hint::black_box(base.timed_cycles as f64 / off.timed_cycles as f64)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6.2: off-chip vs MPB placement.
+fn fig6_2(c: &mut Criterion) {
+    let config = SccConfig::table_6_1();
+    let mut group = c.benchmark_group("fig6_2");
+    group.sample_size(10);
+    for bench in [Bench::Stream, Bench::DotProduct] {
+        let p = reduced(bench, 16);
+        group.bench_function(bench.name().replace(' ', "_"), |b| {
+            b.iter(|| {
+                let r = run_all_modes(bench, &p, &config).expect("modes");
+                std::hint::black_box(r.hsm_improvement())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6.3: Pi at several core counts.
+fn fig6_3(c: &mut Criterion) {
+    let config = SccConfig::table_6_1();
+    let mut group = c.benchmark_group("fig6_3");
+    group.sample_size(10);
+    for cores in [4usize, 16, 32] {
+        let p = reduced(Bench::PiApprox, cores);
+        group.bench_function(format!("pi_{cores}_cores"), |b| {
+            b.iter(|| {
+                let r = run(Bench::PiApprox, &p, Mode::RcceHsm, &config).expect("run");
+                std::hint::black_box(r.timed_cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Tables 4.1/4.2: the analysis stages on Example Code 4.1.
+fn analysis_tables(c: &mut Criterion) {
+    c.bench_function("table4_1_and_4_2", |b| {
+        b.iter(|| std::hint::black_box(hsm_bench::analysis_tables()))
+    });
+}
+
+/// Example 4.2: the full source-to-source translation.
+fn translation(c: &mut Criterion) {
+    c.bench_function("example4_2_translation", |b| {
+        b.iter(|| std::hint::black_box(hsm_bench::render_example_4_2()))
+    });
+}
+
+criterion_group!(benches, fig6_1, fig6_2, fig6_3, analysis_tables, translation);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! figures                  # everything
+//! figures table4.1         # per-variable analysis table
+//! figures table4.2         # sharing status per stage
+//! figures example4.2       # translated RCCE source
+//! figures table6.1         # SCC configuration
+//! figures fig6.1           # off-chip speedups
+//! figures fig6.2           # off-chip vs MPB
+//! figures fig6.3           # core scaling
+//! figures ablation.mc      # memory-controller contention
+//! figures ablation.policy  # partition policy quality
+//! figures fig7.threads     # >cores thread folding
+//! figures energy           # energy estimate (power model)
+//! figures stream.kernels   # per-kernel Stream bandwidth
+//! figures dvfs             # frequency sweep (memory wall)
+//! figures ext.jacobi       # barrier-heavy stencil extension
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+    let mut failed = false;
+
+    if want("table4.1") || want("table4.2") {
+        let (t41, t42) = hsm_bench::analysis_tables();
+        if want("table4.1") {
+            println!("Table 4.1 — information extracted per variable (Example Code 4.1)\n");
+            println!("{t41}");
+        }
+        if want("table4.2") {
+            println!("Table 4.2 — variable sharing status after each stage\n");
+            println!("{t42}");
+        }
+    }
+
+    if want("example4.2") {
+        println!("Example Code 4.2 — translated RCCE source\n");
+        println!("{}", hsm_bench::render_example_4_2());
+    }
+
+    if want("table6.1") {
+        println!("Table 6.1 — SCC configuration\n");
+        println!("{}", hsm_bench::render_table_6_1(hsm_bench::EVAL_UNITS));
+    }
+
+    if want("fig6.1") || want("fig6.2") {
+        match hsm_bench::run_evaluation(hsm_bench::EVAL_UNITS) {
+            Ok(results) => {
+                if want("fig6.1") {
+                    println!("{}", hsm_bench::render_fig_6_1(&results));
+                }
+                if want("fig6.2") {
+                    println!("{}", hsm_bench::render_fig_6_2(&results));
+                }
+            }
+            Err(e) => {
+                eprintln!("evaluation failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if want("fig6.3") {
+        match hsm_bench::fig_6_3(&[1, 2, 4, 8, 16, 32, 48]) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("figure 6.3 failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if want("ablation.mc") {
+        match hsm_bench::ablation_memory_controllers(hsm_bench::EVAL_UNITS) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("MC ablation failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if want("ablation.policy") {
+        println!("{}", hsm_bench::ablation_partition_policies());
+    }
+
+    if want("stream.kernels") {
+        match hsm_bench::stream_kernel_table(hsm_bench::EVAL_UNITS) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("stream kernels failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if want("ext.jacobi") {
+        match hsm_bench::jacobi_extension(&[4, 8, 16, 32]) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("jacobi extension failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if want("dvfs") {
+        match hsm_bench::dvfs_sweep(hsm_bench::EVAL_UNITS) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("dvfs sweep failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if want("energy") {
+        match hsm_bench::energy_comparison(hsm_bench::EVAL_UNITS) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("energy comparison failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if want("fig7.threads") {
+        match hsm_bench::thread_folding(&[48, 64, 96]) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("thread folding failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

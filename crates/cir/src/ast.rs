@@ -1,0 +1,540 @@
+//! The C intermediate representation (CIR) — a typed AST.
+//!
+//! This plays the role CETUS's IR tree plays in the paper: each analysis
+//! stage walks it, and the Stage 5 translator rewrites it before the printer
+//! emits C source again. Every expression, statement and declaration carries
+//! a unique [`NodeId`] so analyses can attach facts to nodes in side tables.
+
+use crate::span::Span;
+use crate::types::CType;
+use std::fmt;
+
+/// A unique identifier for an AST node within one [`TranslationUnit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `&e` — address-of.
+    Addr,
+    /// `*e` — dereference.
+    Deref,
+    /// `-e` — arithmetic negation.
+    Neg,
+    /// `+e` — unary plus (no-op).
+    Plus,
+    /// `!e` — logical not.
+    Not,
+    /// `~e` — bitwise complement.
+    BitNot,
+    /// `++e` — pre-increment.
+    PreInc,
+    /// `--e` — pre-decrement.
+    PreDec,
+}
+
+impl UnaryOp {
+    /// The source spelling of the operator (prefix position).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnaryOp::Addr => "&",
+            UnaryOp::Deref => "*",
+            UnaryOp::Neg => "-",
+            UnaryOp::Plus => "+",
+            UnaryOp::Not => "!",
+            UnaryOp::BitNot => "~",
+            UnaryOp::PreInc => "++",
+            UnaryOp::PreDec => "--",
+        }
+    }
+}
+
+/// Binary operators (excluding assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitXor,
+    BitOr,
+    LogAnd,
+    LogOr,
+}
+
+impl BinaryOp {
+    /// The source spelling of the operator.
+    pub fn as_str(self) -> &'static str {
+        use BinaryOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            BitAnd => "&",
+            BitXor => "^",
+            BitOr => "|",
+            LogAnd => "&&",
+            LogOr => "||",
+        }
+    }
+
+    /// Whether the operator compares and yields an `int` 0/1.
+    pub fn is_comparison(self) -> bool {
+        use BinaryOp::*;
+        matches!(self, Lt | Gt | Le | Ge | Eq | Ne)
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AssignOp {
+    Assign,
+    AddAssign,
+    SubAssign,
+    MulAssign,
+    DivAssign,
+    RemAssign,
+    ShlAssign,
+    ShrAssign,
+    AndAssign,
+    XorAssign,
+    OrAssign,
+}
+
+impl AssignOp {
+    /// The source spelling of the operator.
+    pub fn as_str(self) -> &'static str {
+        use AssignOp::*;
+        match self {
+            Assign => "=",
+            AddAssign => "+=",
+            SubAssign => "-=",
+            MulAssign => "*=",
+            DivAssign => "/=",
+            RemAssign => "%=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            AndAssign => "&=",
+            XorAssign => "^=",
+            OrAssign => "|=",
+        }
+    }
+
+    /// The underlying binary operator of a compound assignment, if any.
+    pub fn binary_op(self) -> Option<BinaryOp> {
+        use AssignOp::*;
+        Some(match self {
+            Assign => return None,
+            AddAssign => BinaryOp::Add,
+            SubAssign => BinaryOp::Sub,
+            MulAssign => BinaryOp::Mul,
+            DivAssign => BinaryOp::Div,
+            RemAssign => BinaryOp::Rem,
+            ShlAssign => BinaryOp::Shl,
+            ShrAssign => BinaryOp::Shr,
+            AndAssign => BinaryOp::BitAnd,
+            XorAssign => BinaryOp::BitXor,
+            OrAssign => BinaryOp::BitOr,
+        })
+    }
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Unique node id.
+    pub id: NodeId,
+    /// Expression shape.
+    pub kind: ExprKind,
+    /// Source region.
+    pub span: Span,
+}
+
+/// The shape of an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// Character literal.
+    CharLit(char),
+    /// String literal.
+    StrLit(String),
+    /// Variable or function reference.
+    Ident(String),
+    /// Prefix unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Postfix `e++` (true) or `e--` (false).
+    PostIncDec(Box<Expr>, bool),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Assignment (simple or compound).
+    Assign(AssignOp, Box<Expr>, Box<Expr>),
+    /// `c ? t : e`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function call: callee expression and arguments.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Array subscript `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Member access `base.field` (arrow = false) or `base->field`.
+    Member(Box<Expr>, String, bool),
+    /// Explicit cast `(ty)e`.
+    Cast(CType, Box<Expr>),
+    /// `sizeof(type)`.
+    SizeofType(CType),
+    /// `sizeof expr`.
+    SizeofExpr(Box<Expr>),
+    /// Comma expression `a, b`.
+    Comma(Box<Expr>, Box<Expr>),
+    /// Brace initializer list `{a, b, c}` (only valid as an initializer).
+    InitList(Vec<Expr>),
+}
+
+impl Expr {
+    /// The identifier name if this is a bare identifier expression.
+    pub fn as_ident(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Returns the called function's name when this is a direct call such as
+    /// `pthread_create(...)`.
+    pub fn call_target(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Call(callee, _) => callee.as_ident(),
+            _ => None,
+        }
+    }
+
+    /// Peels casts: `(void *) local` yields the inner `local` expression.
+    pub fn peel_casts(&self) -> &Expr {
+        match &self.kind {
+            ExprKind::Cast(_, inner) => inner.peel_casts(),
+            _ => self,
+        }
+    }
+
+    /// The "base variable" of an lvalue chain, e.g. `sum` for
+    /// `sum[tLocal]`, `p` for `*p`, `s` for `s.f`.
+    pub fn base_variable(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Ident(name) => Some(name),
+            ExprKind::Index(base, _) => base.base_variable(),
+            ExprKind::Member(base, _, _) => base.base_variable(),
+            ExprKind::Unary(UnaryOp::Deref, inner) => inner.base_variable(),
+            ExprKind::Cast(_, inner) => inner.base_variable(),
+            _ => None,
+        }
+    }
+}
+
+/// Storage class of a declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Storage {
+    /// No storage-class specifier.
+    #[default]
+    None,
+    /// `static`.
+    Static,
+    /// `extern`.
+    Extern,
+    /// `typedef` (the declarator introduces a type alias).
+    Typedef,
+}
+
+/// A single declarator within a declaration (`int *a, b[3];` has two).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Unique node id.
+    pub id: NodeId,
+    /// Declared name.
+    pub name: String,
+    /// Full declared type (pointers/arrays applied).
+    pub ty: CType,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+    /// Source region of the declarator.
+    pub span: Span,
+}
+
+/// A declaration statement or top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declaration {
+    /// Unique node id.
+    pub id: NodeId,
+    /// Storage class.
+    pub storage: Storage,
+    /// All declarators sharing the base type.
+    pub vars: Vec<VarDecl>,
+    /// Source region.
+    pub span: Span,
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Unique node id.
+    pub id: NodeId,
+    /// Statement shape.
+    pub kind: StmtKind,
+    /// Source region.
+    pub span: Span,
+}
+
+/// Loop initializer of a `for` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForInit {
+    /// `for (int i = 0; ...)`.
+    Decl(Declaration),
+    /// `for (i = 0; ...)`.
+    Expr(Expr),
+}
+
+/// The shape of a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Expression statement (`;` alone when `None`).
+    Expr(Option<Expr>),
+    /// Local declaration.
+    Decl(Declaration),
+    /// `{ ... }`.
+    Block(Vec<Stmt>),
+    /// `if (cond) then else?`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (cond) body`.
+    While(Expr, Box<Stmt>),
+    /// `do body while (cond);`.
+    DoWhile(Box<Stmt>, Expr),
+    /// `for (init; cond; step) body`.
+    For(Option<ForInit>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `switch (e) { ... }` — the body is a flat statement list in which
+    /// [`StmtKind::Case`] and [`StmtKind::Default`] act as labels, giving
+    /// C's fallthrough semantics.
+    Switch(Expr, Vec<Stmt>),
+    /// `case N:` label inside a switch body.
+    Case(i64),
+    /// `default:` label inside a switch body.
+    Default,
+    /// `return e?;`.
+    Return(Option<Expr>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (empty for unnamed prototype params).
+    pub name: String,
+    /// Parameter type.
+    pub ty: CType,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Unique node id.
+    pub id: NodeId,
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements (the outer braces are implicit).
+    pub body: Vec<Stmt>,
+    /// Source region.
+    pub span: Span,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A global declaration.
+    Decl(Declaration),
+    /// A function definition.
+    Func(FunctionDef),
+}
+
+/// A parsed C source file: preprocessor lines plus top-level items.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TranslationUnit {
+    /// Preprocessor lines in source order (without the leading `#`).
+    pub preproc: Vec<String>,
+    /// Top-level declarations and functions in source order.
+    pub items: Vec<Item>,
+    /// Next unassigned node id (used to mint fresh nodes during rewriting).
+    pub next_id: u32,
+}
+
+impl TranslationUnit {
+    /// Creates an empty translation unit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mints a fresh [`NodeId`] for nodes created during transformation.
+    pub fn fresh_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Iterates over all function definitions.
+    pub fn functions(&self) -> impl Iterator<Item = &FunctionDef> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Func(f) => Some(f),
+            Item::Decl(_) => None,
+        })
+    }
+
+    /// Iterates mutably over all function definitions.
+    pub fn functions_mut(&mut self) -> impl Iterator<Item = &mut FunctionDef> {
+        self.items.iter_mut().filter_map(|item| match item {
+            Item::Func(f) => Some(f),
+            Item::Decl(_) => None,
+        })
+    }
+
+    /// Finds a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionDef> {
+        self.functions().find(|f| f.name == name)
+    }
+
+    /// Finds a function definition by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut FunctionDef> {
+        self.functions_mut().find(|f| f.name == name)
+    }
+
+    /// Iterates over all global (top-level) declarations.
+    pub fn global_decls(&self) -> impl Iterator<Item = &Declaration> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Decl(d) => Some(d),
+            Item::Func(_) => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(kind: ExprKind) -> Expr {
+        Expr {
+            id: NodeId(0),
+            kind,
+            span: Span::default(),
+        }
+    }
+
+    #[test]
+    fn assign_op_decomposes_to_binary() {
+        assert_eq!(AssignOp::AddAssign.binary_op(), Some(BinaryOp::Add));
+        assert_eq!(AssignOp::Assign.binary_op(), None);
+        assert_eq!(AssignOp::ShlAssign.binary_op(), Some(BinaryOp::Shl));
+    }
+
+    #[test]
+    fn peel_casts_reaches_core_expression() {
+        let inner = e(ExprKind::Ident("local".into()));
+        let cast = e(ExprKind::Cast(
+            crate::types::CType::Void.ptr_to(),
+            Box::new(inner),
+        ));
+        assert_eq!(cast.peel_casts().as_ident(), Some("local"));
+    }
+
+    #[test]
+    fn base_variable_walks_lvalue_chains() {
+        let sum = e(ExprKind::Ident("sum".into()));
+        let idx = e(ExprKind::Index(
+            Box::new(sum),
+            Box::new(e(ExprKind::Ident("i".into()))),
+        ));
+        assert_eq!(idx.base_variable(), Some("sum"));
+
+        let p = e(ExprKind::Ident("p".into()));
+        let deref = e(ExprKind::Unary(UnaryOp::Deref, Box::new(p)));
+        assert_eq!(deref.base_variable(), Some("p"));
+
+        let lit = e(ExprKind::IntLit(3));
+        assert_eq!(lit.base_variable(), None);
+    }
+
+    #[test]
+    fn call_target_only_for_direct_calls() {
+        let callee = e(ExprKind::Ident("pthread_create".into()));
+        let call = e(ExprKind::Call(Box::new(callee), vec![]));
+        assert_eq!(call.call_target(), Some("pthread_create"));
+
+        let indirect = e(ExprKind::Call(
+            Box::new(e(ExprKind::Unary(
+                UnaryOp::Deref,
+                Box::new(e(ExprKind::Ident("fp".into()))),
+            ))),
+            vec![],
+        ));
+        assert_eq!(indirect.call_target(), None);
+    }
+
+    #[test]
+    fn fresh_ids_are_unique_and_monotonic() {
+        let mut tu = TranslationUnit::new();
+        tu.next_id = 10;
+        let a = tu.fresh_id();
+        let b = tu.fresh_id();
+        assert_eq!(a, NodeId(10));
+        assert_eq!(b, NodeId(11));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn function_lookup_by_name() {
+        let mut tu = TranslationUnit::new();
+        tu.items.push(Item::Func(FunctionDef {
+            id: NodeId(0),
+            name: "main".into(),
+            ret: crate::types::CType::Int,
+            params: vec![],
+            body: vec![],
+            span: Span::default(),
+        }));
+        assert!(tu.function("main").is_some());
+        assert!(tu.function("tf").is_none());
+        assert_eq!(tu.functions().count(), 1);
+    }
+}

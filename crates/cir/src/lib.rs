@@ -1,0 +1,51 @@
+//! # hsm-cir — C intermediate representation
+//!
+//! The frontend of the HSM translation framework: a from-scratch C-subset
+//! lexer, parser, typed AST ("CIR"), symbol tables, AST walkers, and a C
+//! source printer. It plays the role that the CETUS compiler infrastructure
+//! plays in the paper *Enabling Multi-threaded Applications on Hybrid Shared
+//! Memory Manycore Architectures* (Rawat, DATE 2015): every analysis stage
+//! (crate `hsm-analysis`), the data partitioner (`hsm-partition`) and the
+//! pthread→RCCE translator (`hsm-translate`) operate on the types defined
+//! here.
+//!
+//! ## Example
+//!
+//! Parse a pthread program, inspect its symbols, and print it back:
+//!
+//! ```
+//! # fn main() -> Result<(), hsm_cir::error::ParseError> {
+//! use hsm_cir::{parser::parse, printer::print_unit, symbols::SymbolTable};
+//!
+//! let tu = parse(r#"
+//!     int sum[3] = {0};
+//!     void *tf(void *tid) { sum[(int)tid] += 1; return tid; }
+//!     int main() { return 0; }
+//! "#)?;
+//! let symbols = SymbolTable::build(&tu);
+//! assert_eq!(symbols.global_variables().len(), 1);
+//! let printed = print_unit(&tu);
+//! assert!(printed.contains("int sum[3] = {0};"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod symbols;
+pub mod token;
+pub mod types;
+pub mod visit;
+
+pub use ast::{Expr, ExprKind, FunctionDef, Item, NodeId, Stmt, StmtKind, TranslationUnit};
+pub use error::{LexError, ParseError};
+pub use parser::parse;
+pub use printer::print_unit;
+pub use symbols::{Scope, Symbol, SymbolTable};
+pub use types::CType;

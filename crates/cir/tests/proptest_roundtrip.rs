@@ -1,0 +1,209 @@
+//! Property tests: printing an AST and re-parsing the output must be a
+//! fixpoint (print ∘ parse ∘ print == print), and lexing printed operators
+//! must round-trip.
+
+use hsm_cir::ast::*;
+use hsm_cir::parser::parse;
+use hsm_cir::printer::print_unit;
+use hsm_cir::span::Span;
+use hsm_cir::types::CType;
+use proptest::prelude::*;
+
+fn e(kind: ExprKind) -> Expr {
+    Expr {
+        id: NodeId(0),
+        kind,
+        span: Span::default(),
+    }
+}
+
+fn arb_binop() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Rem),
+        Just(BinaryOp::Shl),
+        Just(BinaryOp::Shr),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::Le),
+        Just(BinaryOp::Ge),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::Ne),
+        Just(BinaryOp::BitAnd),
+        Just(BinaryOp::BitXor),
+        Just(BinaryOp::BitOr),
+        Just(BinaryOp::LogAnd),
+        Just(BinaryOp::LogOr),
+    ]
+}
+
+fn arb_unop() -> impl Strategy<Value = UnaryOp> {
+    prop_oneof![
+        Just(UnaryOp::Neg),
+        Just(UnaryOp::Not),
+        Just(UnaryOp::BitNot),
+        Just(UnaryOp::Deref),
+        Just(UnaryOp::Addr),
+    ]
+}
+
+/// Identifiers drawn from a small pool that the harness declares.
+fn arb_ident() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just("p".to_string()),
+        Just("arr".to_string()),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|v| e(ExprKind::IntLit(v))),
+        arb_ident().prop_map(|n| e(ExprKind::Ident(n))),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| e(
+                ExprKind::Binary(op, Box::new(l), Box::new(r))
+            )),
+            (arb_unop(), inner.clone()).prop_map(|(op, x)| e(ExprKind::Unary(
+                op,
+                Box::new(x)
+            ))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| e(
+                ExprKind::Ternary(Box::new(c), Box::new(t), Box::new(f))
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(b, i)| e(ExprKind::Index(
+                Box::new(e(ExprKind::Ident("arr".into()))),
+                Box::new(e(ExprKind::Binary(
+                    BinaryOp::Add,
+                    Box::new(b),
+                    Box::new(i)
+                )))
+            ))),
+            inner
+                .clone()
+                .prop_map(|x| e(ExprKind::Cast(CType::Int, Box::new(x)))),
+            inner.clone().prop_map(|_| e(ExprKind::PostIncDec(
+                Box::new(e(ExprKind::Ident("a".into()))),
+                true
+            ))),
+        ]
+    })
+}
+
+/// Wraps an expression into a compilable harness program.
+fn harness(expr: &Expr) -> TranslationUnit {
+    let src = "int a; int b; int c; int *p; int arr[16]; int main() { return 0; }";
+    let mut tu = parse(src).expect("harness parses");
+    let ret_stmt = Stmt {
+        id: NodeId(9000),
+        kind: StmtKind::Expr(Some(expr.clone())),
+        span: Span::default(),
+    };
+    let main = tu.function_mut("main").expect("main");
+    main.body.insert(0, ret_stmt);
+    tu
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print(parse(print(ast))) == print(ast): printing is a fixpoint and
+    /// the printed source is always parseable.
+    #[test]
+    fn print_parse_print_is_fixpoint(expr in arb_expr()) {
+        let tu = harness(&expr);
+        let printed = print_unit(&tu);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("printed source failed to parse: {err}\n{printed}"));
+        let printed2 = print_unit(&reparsed);
+        prop_assert_eq!(printed, printed2);
+    }
+
+    /// Integer literals survive the full pipeline unchanged.
+    #[test]
+    fn int_literals_round_trip(v in 0i64..i64::MAX / 2) {
+        let src = format!("long x = {v};");
+        let tu = parse(&src).unwrap();
+        let printed = print_unit(&tu);
+        prop_assert!(printed.contains(&v.to_string()));
+        let again = parse(&printed).unwrap();
+        prop_assert_eq!(print_unit(&again), printed);
+    }
+
+    /// Any identifier-shaped name lexes back to itself.
+    #[test]
+    fn identifiers_round_trip(name in "[a-zA-Z_][a-zA-Z0-9_]{0,12}") {
+        prop_assume!(hsm_cir::token::Keyword::from_str(&name).is_none());
+        // Skip names the parser treats as type names.
+        let src = format!("int {name};");
+        if let Ok(tu) = parse(&src) {
+            let printed = print_unit(&tu);
+            prop_assert!(printed.contains(&name));
+        }
+    }
+
+    /// String literal escaping round-trips arbitrary printable content.
+    #[test]
+    fn string_literals_round_trip(s in "[ -~]{0,24}") {
+        let escaped: String = s
+            .chars()
+            .flat_map(|ch| match ch {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                other => vec![other],
+            })
+            .collect();
+        let src = format!("int main() {{ printf(\"{escaped}\"); return 0; }}");
+        let tu = parse(&src).unwrap();
+        let printed = print_unit(&tu);
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(print_unit(&reparsed), printed);
+    }
+
+    /// The lexer never panics: arbitrary input either lexes or returns a
+    /// located error.
+    #[test]
+    fn lexer_is_total(input in "\\PC{0,200}") {
+        let _ = hsm_cir::lexer::lex(&input);
+    }
+
+    /// The parser never panics on arbitrary token-shaped soup.
+    #[test]
+    fn parser_is_total(input in "[a-z0-9(){};*&=+<>,.\"' \n-]{0,300}") {
+        let _ = parse(&input);
+    }
+
+    /// Whatever parses must print and re-parse to a fixpoint — for whole
+    /// random programs assembled from statement templates.
+    #[test]
+    fn random_programs_round_trip(
+        stmts in proptest::collection::vec(0usize..8, 1..12),
+        n in 1usize..20,
+    ) {
+        let templates = [
+            "a = a + 1;",
+            "b = a * 2 - c;",
+            "if (a > b) { c = 1; } else { c = 2; }",
+            "while (a > 0) { a = a - 1; }",
+            "for (a = 0; a < 5; a++) { arr[a] = a; }",
+            "p = &a;",
+            "c = *p;",
+            "switch (a) { case 1: b = 1; break; default: b = 0; }",
+        ];
+        let body: String = stmts.iter().map(|&i| templates[i]).collect::<Vec<_>>().join("\n    ");
+        let src = format!(
+            "int a; int b; int c; int *p; int arr[{n}];\nint main() {{\n    {body}\n    return a + b + c;\n}}\n"
+        );
+        let tu = parse(&src).expect("template program parses");
+        let printed = print_unit(&tu);
+        let reparsed = parse(&printed).expect("printed parses");
+        prop_assert_eq!(print_unit(&reparsed), printed);
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration tests for the `hsmsim` command-line tool.
+
+use std::process::Command;
+
+const PROGRAM: &str = r#"
+#include <pthread.h>
+int sums[4];
+void *tf(void *tid) {
+    int id = (int)tid;
+    int i;
+    for (i = 0; i < 50; i++) sums[id] += id + 1;
+    return tid;
+}
+int main() {
+    pthread_t t[4];
+    int i;
+    for (i = 0; i < 4; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 4; i++) {
+        pthread_join(t[i], NULL);
+        printf("sum %d = %d\n", i, sums[i]);
+    }
+    return 0;
+}
+"#;
+
+fn write_temp(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, PROGRAM).expect("write temp file");
+    path
+}
+
+fn hsmsim(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hsmsim"))
+        .args(args)
+        .output()
+        .expect("spawn hsmsim")
+}
+
+#[test]
+fn pthread_mode_prints_program_output() {
+    let input = write_temp("sim_base.c");
+    let out = hsmsim(&[input.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for expect in ["sum 0 = 50", "sum 1 = 100", "sum 2 = 150", "sum 3 = 200"] {
+        assert!(stdout.contains(expect), "{stdout}");
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("timed region"), "{stderr}");
+}
+
+#[test]
+fn rcce_mode_matches_pthread_output() {
+    let input = write_temp("sim_rcce.c");
+    let base = hsmsim(&[input.to_str().unwrap()]);
+    let rcce = hsmsim(&[input.to_str().unwrap(), "--mode", "rcce", "--cores", "4"]);
+    assert!(rcce.status.success(), "{rcce:?}");
+    let base_out = String::from_utf8_lossy(&base.stdout);
+    let rcce_out = String::from_utf8_lossy(&rcce.stdout);
+    let mut base_lines: Vec<&str> = base_out.lines().collect();
+    let mut rcce_lines: Vec<&str> = rcce_out.lines().collect();
+    base_lines.sort_unstable();
+    base_lines.dedup();
+    rcce_lines.sort_unstable();
+    rcce_lines.dedup();
+    assert_eq!(base_lines, rcce_lines);
+}
+
+#[test]
+fn stats_flag_reports_memory_counters() {
+    let input = write_temp("sim_stats.c");
+    let out = hsmsim(&[
+        input.to_str().unwrap(),
+        "--mode",
+        "rcce",
+        "--cores",
+        "4",
+        "--stats",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("load imbalance"), "{stderr}");
+    assert!(stderr.contains("L1 hits"), "{stderr}");
+}
+
+#[test]
+fn bad_mode_is_rejected() {
+    let input = write_temp("sim_badmode.c");
+    let out = hsmsim(&[input.to_str().unwrap(), "--mode", "quantum"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad mode"), "{stderr}");
+}

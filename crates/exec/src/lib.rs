@@ -1,0 +1,647 @@
+//! # hsm-exec — discrete-event execution of C programs on the simulated SCC
+//!
+//! Two execution modes reproduce the paper's two experimental
+//! configurations (Table 6.1):
+//!
+//! * [`run_pthread`] — the baseline: all threads of a pthread program
+//!   time-sliced on **one** core, sharing its caches, with an OS quantum
+//!   and context-switch penalty.
+//! * [`run_rcce`] — the converted program: one process per core, each
+//!   running the whole translated binary, synchronized by RCCE barriers
+//!   and test-and-set locks, with private/shared/MPB memory latencies from
+//!   `scc-sim`.
+//!
+//! The scheduler always advances the core with the smallest local clock,
+//! so memory-controller queuing and lock contention resolve in globally
+//! consistent simulated time, deterministically.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use hsm_exec::run_pthread;
+//! use scc_sim::SccConfig;
+//!
+//! let src = r#"
+//!     int data[4];
+//!     void *tf(void *tid) { data[(int)tid] = (int)tid * 10; return tid; }
+//!     int main() {
+//!         pthread_t t[4];
+//!         int i;
+//!         for (i = 0; i < 4; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+//!         for (i = 0; i < 4; i++) pthread_join(t[i], NULL);
+//!         printf("%d %d %d %d\n", data[0], data[1], data[2], data[3]);
+//!         return 0;
+//!     }
+//! "#;
+//! let program = hsm_vm::compile(&hsm_cir::parse(src)?)?;
+//! let result = run_pthread(&program, &SccConfig::table_6_1())?;
+//! assert_eq!(result.output_text(), "0 10 20 30\n");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod printf;
+mod pthread;
+mod rcce;
+
+pub use machine::{DataSpaces, ExecError, OutputLine, RunResult};
+pub use pthread::run_pthread;
+pub use rcce::run_rcce;
+
+/// Fixed syscall overheads in core cycles (single place to tune).
+pub mod syscall_cost {
+    /// `RCCE_init` library setup.
+    pub const RCCE_INIT: u64 = 2_000;
+    /// `RCCE_finalize`.
+    pub const RCCE_FINALIZE: u64 = 1_000;
+    /// Any allocator call.
+    pub const ALLOC: u64 = 400;
+    /// `printf` formatting + console path.
+    pub const PRINTF: u64 = 1_500;
+    /// `pthread_create` (kernel thread setup on the baseline core).
+    pub const THREAD_CREATE: u64 = 8_000;
+    /// `pthread_join` bookkeeping.
+    pub const JOIN: u64 = 600;
+    /// Mutex fast path.
+    pub const MUTEX: u64 = 120;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsm_cir::parse;
+    use hsm_vm::compile;
+    use scc_sim::SccConfig;
+
+    fn compile_src(src: &str) -> hsm_vm::Program {
+        compile(&parse(src).expect("parse")).expect("compile")
+    }
+
+    fn cfg() -> SccConfig {
+        SccConfig::table_6_1()
+    }
+
+    // ------------------------------------------------------ pthread mode --
+
+    const PTHREAD_SUM: &str = r#"
+int sum[4];
+int nthreads;
+void *tf(void *tid) {
+    int id = (int)tid;
+    int i;
+    for (i = 0; i < 100; i++) sum[id] += 1;
+    return tid;
+}
+int main() {
+    pthread_t t[4];
+    int i;
+    nthreads = 4;
+    for (i = 0; i < 4; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 4; i++) pthread_join(t[i], NULL);
+    return sum[0] + sum[1] + sum[2] + sum[3];
+}
+"#;
+
+    #[test]
+    fn pthread_threads_compute_and_join() {
+        let p = compile_src(PTHREAD_SUM);
+        let r = run_pthread(&p, &cfg()).expect("run");
+        assert_eq!(r.exit_code, 400);
+    }
+
+    #[test]
+    fn pthread_output_is_captured() {
+        let src = r#"
+void *tf(void *tid) { printf("thread %d\n", (int)tid); return tid; }
+int main() {
+    pthread_t t[2];
+    int i;
+    for (i = 0; i < 2; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 2; i++) pthread_join(t[i], NULL);
+    return 0;
+}
+"#;
+        let p = compile_src(src);
+        let r = run_pthread(&p, &cfg()).expect("run");
+        let lines = r.output_sorted();
+        assert_eq!(lines, vec!["thread 0", "thread 1"]);
+    }
+
+    #[test]
+    fn pthread_mutex_protects_counter() {
+        let src = r#"
+pthread_mutex_t m;
+int counter;
+void *tf(void *tid) {
+    int i;
+    for (i = 0; i < 50; i++) {
+        pthread_mutex_lock(&m);
+        counter = counter + 1;
+        pthread_mutex_unlock(&m);
+    }
+    return tid;
+}
+int main() {
+    pthread_t t[4];
+    int i;
+    pthread_mutex_init(&m, NULL);
+    for (i = 0; i < 4; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 4; i++) pthread_join(t[i], NULL);
+    return counter;
+}
+"#;
+        let p = compile_src(src);
+        let r = run_pthread(&p, &cfg()).expect("run");
+        assert_eq!(r.exit_code, 200);
+    }
+
+    #[test]
+    fn pthread_exit_terminates_thread() {
+        let src = r#"
+int mark[2];
+void *tf(void *tid) {
+    mark[(int)tid] = 1;
+    pthread_exit(NULL);
+}
+int main() {
+    pthread_t t[2];
+    int i;
+    for (i = 0; i < 2; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 2; i++) pthread_join(t[i], NULL);
+    return mark[0] + mark[1];
+}
+"#;
+        let p = compile_src(src);
+        let r = run_pthread(&p, &cfg()).expect("run");
+        assert_eq!(r.exit_code, 2);
+    }
+
+    #[test]
+    fn pthread_more_threads_take_longer_on_one_core() {
+        let make = |threads: usize| {
+            format!(
+                r#"
+int work[{threads}];
+void *tf(void *tid) {{
+    int i;
+    int acc = 0;
+    for (i = 0; i < 20000; i++) acc += i;
+    work[(int)tid] = acc;
+    return tid;
+}}
+int main() {{
+    pthread_t t[{threads}];
+    int i;
+    double t0 = wtime();
+    for (i = 0; i < {threads}; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < {threads}; i++) pthread_join(t[i], NULL);
+    double t1 = wtime();
+    return 0;
+}}
+"#
+            )
+        };
+        let r4 = run_pthread(&compile_src(&make(4)), &cfg()).expect("run 4");
+        let r16 = run_pthread(&compile_src(&make(16)), &cfg()).expect("run 16");
+        let ratio = r16.timed_cycles as f64 / r4.timed_cycles as f64;
+        assert!(
+            (3.0..6.0).contains(&ratio),
+            "16 threads should take ~4x the time of 4 on one core, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn pthread_self_returns_distinct_ids() {
+        let src = r#"
+int ids[3];
+void *tf(void *tid) { ids[(int)tid] = (int)pthread_self(); return tid; }
+int main() {
+    pthread_t t[3];
+    int i;
+    for (i = 0; i < 3; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 3; i++) pthread_join(t[i], NULL);
+    if (ids[0] == ids[1]) return 1;
+    if (ids[1] == ids[2]) return 2;
+    if (ids[0] == 0) return 3;
+    return 0;
+}
+"#;
+        let p = compile_src(src);
+        assert_eq!(run_pthread(&p, &cfg()).expect("run").exit_code, 0);
+    }
+
+    #[test]
+    fn rcce_calls_rejected_in_pthread_mode() {
+        let src = "int main() { int x = RCCE_ue(); return x; }";
+        let p = compile_src(src);
+        let err = run_pthread(&p, &cfg()).unwrap_err();
+        assert!(err.to_string().contains("RCCE call"), "{err}");
+    }
+
+    // --------------------------------------------------------- rcce mode --
+
+    const RCCE_SUM: &str = r#"
+int *sum;
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    sum = (int *)RCCE_shmalloc(sizeof(int) * 8);
+    int myID;
+    myID = RCCE_ue();
+    sum[myID] = myID * 10;
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    int total = 0;
+    int i;
+    for (i = 0; i < 8; i++) total += sum[i];
+    RCCE_finalize();
+    return total;
+}
+"#;
+
+    #[test]
+    fn rcce_cores_share_shmalloc_data() {
+        let p = compile_src(RCCE_SUM);
+        let r = run_rcce(&p, 8, &cfg()).expect("run");
+        assert_eq!(r.exit_code, 280);
+    }
+
+    #[test]
+    fn rcce_symmetric_allocation_is_consistent() {
+        let src = r#"
+int *a;
+int *b;
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    a = (int *)RCCE_shmalloc(sizeof(int) * 4);
+    b = (int *)RCCE_shmalloc(sizeof(int) * 4);
+    int myID;
+    myID = RCCE_ue();
+    if (myID == 0) { a[0] = 7; b[0] = 9; }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    RCCE_finalize();
+    return a[0] * 10 + b[0];
+}
+"#;
+        let p = compile_src(src);
+        let r = run_rcce(&p, 4, &cfg()).expect("run");
+        assert_eq!(r.exit_code, 79);
+    }
+
+    #[test]
+    fn rcce_barrier_synchronizes_clocks() {
+        let src = r#"
+int *flag;
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    flag = (int *)RCCE_shmalloc(sizeof(int) * 1);
+    int myID;
+    myID = RCCE_ue();
+    if (myID == 0) {
+        int i;
+        int acc = 0;
+        for (i = 0; i < 50000; i++) acc += i;
+        flag[0] = 42;
+    }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    int seen = flag[0];
+    RCCE_finalize();
+    return seen;
+}
+"#;
+        let p = compile_src(src);
+        let r = run_rcce(&p, 4, &cfg()).expect("run");
+        assert_eq!(r.exit_code, 42);
+    }
+
+    #[test]
+    fn rcce_locks_serialize_increments() {
+        let src = r#"
+int *counter;
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    counter = (int *)RCCE_shmalloc(sizeof(int) * 1);
+    int myID;
+    myID = RCCE_ue();
+    int i;
+    for (i = 0; i < 20; i++) {
+        RCCE_acquire_lock(0);
+        counter[0] = counter[0] + 1;
+        RCCE_release_lock(0);
+    }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    int total = counter[0];
+    RCCE_finalize();
+    return total;
+}
+"#;
+        let p = compile_src(src);
+        let r = run_rcce(&p, 4, &cfg()).expect("run");
+        assert_eq!(r.exit_code, 80, "4 cores x 20 increments");
+    }
+
+    #[test]
+    fn rcce_mpb_malloc_allocates_on_chip() {
+        let src = r#"
+int *fast;
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    fast = (int *)RCCE_malloc(sizeof(int) * 8);
+    int myID;
+    myID = RCCE_ue();
+    fast[myID] = myID + 1;
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    int total = 0;
+    int i;
+    for (i = 0; i < 8; i++) total += fast[i];
+    RCCE_finalize();
+    return total;
+}
+"#;
+        let p = compile_src(src);
+        let r = run_rcce(&p, 8, &cfg()).expect("run");
+        assert_eq!(r.exit_code, 36);
+        assert!(r.mem_stats.mpb > 0, "MPB must be exercised: {:?}", r.mem_stats);
+    }
+
+    #[test]
+    fn rcce_mpb_is_faster_than_shared_dram() {
+        let body = |alloc: &str| {
+            format!(
+                r#"
+int *data;
+int RCCE_APP(int *argc, char **argv) {{
+    RCCE_init(&argc, &argv);
+    data = (int *){alloc}(sizeof(int) * 64);
+    int myID;
+    myID = RCCE_ue();
+    double t0 = RCCE_wtime();
+    int i;
+    int acc = 0;
+    for (i = 0; i < 2000; i++) acc += data[(myID * 64 + i) % 64];
+    data[myID] = acc;
+    double t1 = RCCE_wtime();
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    RCCE_finalize();
+    return 0;
+}}
+"#
+            )
+        };
+        let slow = run_rcce(&compile_src(&body("RCCE_shmalloc")), 8, &cfg()).expect("dram");
+        let fast = run_rcce(&compile_src(&body("RCCE_malloc")), 8, &cfg()).expect("mpb");
+        assert!(
+            fast.timed_cycles < slow.timed_cycles,
+            "MPB {} should beat DRAM {}",
+            fast.timed_cycles,
+            slow.timed_cycles
+        );
+    }
+
+    #[test]
+    fn rcce_more_cores_scale_compute() {
+        let src = r#"
+int *partial;
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    partial = (int *)RCCE_shmalloc(sizeof(int) * 48);
+    int myID;
+    myID = RCCE_ue();
+    int n;
+    n = RCCE_num_ues();
+    double t0 = RCCE_wtime();
+    int i;
+    int acc = 0;
+    for (i = myID; i < 100000; i += n) acc += i & 7;
+    partial[myID] = acc;
+    double t1 = RCCE_wtime();
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    RCCE_finalize();
+    return 0;
+}
+"#;
+        let p = compile_src(src);
+        let r1 = run_rcce(&p, 1, &cfg()).expect("1 core");
+        let r8 = run_rcce(&p, 8, &cfg()).expect("8 cores");
+        let speedup = r1.timed_cycles as f64 / r8.timed_cycles as f64;
+        assert!(
+            speedup > 5.0,
+            "8 cores should be >5x one core, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn rcce_deadlock_detected_when_core_skips_barrier() {
+        let src = r#"
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    int myID;
+    myID = RCCE_ue();
+    if (myID != 0) {
+        RCCE_barrier(&RCCE_COMM_WORLD);
+    }
+    RCCE_finalize();
+    return 0;
+}
+"#;
+        let p = compile_src(src);
+        let err = run_rcce(&p, 4, &cfg()).unwrap_err();
+        assert!(err.to_string().contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn rcce_pthread_leftovers_are_rejected() {
+        let src = r#"
+int RCCE_APP(int *argc, char **argv) {
+    pthread_t t;
+    pthread_create(&t, NULL, RCCE_APP, NULL);
+    return 0;
+}
+"#;
+        let p = compile_src(src);
+        let err = run_rcce(&p, 2, &cfg()).unwrap_err();
+        assert!(err.to_string().contains("translation incomplete"), "{err}");
+    }
+
+    #[test]
+    fn rcce_put_get_move_data_through_mpb() {
+        let src = r#"
+int *slot;
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    slot = (int *)RCCE_malloc(sizeof(int) * 2);
+    int myID;
+    myID = RCCE_ue();
+    int local[2];
+    local[0] = myID + 100;
+    if (myID == 0) {
+        RCCE_put(slot, local, 4, 1);
+    }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    int got = slot[0];
+    RCCE_finalize();
+    return got;
+}
+"#;
+        let p = compile_src(src);
+        let r = run_rcce(&p, 2, &cfg()).expect("run");
+        assert_eq!(r.exit_code, 100);
+    }
+
+    #[test]
+    fn core_count_bounds_checked() {
+        let p = compile_src(RCCE_SUM);
+        assert!(run_rcce(&p, 0, &cfg()).is_err());
+        assert!(run_rcce(&p, 49, &cfg()).is_err());
+    }
+
+    // ------------------------------------------------ message passing --
+
+    #[test]
+    fn rcce_send_recv_ring() {
+        // Each core sends its id to the next core in the ring and adds
+        // what it receives; core 0's exit is 0*10 + received.
+        let src = r#"
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    int myID;
+    myID = RCCE_ue();
+    int n;
+    n = RCCE_num_ues();
+    int out[1];
+    int in[1];
+    out[0] = myID * 10;
+    if (myID % 2 == 0) {
+        RCCE_send(out, 4, (myID + 1) % n);
+        RCCE_recv(in, 4, (myID + n - 1) % n);
+    } else {
+        RCCE_recv(in, 4, (myID + n - 1) % n);
+        RCCE_send(out, 4, (myID + 1) % n);
+    }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    RCCE_finalize();
+    return in[0];
+}
+"#;
+        let p = compile_src(src);
+        let r = run_rcce(&p, 4, &cfg()).expect("run");
+        // Core 0 receives from core 3: 30.
+        assert_eq!(r.exit_code, 30);
+    }
+
+    #[test]
+    fn rcce_flags_signal_across_cores() {
+        // Core 0 computes, then raises core 1's flag copy; core 1 waits on
+        // its own copy before reading the shared result.
+        let src = r#"
+int *slot;
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    slot = (int *)RCCE_shmalloc(sizeof(int) * 1);
+    RCCE_FLAG ready;
+    RCCE_flag_alloc(&ready);
+    int myID;
+    myID = RCCE_ue();
+    int got = 0;
+    if (myID == 0) {
+        slot[0] = 777;
+        RCCE_flag_write(&ready, 1, 1);
+        got = 777;
+    }
+    if (myID == 1) {
+        RCCE_wait_until(&ready, 1);
+        got = slot[0];
+    }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    RCCE_finalize();
+    return got;
+}
+"#;
+        let p = compile_src(src);
+        let r = run_rcce(&p, 2, &cfg()).expect("run");
+        assert_eq!(r.exit_code, 777, "core 0's exit");
+    }
+
+    #[test]
+    fn rcce_flag_read_returns_value() {
+        let src = r#"
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    RCCE_FLAG f;
+    RCCE_flag_alloc(&f);
+    int myID;
+    myID = RCCE_ue();
+    RCCE_flag_write(&f, myID + 5, myID);
+    int v[1];
+    RCCE_flag_read(&f, v, myID);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    RCCE_finalize();
+    return v[0];
+}
+"#;
+        let p = compile_src(src);
+        let r = run_rcce(&p, 3, &cfg()).expect("run");
+        assert_eq!(r.exit_code, 5, "core 0 wrote 0+5 to its own copy");
+    }
+
+    #[test]
+    fn rcce_send_without_recv_deadlocks_cleanly() {
+        let src = r#"
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    int myID;
+    myID = RCCE_ue();
+    int out[1];
+    out[0] = 1;
+    if (myID == 0) {
+        RCCE_send(out, 4, 1);
+    }
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    RCCE_finalize();
+    return 0;
+}
+"#;
+        let p = compile_src(src);
+        let err = run_rcce(&p, 2, &cfg()).unwrap_err();
+        assert!(err.to_string().contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn rcce_pingpong_costs_scale_with_message_size() {
+        let body = |bytes: usize| {
+            format!(
+                r#"
+int RCCE_APP(int *argc, char **argv) {{
+    RCCE_init(&argc, &argv);
+    int myID;
+    myID = RCCE_ue();
+    char buf[{bytes}];
+    double t0 = RCCE_wtime();
+    int r;
+    for (r = 0; r < 8; r++) {{
+        if (myID == 0) {{
+            RCCE_send(buf, {bytes}, 1);
+            RCCE_recv(buf, {bytes}, 1);
+        }} else {{
+            RCCE_recv(buf, {bytes}, 0);
+            RCCE_send(buf, {bytes}, 0);
+        }}
+    }}
+    double t1 = RCCE_wtime();
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    RCCE_finalize();
+    return 0;
+}}
+"#
+            )
+        };
+        let small = run_rcce(&compile_src(&body(32)), 2, &cfg()).expect("small");
+        let big = run_rcce(&compile_src(&body(4096)), 2, &cfg()).expect("big");
+        assert!(
+            big.timed_cycles > small.timed_cycles,
+            "4 KB ping-pong {} must cost more than 32 B {}",
+            big.timed_cycles,
+            small.timed_cycles
+        );
+    }
+}

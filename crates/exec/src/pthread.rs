@@ -1,0 +1,363 @@
+//! Pthread execution mode: the baseline of Figure 6.1.
+//!
+//! Multithreaded applications "do run on the SCC, however they can only
+//! take advantage of a single core" (§6). This mode runs every thread of a
+//! pthread program on **core 0**, round-robin time-sliced with an OS
+//! quantum and a context-switch penalty, sharing one address space and one
+//! cache hierarchy.
+
+use crate::machine::{DataSpaces, ExecError, OutputLine, RunResult, WtimeTracker};
+use crate::rcce::format_printf;
+use crate::syscall_cost;
+use hsm_vm::compile::{Program, HEAP_BASE, STACKS_BASE, STACK_SIZE};
+use hsm_vm::{Intrinsic, StepOutcome, Value, Vm};
+use scc_sim::{MemorySystem, SccConfig};
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug, Clone, PartialEq)]
+enum ThreadState {
+    Ready,
+    Running,
+    WaitingJoin { target: usize },
+    WaitingMutex { key: u64 },
+    WaitingBarrier { key: u64 },
+    Done { exit: i64 },
+}
+
+struct Thread {
+    vm: Vm,
+    state: ThreadState,
+    busy_cycles: u64,
+}
+
+/// Runs `program` as a multithreaded process on a single simulated SCC
+/// core (the paper's baseline configuration).
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on VM faults, deadlock, joins of unknown thread
+/// ids, or RCCE calls appearing in a pthread program.
+pub fn run_pthread(program: &Program, config: &SccConfig) -> Result<RunResult, ExecError> {
+    let mut chip = MemorySystem::new(config.clone());
+    let mut spaces = DataSpaces::new(1);
+    spaces.load_image(0, &program.image);
+
+    let mut threads: Vec<Thread> = vec![Thread {
+        vm: Vm::new(program, program.entry, vec![], STACKS_BASE),
+        state: ThreadState::Running,
+        busy_cycles: 0,
+    }];
+    let mut ready: VecDeque<usize> = VecDeque::new();
+    let mut joiners: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut mutex_owner: HashMap<u64, usize> = HashMap::new();
+    let mut mutex_waiters: HashMap<u64, VecDeque<usize>> = HashMap::new();
+    // pthread barriers keyed by the barrier object's address:
+    // (required count, currently waiting thread ids).
+    let mut barriers: HashMap<u64, (usize, Vec<usize>)> = HashMap::new();
+
+    let mut clock: u64 = 0;
+    let mut current: usize = 0;
+    let mut quantum_used: u64 = 0;
+    let mut heap_brk: u64 = HEAP_BASE;
+    let mut output: Vec<OutputLine> = Vec::new();
+    // Wtime is tracked per thread, but the process shares one clock.
+    let mut wtimes = WtimeTracker::new(1024);
+    let mut steps: u64 = 0;
+    const STEP_LIMIT: u64 = 2_000_000_000;
+
+    // Helper invoked when `current` can no longer run: pick the next ready
+    // thread (round robin) and charge a context switch.
+    macro_rules! reschedule {
+        ($threads:ident) => {{
+            if let Some(next) = ready.pop_front() {
+                if $threads[next].state == ThreadState::Ready {
+                    $threads[next].state = ThreadState::Running;
+                }
+                if next != current {
+                    clock += config.context_switch_cycles;
+                }
+                current = next;
+                quantum_used = 0;
+                true
+            } else {
+                false
+            }
+        }};
+    }
+
+    loop {
+        steps += 1;
+        if steps > STEP_LIMIT {
+            return Err(ExecError::new("simulation exceeded the step limit"));
+        }
+
+        // If the current thread cannot run, schedule another.
+        if threads[current].state != ThreadState::Running {
+            if !reschedule!(threads) {
+                // Nothing ready: either done or deadlocked.
+                if matches!(threads[0].state, ThreadState::Done { .. }) {
+                    break;
+                }
+                return Err(ExecError::new("thread deadlock: no runnable thread"));
+            }
+            continue;
+        }
+
+        // Preempt at quantum expiry when someone else is waiting.
+        if quantum_used >= config.sched_quantum_cycles && !ready.is_empty() {
+            threads[current].state = ThreadState::Ready;
+            ready.push_back(current);
+            let ok = reschedule!(threads);
+            debug_assert!(ok);
+            continue;
+        }
+
+        let outcome = threads[current].vm.run_until_event(program)?;
+        match outcome {
+            StepOutcome::Ran { cycles } => {
+                clock += cycles;
+                quantum_used += cycles;
+                threads[current].busy_cycles += cycles;
+            }
+            StepOutcome::Load { addr, kind, cycles } => {
+                clock += cycles;
+                let lat = chip.access(0, addr, false, clock);
+                clock += lat;
+                quantum_used += cycles + lat;
+                threads[current].busy_cycles += cycles + lat;
+                let v = spaces.load(0, addr, kind);
+                threads[current].vm.provide_load(v);
+            }
+            StepOutcome::Store {
+                addr,
+                kind,
+                value,
+                cycles,
+            } => {
+                clock += cycles;
+                let lat = chip.access(0, addr, true, clock);
+                clock += lat;
+                quantum_used += cycles + lat;
+                threads[current].busy_cycles += cycles + lat;
+                spaces.store(0, addr, kind, value);
+                threads[current].vm.store_done();
+            }
+            StepOutcome::Syscall {
+                intrinsic,
+                args,
+                cycles,
+            } => {
+                clock += cycles;
+                quantum_used += cycles;
+                match intrinsic {
+                    Intrinsic::PthreadCreate => {
+                        clock += syscall_cost::THREAD_CREATE;
+                        let handle_addr =
+                            args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                        let func = args.get(2).copied().unwrap_or(Value::I(0)).as_i();
+                        let arg = args.get(3).copied().unwrap_or(Value::I(0));
+                        if func < 0 || func as usize >= program.funcs.len() {
+                            return Err(ExecError::new(
+                                "pthread_create: bad thread function",
+                            ));
+                        }
+                        let tid = threads.len();
+                        if tid >= 1024 {
+                            return Err(ExecError::new("too many threads (max 1024)"));
+                        }
+                        let stack = STACKS_BASE + tid as u64 * STACK_SIZE;
+                        threads.push(Thread {
+                            vm: Vm::new(program, func as u32, vec![arg], stack),
+                            state: ThreadState::Ready,
+                            busy_cycles: 0,
+                        });
+                        ready.push_back(tid);
+                        // Store the thread id into the pthread_t handle.
+                        spaces.store(0, handle_addr, hsm_vm::MemKind::I64, Value::I(tid as i64));
+                        threads[current].vm.syscall_return(Value::I(0));
+                    }
+                    Intrinsic::PthreadJoin => {
+                        clock += syscall_cost::JOIN;
+                        let target = args.first().copied().unwrap_or(Value::I(0)).as_i();
+                        if target < 0 || target as usize >= threads.len() {
+                            return Err(ExecError::new(format!(
+                                "pthread_join of unknown thread {target}"
+                            )));
+                        }
+                        let target = target as usize;
+                        if matches!(threads[target].state, ThreadState::Done { .. }) {
+                            threads[current].vm.syscall_return(Value::I(0));
+                        } else {
+                            threads[current].state = ThreadState::WaitingJoin { target };
+                            joiners.entry(target).or_default().push(current);
+                        }
+                    }
+                    Intrinsic::PthreadExit => {
+                        finish_thread(current, 0, &mut threads, &mut joiners, &mut ready);
+                    }
+                    Intrinsic::PthreadSelf => {
+                        threads[current].vm.syscall_return(Value::I(current as i64));
+                    }
+                    Intrinsic::MutexInit | Intrinsic::MutexDestroy => {
+                        threads[current].vm.syscall_return(Value::I(0));
+                    }
+                    Intrinsic::BarrierInit => {
+                        // pthread_barrier_init(&b, attr, count)
+                        let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                        let count =
+                            args.get(2).copied().unwrap_or(Value::I(1)).as_i().max(1) as usize;
+                        barriers.insert(key, (count, Vec::new()));
+                        threads[current].vm.syscall_return(Value::I(0));
+                    }
+                    Intrinsic::BarrierDestroy => {
+                        let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                        barriers.remove(&key);
+                        threads[current].vm.syscall_return(Value::I(0));
+                    }
+                    Intrinsic::BarrierWait => {
+                        clock += syscall_cost::MUTEX;
+                        let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                        let Some((count, waiting)) = barriers.get_mut(&key) else {
+                            return Err(ExecError::new(
+                                "pthread_barrier_wait on an uninitialized barrier",
+                            ));
+                        };
+                        waiting.push(current);
+                        if waiting.len() >= *count {
+                            // Release everyone; the last arriver returns
+                            // PTHREAD_BARRIER_SERIAL_THREAD (-1), others 0.
+                            let released = std::mem::take(waiting);
+                            for (i, tid) in released.iter().enumerate() {
+                                let rv = if i + 1 == released.len() { -1 } else { 0 };
+                                threads[*tid].vm.syscall_return(Value::I(rv));
+                                if *tid != current {
+                                    threads[*tid].state = ThreadState::Ready;
+                                    ready.push_back(*tid);
+                                }
+                            }
+                        } else {
+                            threads[current].state = ThreadState::WaitingBarrier { key };
+                        }
+                    }
+                    Intrinsic::MutexLock => {
+                        clock += syscall_cost::MUTEX;
+                        let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                        if let Some(owner) = mutex_owner.get(&key) {
+                            if *owner == current {
+                                return Err(ExecError::new(
+                                    "recursive mutex lock would self-deadlock",
+                                ));
+                            }
+                            mutex_waiters.entry(key).or_default().push_back(current);
+                            threads[current].state = ThreadState::WaitingMutex { key };
+                        } else {
+                            mutex_owner.insert(key, current);
+                            threads[current].vm.syscall_return(Value::I(0));
+                        }
+                    }
+                    Intrinsic::MutexUnlock => {
+                        clock += syscall_cost::MUTEX;
+                        let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                        if mutex_owner.get(&key) != Some(&current) {
+                            return Err(ExecError::new(
+                                "unlocking a mutex the thread does not hold",
+                            ));
+                        }
+                        mutex_owner.remove(&key);
+                        if let Some(waiter) = mutex_waiters
+                            .get_mut(&key)
+                            .and_then(|q| q.pop_front())
+                        {
+                            mutex_owner.insert(key, waiter);
+                            threads[waiter].state = ThreadState::Ready;
+                            threads[waiter].vm.syscall_return(Value::I(0));
+                            ready.push_back(waiter);
+                        }
+                        threads[current].vm.syscall_return(Value::I(0));
+                    }
+                    Intrinsic::Wtime | Intrinsic::RcceWtime => {
+                        wtimes.record(current.min(1023), clock);
+                        let secs = clock as f64 / (f64::from(config.core_freq_mhz) * 1e6);
+                        threads[current].vm.syscall_return(Value::F(secs));
+                    }
+                    Intrinsic::Printf => {
+                        clock += syscall_cost::PRINTF;
+                        let text = format_printf(0, &args, &spaces);
+                        output.push(OutputLine {
+                            at: clock,
+                            who: current,
+                            text,
+                        });
+                        threads[current].vm.syscall_return(Value::I(0));
+                    }
+                    Intrinsic::Malloc => {
+                        clock += syscall_cost::ALLOC;
+                        let bytes =
+                            args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as u64;
+                        let addr = heap_brk;
+                        heap_brk += (bytes + 31) & !31;
+                        threads[current].vm.syscall_return(Value::I(addr as i64));
+                    }
+                    Intrinsic::Exit => {
+                        let code = args.first().copied().unwrap_or(Value::I(0)).as_i();
+                        finish_thread(0, code, &mut threads, &mut joiners, &mut ready);
+                        break;
+                    }
+                    Intrinsic::Sqrt | Intrinsic::Fabs => {
+                        unreachable!("pure intrinsics run inline")
+                    }
+                    other => {
+                        return Err(ExecError::new(format!(
+                            "RCCE call {other:?} in a pthread program"
+                        )));
+                    }
+                }
+            }
+            StepOutcome::Finished { exit } => {
+                finish_thread(
+                    current,
+                    exit.as_i(),
+                    &mut threads,
+                    &mut joiners,
+                    &mut ready,
+                );
+                if current == 0 {
+                    // main returning ends the process.
+                    break;
+                }
+            }
+        }
+    }
+
+    let timed = wtimes.widest_interval().unwrap_or(clock);
+    output.sort_by_key(|l| (l.at, l.who));
+    let exit_code = match threads[0].state {
+        ThreadState::Done { exit } => exit,
+        _ => 0,
+    };
+    Ok(RunResult {
+        total_cycles: clock,
+        timed_cycles: timed,
+        output,
+        exit_code,
+        mem_stats: chip.stats(),
+        per_unit_cycles: threads.iter().map(|t| t.busy_cycles).collect(),
+    })
+}
+
+fn finish_thread(
+    tid: usize,
+    exit: i64,
+    threads: &mut [Thread],
+    joiners: &mut HashMap<usize, Vec<usize>>,
+    ready: &mut VecDeque<usize>,
+) {
+    threads[tid].state = ThreadState::Done { exit };
+    if let Some(waiting) = joiners.remove(&tid) {
+        for w in waiting {
+            threads[w].state = ThreadState::Ready;
+            threads[w].vm.syscall_return(Value::I(0));
+            ready.push_back(w);
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! RCCE execution mode: N cores, each running the translated program,
+//! interleaved by a discrete-event scheduler that always advances the core
+//! with the smallest local clock.
+
+use crate::machine::{DataSpaces, ExecError, OutputLine, RunResult, WtimeTracker};
+use crate::printf;
+use crate::syscall_cost;
+use hsm_vm::compile::{Program, HEAP_BASE, STACKS_BASE, STACK_SIZE};
+use hsm_vm::{Intrinsic, StepOutcome, Value, Vm};
+use rcce_rt::RcceRuntime;
+use scc_sim::{MemorySystem, SccConfig};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, PartialEq)]
+enum CoreState {
+    Running,
+    InBarrier { arrived_at: u64 },
+    WaitingLock { id: usize },
+    /// Spinning on its own copy of a flag (`RCCE_wait_until`).
+    WaitingFlag { flag: usize, value: i64 },
+    /// Blocked in `RCCE_send(buf, size, dst)` until `dst` posts the recv.
+    WaitingSend { dst: usize, buf: u64, size: usize },
+    /// Blocked in `RCCE_recv(buf, size, src)` until `src` posts the send.
+    WaitingRecv { src: usize, buf: u64, size: usize },
+    Done { exit: i64 },
+}
+
+struct Core {
+    vm: Vm,
+    clock: u64,
+    state: CoreState,
+    alloc_seq: usize,
+    flag_seq: usize,
+    heap_brk: u64,
+    /// Local clock at the most recent barrier arrival: the per-core work
+    /// completion time, before the barrier equalizes the clocks (used for
+    /// the load-imbalance metric).
+    last_barrier_arrival: u64,
+}
+
+/// Runs `program` on `cores` simulated SCC cores in RCCE mode.
+///
+/// Every core executes the whole program (the RCCE model: one binary per
+/// UE); they synchronize through barriers and test-and-set locks and share
+/// the off-chip shared window and the MPB.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on VM faults, allocation failures, deadlock
+/// (barrier reached by only a subset of live cores), or pthread calls
+/// that survived translation.
+pub fn run_rcce(program: &Program, cores: usize, config: &SccConfig) -> Result<RunResult, ExecError> {
+    if cores == 0 || cores > config.cores {
+        return Err(ExecError::new(format!(
+            "core count {cores} outside 1..={}",
+            config.cores
+        )));
+    }
+    let mut chip = MemorySystem::new(config.clone());
+    let mut rt = RcceRuntime::new(cores, config);
+    let mut spaces = DataSpaces::new(cores);
+    for core in 0..cores {
+        spaces.load_image(core, &program.image);
+    }
+
+    let mut cs: Vec<Core> = (0..cores)
+        .map(|i| Core {
+            vm: Vm::new(program, program.entry, vec![], STACKS_BASE + i as u64 * STACK_SIZE),
+            clock: 0,
+            state: CoreState::Running,
+            alloc_seq: 0,
+            flag_seq: 0,
+            heap_brk: HEAP_BASE,
+            last_barrier_arrival: 0,
+        })
+        .collect();
+
+    // Symmetric allocation log: the k-th allocation call returns the same
+    // address on every core (RCCE's symmetric heap discipline).
+    let mut alloc_log: Vec<u64> = Vec::new();
+    // Flags: flag id -> per-UE value (each UE owns one copy in its MPB
+    // slice, as in the real library). Allocation is symmetric like the
+    // heap: the k-th RCCE_flag_alloc on every core names the same flag.
+    let mut flags: Vec<Vec<i64>> = Vec::new();
+
+    // Lock state (test-and-set registers, managed at event level so
+    // waiters block instead of spinning the DES).
+    let mut lock_owner: Vec<Option<usize>> = vec![None; config.cores];
+    let mut lock_waiters: Vec<VecDeque<usize>> = vec![VecDeque::new(); config.cores];
+
+    let mut output: Vec<OutputLine> = Vec::new();
+    let mut wtimes = WtimeTracker::new(cores);
+    let mut steps: u64 = 0;
+    const STEP_LIMIT: u64 = 2_000_000_000;
+
+    loop {
+        // Pick the running core with the smallest clock.
+        let next = cs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.state == CoreState::Running)
+            .min_by_key(|(i, c)| (c.clock, *i))
+            .map(|(i, _)| i);
+        let Some(core) = next else {
+            if cs.iter().all(|c| matches!(c.state, CoreState::Done { .. })) {
+                break;
+            }
+            return Err(ExecError::new(
+                "deadlock: no runnable core but not all cores finished",
+            ));
+        };
+        steps += 1;
+        if steps > STEP_LIMIT {
+            return Err(ExecError::new("simulation exceeded the step limit"));
+        }
+
+        let outcome = cs[core].vm.run_until_event(program)?;
+        match outcome {
+            StepOutcome::Ran { cycles } => cs[core].clock += cycles,
+            StepOutcome::Load { addr, kind, cycles } => {
+                cs[core].clock += cycles;
+                let lat = chip.access(core, addr, false, cs[core].clock);
+                cs[core].clock += lat;
+                let v = spaces.load(core, addr, kind);
+                cs[core].vm.provide_load(v);
+            }
+            StepOutcome::Store {
+                addr,
+                kind,
+                value,
+                cycles,
+            } => {
+                cs[core].clock += cycles;
+                let lat = chip.access(core, addr, true, cs[core].clock);
+                cs[core].clock += lat;
+                spaces.store(core, addr, kind, value);
+                cs[core].vm.store_done();
+            }
+            StepOutcome::Syscall {
+                intrinsic,
+                args,
+                cycles,
+            } => {
+                cs[core].clock += cycles;
+                handle_syscall(
+                    core,
+                    intrinsic,
+                    &args,
+                    &mut cs,
+                    &mut chip,
+                    &mut rt,
+                    &mut spaces,
+                    &mut alloc_log,
+                    &mut flags,
+                    &mut lock_owner,
+                    &mut lock_waiters,
+                    &mut output,
+                    &mut wtimes,
+                    cores,
+                )?;
+            }
+            StepOutcome::Finished { exit } => {
+                cs[core].state = CoreState::Done {
+                    exit: exit.as_i(),
+                };
+            }
+        }
+
+        // Barrier release check: all live cores waiting?
+        try_release_barrier(&mut cs, &rt, &chip)?;
+    }
+
+    let total = cs.iter().map(|c| c.clock).max().unwrap_or(0);
+    let timed = wtimes.widest_interval().unwrap_or(total);
+    output.sort_by_key(|l| (l.at, l.who));
+    let exit_code = match cs[0].state {
+        CoreState::Done { exit } => exit,
+        _ => 0,
+    };
+    Ok(RunResult {
+        total_cycles: total,
+        timed_cycles: timed,
+        output,
+        exit_code,
+        mem_stats: chip.stats(),
+        per_unit_cycles: cs
+            .iter()
+            .map(|c| {
+                if c.last_barrier_arrival > 0 {
+                    c.last_barrier_arrival
+                } else {
+                    c.clock
+                }
+            })
+            .collect(),
+    })
+}
+
+fn try_release_barrier(
+    cs: &mut [Core],
+    rt: &RcceRuntime,
+    chip: &MemorySystem,
+) -> Result<(), ExecError> {
+    let total = cs.len();
+    let in_barrier = cs
+        .iter()
+        .filter(|c| matches!(c.state, CoreState::InBarrier { .. }))
+        .count();
+    if in_barrier == 0 {
+        return Ok(());
+    }
+    let done = cs
+        .iter()
+        .filter(|c| matches!(c.state, CoreState::Done { .. }))
+        .count();
+    // RCCE_barrier(&RCCE_COMM_WORLD) involves every UE: if any core has
+    // already exited, the arrivals can never complete — on silicon the
+    // program would hang.
+    if done > 0 && in_barrier + done == total {
+        return Err(ExecError::new(
+            "barrier deadlock: some cores exited before the barrier",
+        ));
+    }
+    if in_barrier < total {
+        return Ok(());
+    }
+    let latest = cs
+        .iter()
+        .filter_map(|c| match c.state {
+            CoreState::InBarrier { arrived_at } => Some(arrived_at),
+            _ => None,
+        })
+        .max()
+        .expect("at least one in barrier");
+    let release = latest + rt.barrier_cost(chip);
+    for c in cs.iter_mut() {
+        if matches!(c.state, CoreState::InBarrier { .. }) {
+            c.clock = release;
+            c.state = CoreState::Running;
+            c.vm.syscall_return(Value::I(0));
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_syscall(
+    core: usize,
+    intr: Intrinsic,
+    args: &[Value],
+    cs: &mut [Core],
+    chip: &mut MemorySystem,
+    rt: &mut RcceRuntime,
+    spaces: &mut DataSpaces,
+    alloc_log: &mut Vec<u64>,
+    flags: &mut Vec<Vec<i64>>,
+    lock_owner: &mut [Option<usize>],
+    lock_waiters: &mut [VecDeque<usize>],
+    output: &mut Vec<OutputLine>,
+    wtimes: &mut WtimeTracker,
+    cores: usize,
+) -> Result<(), ExecError> {
+    let ret = match intr {
+        Intrinsic::RcceInit => {
+            cs[core].clock += syscall_cost::RCCE_INIT;
+            Value::I(0)
+        }
+        Intrinsic::RcceFinalize => {
+            cs[core].clock += syscall_cost::RCCE_FINALIZE;
+            Value::I(0)
+        }
+        Intrinsic::RcceUe => Value::I(core as i64),
+        Intrinsic::RcceNumUes => Value::I(cores as i64),
+        Intrinsic::RcceShmalloc | Intrinsic::RcceMpbMalloc => {
+            let bytes = args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
+            cs[core].clock += syscall_cost::ALLOC;
+            let seq = cs[core].alloc_seq;
+            cs[core].alloc_seq += 1;
+            let addr = if seq < alloc_log.len() {
+                alloc_log[seq]
+            } else {
+                let a = match intr {
+                    Intrinsic::RcceShmalloc => rt
+                        .shmalloc(bytes)
+                        .map_err(|e| ExecError::new(e.to_string()))?,
+                    _ => rt
+                        .mpb_malloc(chip, bytes)
+                        .map_err(|e| ExecError::new(e.to_string()))?,
+                };
+                alloc_log.push(a);
+                a
+            };
+            Value::I(addr as i64)
+        }
+        Intrinsic::RcceBarrier => {
+            cs[core].last_barrier_arrival = cs[core].clock;
+            cs[core].state = CoreState::InBarrier {
+                arrived_at: cs[core].clock,
+            };
+            // No syscall_return: the VM stays pending until released.
+            return Ok(());
+        }
+        Intrinsic::RcceAcquireLock => {
+            let id = args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as usize
+                % lock_owner.len();
+            let trip = chip.mesh.mpb_round_trip(core, id).max(2);
+            cs[core].clock += trip;
+            if lock_owner[id].is_none() {
+                lock_owner[id] = Some(core);
+                Value::I(0)
+            } else {
+                lock_waiters[id].push_back(core);
+                cs[core].state = CoreState::WaitingLock { id };
+                return Ok(());
+            }
+        }
+        Intrinsic::RcceReleaseLock => {
+            let id = args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as usize
+                % lock_owner.len();
+            let trip = chip.mesh.mpb_round_trip(core, id).max(2);
+            cs[core].clock += trip;
+            if lock_owner[id] != Some(core) {
+                return Err(ExecError::new(format!(
+                    "core {core} released lock {id} it does not hold"
+                )));
+            }
+            lock_owner[id] = None;
+            if let Some(waiter) = lock_waiters[id].pop_front() {
+                lock_owner[id] = Some(waiter);
+                let grant = cs[core].clock.max(cs[waiter].clock)
+                    + chip.mesh.mpb_round_trip(waiter, id).max(2);
+                cs[waiter].clock = grant;
+                cs[waiter].state = CoreState::Running;
+                cs[waiter].vm.syscall_return(Value::I(0));
+            }
+            Value::I(0)
+        }
+        Intrinsic::RcceWtime | Intrinsic::Wtime => {
+            wtimes.record(core, cs[core].clock);
+            Value::F(rt.wtime(cs[core].clock))
+        }
+        Intrinsic::RccePut | Intrinsic::RcceGet => {
+            let dst = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+            let src = args.get(1).copied().unwrap_or(Value::I(0)).as_addr();
+            let bytes = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
+            let target = args.get(3).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize
+                % cores.max(1);
+            spaces.copy_bytes(core, dst, src, bytes);
+            cs[core].clock += rt.put_get_cost(chip, core, target, bytes);
+            Value::I(0)
+        }
+        Intrinsic::Printf => {
+            cs[core].clock += syscall_cost::PRINTF;
+            let text = format_printf(core, args, spaces);
+            output.push(OutputLine {
+                at: cs[core].clock,
+                who: core,
+                text,
+            });
+            Value::I(0)
+        }
+        Intrinsic::Malloc => {
+            let bytes = args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as u64;
+            cs[core].clock += syscall_cost::ALLOC;
+            let addr = cs[core].heap_brk;
+            cs[core].heap_brk += (bytes + 31) & !31;
+            Value::I(addr as i64)
+        }
+        Intrinsic::Exit => {
+            let code = args.first().copied().unwrap_or(Value::I(0)).as_i();
+            cs[core].state = CoreState::Done { exit: code };
+            return Ok(());
+        }
+        Intrinsic::RcceFlagAlloc => {
+            cs[core].clock += syscall_cost::ALLOC;
+            let seq = cs[core].flag_seq;
+            cs[core].flag_seq += 1;
+            if seq >= flags.len() {
+                flags.push(vec![0; cores]);
+            }
+            if let Some(handle) = args.first() {
+                spaces.store(core, handle.as_addr(), hsm_vm::MemKind::I64, Value::I(seq as i64));
+            }
+            Value::I(0)
+        }
+        Intrinsic::RcceFlagWrite => {
+            // RCCE_flag_write(&flag, value, ue)
+            let id = flag_id(core, args.first(), spaces, flags.len())?;
+            let value = args.get(1).copied().unwrap_or(Value::I(0)).as_i();
+            let ue = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
+            cs[core].clock += chip.mesh.mpb_round_trip(core, ue).max(2)
+                + chip.config.mpb_access_cycles;
+            flags[id][ue] = value;
+            // Wake a waiter spinning on this copy.
+            if cs[ue].state == (CoreState::WaitingFlag { flag: id, value }) {
+                let wake = cs[core].clock.max(cs[ue].clock) + chip.config.mpb_access_cycles;
+                cs[ue].clock = wake;
+                cs[ue].state = CoreState::Running;
+                cs[ue].vm.syscall_return(Value::I(0));
+            }
+            Value::I(0)
+        }
+        Intrinsic::RcceFlagRead => {
+            // RCCE_flag_read(&flag, &out, ue)
+            let id = flag_id(core, args.first(), spaces, flags.len())?;
+            let ue = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
+            cs[core].clock += chip.mesh.mpb_round_trip(core, ue).max(2)
+                + chip.config.mpb_access_cycles;
+            let v = flags[id][ue];
+            if let Some(out) = args.get(1) {
+                if out.as_i() != 0 {
+                    spaces.store(core, out.as_addr(), hsm_vm::MemKind::I64, Value::I(v));
+                }
+            }
+            Value::I(v)
+        }
+        Intrinsic::RcceWaitUntil => {
+            // RCCE_wait_until(&flag, value) — spins on the caller's copy.
+            let id = flag_id(core, args.first(), spaces, flags.len())?;
+            let value = args.get(1).copied().unwrap_or(Value::I(0)).as_i();
+            cs[core].clock += chip.config.mpb_access_cycles;
+            if flags[id][core] == value {
+                Value::I(0)
+            } else {
+                cs[core].state = CoreState::WaitingFlag { flag: id, value };
+                return Ok(());
+            }
+        }
+        Intrinsic::RcceSend => {
+            // RCCE_send(buf, size, dest) — synchronous rendezvous.
+            let buf = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+            let size = args.get(1).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
+            let dst = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
+            if let CoreState::WaitingRecv { src, buf: rbuf, size: rsize } = cs[dst].state {
+                if src == core {
+                    let n = size.min(rsize);
+                    transfer(core, buf, dst, rbuf, n, cs, chip, rt, spaces);
+                    cs[dst].state = CoreState::Running;
+                    cs[dst].vm.syscall_return(Value::I(0));
+                    Value::I(0)
+                } else {
+                    cs[core].state = CoreState::WaitingSend { dst, buf, size };
+                    return Ok(());
+                }
+            } else {
+                cs[core].state = CoreState::WaitingSend { dst, buf, size };
+                return Ok(());
+            }
+        }
+        Intrinsic::RcceRecv => {
+            // RCCE_recv(buf, size, src).
+            let buf = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+            let size = args.get(1).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
+            let src = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
+            if let CoreState::WaitingSend { dst, buf: sbuf, size: ssize } = cs[src].state {
+                if dst == core {
+                    let n = size.min(ssize);
+                    transfer(src, sbuf, core, buf, n, cs, chip, rt, spaces);
+                    cs[src].state = CoreState::Running;
+                    cs[src].vm.syscall_return(Value::I(0));
+                    Value::I(0)
+                } else {
+                    cs[core].state = CoreState::WaitingRecv { src, buf, size };
+                    return Ok(());
+                }
+            } else {
+                cs[core].state = CoreState::WaitingRecv { src, buf, size };
+                return Ok(());
+            }
+        }
+        Intrinsic::Sqrt | Intrinsic::Fabs => unreachable!("pure intrinsics run inline"),
+        Intrinsic::PthreadCreate
+        | Intrinsic::PthreadJoin
+        | Intrinsic::PthreadExit
+        | Intrinsic::PthreadSelf
+        | Intrinsic::MutexInit
+        | Intrinsic::MutexLock
+        | Intrinsic::MutexUnlock
+        | Intrinsic::MutexDestroy
+        | Intrinsic::BarrierInit
+        | Intrinsic::BarrierWait
+        | Intrinsic::BarrierDestroy => {
+            return Err(ExecError::new(format!(
+                "pthread call {intr:?} reached RCCE mode: translation incomplete"
+            )));
+        }
+    };
+    cs[core].vm.syscall_return(ret);
+    Ok(())
+}
+
+/// Resolves a flag handle argument to a flag id.
+fn flag_id(
+    core: usize,
+    handle: Option<&Value>,
+    spaces: &DataSpaces,
+    count: usize,
+) -> Result<usize, ExecError> {
+    let Some(handle) = handle else {
+        return Err(ExecError::new("flag call without a flag handle"));
+    };
+    let id = spaces
+        .load(core, handle.as_addr(), hsm_vm::MemKind::I64)
+        .as_i();
+    if id < 0 || id as usize >= count {
+        return Err(ExecError::new(format!(
+            "flag handle {id} out of range (allocated: {count})"
+        )));
+    }
+    Ok(id as usize)
+}
+
+/// Performs the rendezvous data movement of one send/recv pair: the
+/// payload moves sender -> MPB -> receiver, both cores resuming at the
+/// completion time.
+#[allow(clippy::too_many_arguments)]
+fn transfer(
+    src: usize,
+    src_buf: u64,
+    dst: usize,
+    dst_buf: u64,
+    bytes: usize,
+    cs: &mut [Core],
+    chip: &mut MemorySystem,
+    rt: &RcceRuntime,
+    spaces: &mut DataSpaces,
+) {
+    spaces.copy_cross(src, src_buf, dst, dst_buf, bytes);
+    let meet = cs[src].clock.max(cs[dst].clock);
+    let cost = rt.put_get_cost(chip, src, dst, bytes) + rt.put_get_cost(chip, dst, dst, bytes);
+    let done = meet + cost;
+    cs[src].clock = done;
+    cs[dst].clock = done;
+}
+
+/// Formats a printf syscall, resolving the format string and any `%s`
+/// arguments from the caller's visible memory.
+pub(crate) fn format_printf(core: usize, args: &[Value], spaces: &DataSpaces) -> String {
+    let Some(fmt_addr) = args.first() else {
+        return String::new();
+    };
+    let fmt = spaces.read_cstr(core, fmt_addr.as_addr());
+    let rest = &args[1..];
+    let string_positions = printf::count_string_args(&fmt);
+    let strings: Vec<String> = string_positions
+        .iter()
+        .filter_map(|&i| rest.get(i))
+        .map(|v| spaces.read_cstr(core, v.as_addr()))
+        .collect();
+    printf::format(&fmt, rest, &strings)
+}

@@ -1,0 +1,274 @@
+//! # rcce-rt — an RCCE-style communication runtime over the simulated SCC
+//!
+//! RCCE is "the C-based, low-level communication library purpose-built for
+//! the SCC architecture" (§5 of the paper). This crate reproduces the
+//! pieces the translated programs rely on, targeting `scc-sim` instead of
+//! silicon:
+//!
+//! * unit-of-execution (UE) management — `RCCE_ue` / `RCCE_num_ues`;
+//! * `RCCE_shmalloc` — off-chip shared memory allocation;
+//! * `RCCE_malloc` — on-chip MPB allocation (linear addresses, ownership
+//!   blocked across participants for locality);
+//! * barriers with the O(n) flag-gather cost of the real library;
+//! * one-sided `put`/`get` cost modelling (core ↔ MPB transfers);
+//! * test-and-set locks (`RCCE_acquire_lock` / `RCCE_release_lock`);
+//! * `RCCE_wtime` — simulated wall-clock time.
+//!
+//! ```
+//! use rcce_rt::RcceRuntime;
+//! use scc_sim::{MemorySystem, SccConfig};
+//!
+//! let mut chip = MemorySystem::new(SccConfig::table_6_1());
+//! let mut rt = RcceRuntime::new(32, &chip.config);
+//! let shared = rt.shmalloc(1024).expect("DRAM is big");
+//! assert!(scc_sim::MemorySystem::region_of(shared) == scc_sim::Region::SharedDram);
+//! let on_chip = rt.mpb_malloc(&mut chip, 1024).expect("fits in MPB");
+//! assert!(scc_sim::MemorySystem::region_of(on_chip) == scc_sim::Region::Mpb);
+//! ```
+
+#![warn(missing_docs)]
+
+use scc_sim::memory::{MPB_BASE, SHARED_DRAM_BASE};
+use scc_sim::{MemorySystem, SccConfig};
+use std::fmt;
+
+/// An allocation failure from one of the RCCE allocators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    /// Requested size in bytes.
+    pub requested: usize,
+    /// Which allocator refused.
+    pub kind: AllocKind,
+}
+
+/// Which memory an allocation targeted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// Off-chip shared DRAM (`RCCE_shmalloc`).
+    SharedDram,
+    /// On-chip MPB (`RCCE_malloc`).
+    Mpb,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let which = match self.kind {
+            AllocKind::SharedDram => "shared DRAM",
+            AllocKind::Mpb => "MPB",
+        };
+        write!(f, "{which} allocation of {} bytes failed", self.requested)
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Per-run RCCE state shared by all UEs (the library's global tables).
+#[derive(Debug, Clone)]
+pub struct RcceRuntime {
+    num_ues: usize,
+    core_freq_hz: f64,
+    sh_brk: u64,
+    sh_limit: u64,
+    /// (address, bytes) of every shared allocation, for diagnostics.
+    allocations: Vec<(u64, usize)>,
+}
+
+impl RcceRuntime {
+    /// Initializes the runtime for `num_ues` units of execution
+    /// (`RCCE_init`); UE *i* runs on core *i*.
+    pub fn new(num_ues: usize, config: &SccConfig) -> Self {
+        RcceRuntime {
+            num_ues,
+            core_freq_hz: f64::from(config.core_freq_mhz) * 1e6,
+            sh_brk: SHARED_DRAM_BASE,
+            sh_limit: MPB_BASE,
+            allocations: Vec::new(),
+        }
+    }
+
+    /// `RCCE_num_ues()`.
+    pub fn num_ues(&self) -> usize {
+        self.num_ues
+    }
+
+    /// `RCCE_ue()` for a given core (identity mapping: UE i ↔ core i).
+    pub fn ue_of_core(&self, core: usize) -> usize {
+        core
+    }
+
+    /// `RCCE_shmalloc(bytes)`: carves an uncacheable off-chip shared
+    /// region. Returns the address.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shared window is exhausted.
+    pub fn shmalloc(&mut self, bytes: usize) -> Result<u64, AllocError> {
+        let aligned = ((bytes + 31) & !31) as u64;
+        if self.sh_brk + aligned > self.sh_limit {
+            return Err(AllocError {
+                requested: bytes,
+                kind: AllocKind::SharedDram,
+            });
+        }
+        let addr = self.sh_brk;
+        self.sh_brk += aligned;
+        self.allocations.push((addr, bytes));
+        Ok(addr)
+    }
+
+    /// `RCCE_malloc(bytes)`: allocates linearly-addressed MPB space whose
+    /// *ownership* is blocked across the participating UEs (participant
+    /// `i`'s chunk lives in its own slice). Returns the address.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the chip's 384 KB MPB is exhausted.
+    pub fn mpb_malloc(
+        &mut self,
+        chip: &mut MemorySystem,
+        bytes: usize,
+    ) -> Result<u64, AllocError> {
+        // Capacity spans the whole 384 KB MPB; ownership blocks across
+        // the participating UEs so each core's partition chunk is local.
+        match chip.mpb.alloc_shared(self.num_ues, bytes) {
+            Some(linear) => {
+                let addr = MPB_BASE + linear as u64;
+                self.allocations.push((addr, bytes));
+                Ok(addr)
+            }
+            None => Err(AllocError {
+                requested: bytes,
+                kind: AllocKind::Mpb,
+            }),
+        }
+    }
+
+    /// All shared allocations so far (address, bytes).
+    pub fn allocations(&self) -> &[(u64, usize)] {
+        &self.allocations
+    }
+
+    /// `RCCE_wtime()` — seconds of simulated time at `cycles` core cycles.
+    pub fn wtime(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.core_freq_hz
+    }
+
+    /// The cost in core cycles of one `RCCE_barrier(&RCCE_COMM_WORLD)`
+    /// *after* the last participant arrives.
+    ///
+    /// The real implementation gathers one flag per UE through the MPB and
+    /// broadcasts a release: O(n) MPB round trips at the master.
+    pub fn barrier_cost(&self, chip: &MemorySystem) -> u64 {
+        let per_flag = chip.config.mpb_access_cycles + chip.config.hop_cycles * 4;
+        self.num_ues as u64 * per_flag
+    }
+
+    /// The cost in core cycles for UE `from` to move `bytes` to/from the
+    /// MPB slice of `to` (the `RCCE_put`/`RCCE_get` primitives). Transfers
+    /// move one 32-byte line per round trip, pipelined after the first.
+    pub fn put_get_cost(&self, chip: &MemorySystem, from: usize, to: usize, bytes: usize) -> u64 {
+        let lines = bytes.div_ceil(32).max(1) as u64;
+        let trip = chip.mesh.mpb_round_trip(from, to) + chip.config.mpb_access_cycles;
+        trip + (lines - 1) * 8 + lines
+    }
+
+    /// `RCCE_acquire_lock(id)`: blocks (in simulated time) until the
+    /// test-and-set register `id` is won. Returns the acquisition time.
+    pub fn acquire_lock(&self, chip: &mut MemorySystem, id: usize, core: usize, at: u64) -> u64 {
+        let mesh = chip.mesh.clone();
+        chip.tas.acquire(&mesh, id, core, at)
+    }
+
+    /// `RCCE_release_lock(id)` at time `at`. Returns the release time.
+    pub fn release_lock(&self, chip: &mut MemorySystem, id: usize, core: usize, at: u64) -> u64 {
+        let mesh = chip.mesh.clone();
+        chip.tas.release(&mesh, id, core, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_sim::Region;
+
+    fn fixture(ues: usize) -> (RcceRuntime, MemorySystem) {
+        let chip = MemorySystem::new(SccConfig::table_6_1());
+        let rt = RcceRuntime::new(ues, &chip.config);
+        (rt, chip)
+    }
+
+    #[test]
+    fn shmalloc_returns_shared_region_addresses() {
+        let (mut rt, _) = fixture(32);
+        let a = rt.shmalloc(100).unwrap();
+        let b = rt.shmalloc(100).unwrap();
+        assert_eq!(MemorySystem::region_of(a), Region::SharedDram);
+        assert_eq!(b - a, 128, "line-aligned bump");
+        assert_eq!(rt.allocations().len(), 2);
+    }
+
+    #[test]
+    fn shmalloc_exhaustion_errors() {
+        let (mut rt, _) = fixture(32);
+        let err = rt.shmalloc(2 * 1024 * 1024 * 1024).unwrap_err();
+        assert_eq!(err.kind, AllocKind::SharedDram);
+        assert!(err.to_string().contains("shared DRAM"));
+    }
+
+    #[test]
+    fn mpb_malloc_returns_mpb_addresses() {
+        let (mut rt, mut chip) = fixture(32);
+        let a = rt.mpb_malloc(&mut chip, 4096).unwrap();
+        assert_eq!(MemorySystem::region_of(a), Region::Mpb);
+    }
+
+    #[test]
+    fn mpb_malloc_respects_capacity() {
+        let (mut rt, mut chip) = fixture(32);
+        // 32 UEs × 8 KB = 256 KB of stripeable space.
+        assert!(rt.mpb_malloc(&mut chip, 200 * 1024).is_ok());
+        let err = rt.mpb_malloc(&mut chip, 200 * 1024).unwrap_err();
+        assert_eq!(err.kind, AllocKind::Mpb);
+    }
+
+    #[test]
+    fn ue_is_identity() {
+        let (rt, _) = fixture(8);
+        assert_eq!(rt.ue_of_core(5), 5);
+        assert_eq!(rt.num_ues(), 8);
+    }
+
+    #[test]
+    fn wtime_converts_cycles_to_seconds() {
+        let (rt, _) = fixture(1);
+        // 800 MHz: 800M cycles = 1 s.
+        assert!((rt.wtime(800_000_000) - 1.0).abs() < 1e-12);
+        assert_eq!(rt.wtime(0), 0.0);
+    }
+
+    #[test]
+    fn barrier_cost_scales_with_ues() {
+        let (rt8, chip) = fixture(8);
+        let (rt32, _) = fixture(32);
+        assert!(rt32.barrier_cost(&chip) > rt8.barrier_cost(&chip));
+    }
+
+    #[test]
+    fn put_get_cost_scales_with_bytes_and_distance() {
+        let (rt, chip) = fixture(32);
+        let small_near = rt.put_get_cost(&chip, 0, 1, 32);
+        let big_near = rt.put_get_cost(&chip, 0, 1, 4096);
+        let small_far = rt.put_get_cost(&chip, 0, 47, 32);
+        assert!(big_near > small_near);
+        assert!(small_far > small_near);
+    }
+
+    #[test]
+    fn locks_serialize_in_time() {
+        let (rt, mut chip) = fixture(4);
+        let t0 = rt.acquire_lock(&mut chip, 0, 0, 0);
+        let rel = rt.release_lock(&mut chip, 0, 0, t0 + 100);
+        let t1 = rt.acquire_lock(&mut chip, 0, 1, 0);
+        assert!(t1 >= rel);
+    }
+}

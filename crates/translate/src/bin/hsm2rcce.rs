@@ -1,0 +1,132 @@
+//! `hsm2rcce` — the paper's translator as a command-line tool.
+//!
+//! Reads a pthread C program and writes the converted RCCE program, like
+//! the CETUS-based utility the thesis describes.
+//!
+//! ```text
+//! hsm2rcce input.c                      # translated source to stdout
+//! hsm2rcce input.c -o output.c          # ... to a file
+//! hsm2rcce input.c --cores 32           # partition for 32 cores
+//! hsm2rcce input.c --off-chip-only      # force DRAM placement (Fig 6.1)
+//! hsm2rcce input.c --tables             # print Tables 4.1/4.2 instead
+//! hsm2rcce input.c --plan               # print the Stage 4 partition plan
+//! ```
+
+use hsm_partition::Policy;
+use hsm_translate::{translate, TranslateOptions};
+use std::process::ExitCode;
+
+struct Args {
+    input: Option<String>,
+    output: Option<String>,
+    cores: usize,
+    policy: Policy,
+    tables: bool,
+    plan: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        output: None,
+        cores: 32,
+        policy: Policy::SizeAscending,
+        tables: false,
+        plan: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => {
+                args.output = Some(it.next().ok_or("missing value after -o")?);
+            }
+            "--cores" => {
+                let v = it.next().ok_or("missing value after --cores")?;
+                args.cores = v.parse().map_err(|_| format!("bad core count `{v}`"))?;
+            }
+            "--off-chip-only" => args.policy = Policy::OffChipOnly,
+            "--frequency-policy" => args.policy = Policy::FrequencyDensity,
+            "--tables" => args.tables = true,
+            "--plan" => args.plan = true,
+            "-h" | "--help" => {
+                println!(
+                    "usage: hsm2rcce <input.c> [-o output.c] [--cores N] \
+                     [--off-chip-only] [--frequency-policy] [--tables] [--plan]"
+                );
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && args.input.is_none() => {
+                args.input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hsm2rcce: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(input) = &args.input else {
+        eprintln!("hsm2rcce: no input file (try --help)");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hsm2rcce: cannot read `{input}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let tu = match hsm_cir::parse(&source) {
+        Ok(tu) => tu,
+        Err(e) => {
+            eprintln!("hsm2rcce: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.tables {
+        let analysis = hsm_analysis::ProgramAnalysis::analyze(&tu);
+        println!("Table 4.1 — per-variable facts\n");
+        println!("{}", analysis.render_table_4_1());
+        println!("Table 4.2 — sharing status by stage\n");
+        println!("{}", analysis.render_table_4_2());
+        return ExitCode::SUCCESS;
+    }
+
+    let options = TranslateOptions {
+        cores: args.cores,
+        policy: args.policy,
+    };
+    let translation = match translate(&tu, options) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hsm2rcce: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.plan {
+        println!("{}", translation.plan.to_text());
+        return ExitCode::SUCCESS;
+    }
+
+    let out = translation.to_source();
+    match &args.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, out) {
+                eprintln!("hsm2rcce: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{out}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,178 @@
+//! The pass framework: the Rust analogue of CETUS's `AnalysisPass` /
+//! `TransformPass` / `Driver` classes (§5.3 of the paper).
+//!
+//! Each framework component is a [`TransformPass`]; the [`Driver`] brings
+//! the passes together and executes them in series, performing a
+//! consistency check after every pass (the printed IR must re-parse — the
+//! same self-consistency guarantee the paper attributes to the CETUS base
+//! classes).
+
+use crate::error::TranslateError;
+use hsm_analysis::ProgramAnalysis;
+use hsm_cir::{parse, print_unit, TranslationUnit};
+use hsm_partition::PartitionPlan;
+use std::collections::BTreeMap;
+
+/// Shared state threaded through the pass pipeline.
+#[derive(Debug)]
+pub struct PassContext<'a> {
+    /// The unit being rewritten (mutated in place by passes).
+    pub unit: TranslationUnit,
+    /// Stages 1–3 results for the *original* program.
+    pub analysis: &'a ProgramAnalysis,
+    /// Stage 4 placement decisions.
+    pub plan: &'a PartitionPlan,
+    /// Options controlling the translation.
+    pub options: crate::TranslateOptions,
+    /// The paper's "hash table" of thread-specific functions: worker name →
+    /// assigned core id, for launches that must be isolated to one core.
+    pub core_bound_calls: BTreeMap<String, usize>,
+    /// Mutex variable name → assigned RCCE test-and-set lock id.
+    pub mutex_ids: BTreeMap<String, usize>,
+    /// Name of the inserted core-id variable (`myID` in Example Code 4.2).
+    pub core_id_var: String,
+    /// When the source launches more threads than the target has cores,
+    /// the total thread count being folded onto the cores (§7.2's
+    /// many-to-one mapping); `None` for the 1:1 case.
+    pub fold_total: Option<usize>,
+}
+
+impl<'a> PassContext<'a> {
+    /// Creates the context for one translation run.
+    pub fn new(
+        unit: TranslationUnit,
+        analysis: &'a ProgramAnalysis,
+        plan: &'a PartitionPlan,
+        options: crate::TranslateOptions,
+    ) -> Self {
+        PassContext {
+            unit,
+            analysis,
+            plan,
+            options,
+            core_bound_calls: BTreeMap::new(),
+            mutex_ids: BTreeMap::new(),
+            core_id_var: "myID".to_string(),
+            fold_total: None,
+        }
+    }
+}
+
+/// A single transformation over the IR.
+pub trait TransformPass {
+    /// Human-readable pass name (for errors and tracing).
+    fn name(&self) -> &'static str;
+
+    /// Applies the transformation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] when the input program uses constructs
+    /// the pass cannot translate.
+    fn run(&mut self, ctx: &mut PassContext<'_>) -> Result<(), TranslateError>;
+}
+
+/// Executes passes in series with a consistency check between passes.
+#[derive(Default)]
+pub struct Driver {
+    passes: Vec<Box<dyn TransformPass>>,
+    /// Pass names executed so far (for tracing/tests).
+    pub trace: Vec<&'static str>,
+}
+
+impl Driver {
+    /// Creates an empty driver.
+    pub fn new() -> Self {
+        Driver::default()
+    }
+
+    /// Appends a pass to the pipeline.
+    #[allow(clippy::should_implement_trait)] // builder-style, not ops::Add
+    pub fn add(mut self, pass: impl TransformPass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Runs every pass in order. After each pass the unit is printed and
+    /// re-parsed; failure to re-parse means the pass corrupted the IR and
+    /// aborts the pipeline with an internal error naming the pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pass errors and reports IR corruption.
+    pub fn run(&mut self, ctx: &mut PassContext<'_>) -> Result<(), TranslateError> {
+        for pass in &mut self.passes {
+            pass.run(ctx)?;
+            self.trace.push(pass.name());
+            let printed = print_unit(&ctx.unit);
+            if let Err(e) = parse(&printed) {
+                return Err(TranslateError::internal(format!(
+                    "pass `{}` produced an inconsistent IR: {e}",
+                    pass.name()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsm_partition::{MemorySpec, Policy};
+
+    struct Renamer;
+    impl TransformPass for Renamer {
+        fn name(&self) -> &'static str {
+            "renamer"
+        }
+        fn run(&mut self, ctx: &mut PassContext<'_>) -> Result<(), TranslateError> {
+            if let Some(f) = ctx.unit.function_mut("main") {
+                f.name = "entry".to_string();
+            }
+            Ok(())
+        }
+    }
+
+    struct Corruptor;
+    impl TransformPass for Corruptor {
+        fn name(&self) -> &'static str {
+            "corruptor"
+        }
+        fn run(&mut self, ctx: &mut PassContext<'_>) -> Result<(), TranslateError> {
+            if let Some(f) = ctx.unit.function_mut("entry") {
+                // An identifier with a space cannot re-lex: corruption.
+                f.name = "bad name".to_string();
+            }
+            Ok(())
+        }
+    }
+
+    fn ctx_fixture(src: &str) -> (ProgramAnalysis, PartitionPlan, TranslationUnit) {
+        let tu = parse(src).unwrap();
+        let analysis = ProgramAnalysis::analyze(&tu);
+        let vars = hsm_partition::shared_vars_from_analysis(&analysis);
+        let plan = hsm_partition::partition(&vars, &MemorySpec::scc(32), Policy::SizeAscending);
+        (analysis, plan, tu)
+    }
+
+    #[test]
+    fn driver_runs_passes_in_order() {
+        let (analysis, plan, tu) = ctx_fixture("int main() { return 0; }");
+        let mut ctx = PassContext::new(tu, &analysis, &plan, Default::default());
+        let mut driver = Driver::new().add(Renamer);
+        driver.run(&mut ctx).expect("pipeline");
+        assert_eq!(driver.trace, vec!["renamer"]);
+        assert!(ctx.unit.function("entry").is_some());
+    }
+
+    #[test]
+    fn driver_detects_ir_corruption() {
+        let (analysis, plan, tu) = ctx_fixture("int main() { return 0; }");
+        let mut ctx = PassContext::new(tu, &analysis, &plan, Default::default());
+        let mut driver = Driver::new().add(Renamer).add(Corruptor);
+        let err = driver.run(&mut ctx).unwrap_err();
+        assert!(err.to_string().contains("corruptor"), "{err}");
+        assert!(err.to_string().contains("inconsistent IR"), "{err}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration tests for the `hsm2rcce` command-line tool.
+
+use std::process::Command;
+
+const EXAMPLE: &str = r#"
+#include <pthread.h>
+int data[4];
+void *tf(void *tid) { data[(int)tid] = 1; return tid; }
+int main() {
+    pthread_t t[4];
+    int i;
+    for (i = 0; i < 4; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 4; i++) pthread_join(t[i], NULL);
+    return 0;
+}
+"#;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+fn hsm2rcce(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hsm2rcce"))
+        .args(args)
+        .output()
+        .expect("spawn hsm2rcce")
+}
+
+#[test]
+fn translates_to_stdout() {
+    let input = write_temp("cli_basic.c", EXAMPLE);
+    let out = hsm2rcce(&[input.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RCCE_APP"), "{stdout}");
+    assert!(!stdout.contains("pthread"), "{stdout}");
+}
+
+#[test]
+fn writes_output_file() {
+    let input = write_temp("cli_outfile.c", EXAMPLE);
+    let output = std::env::temp_dir().join("cli_outfile_rcce.c");
+    let out = hsm2rcce(&[
+        input.to_str().unwrap(),
+        "-o",
+        output.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&output).expect("output exists");
+    assert!(written.contains("RCCE_barrier"), "{written}");
+}
+
+#[test]
+fn prints_tables() {
+    let input = write_temp("cli_tables.c", EXAMPLE);
+    let out = hsm2rcce(&[input.to_str().unwrap(), "--tables"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 4.1"), "{stdout}");
+    assert!(stdout.contains("Stage 3"), "{stdout}");
+    assert!(stdout.contains("data"), "{stdout}");
+}
+
+#[test]
+fn prints_partition_plan() {
+    let input = write_temp("cli_plan.c", EXAMPLE);
+    let out = hsm2rcce(&[input.to_str().unwrap(), "--plan", "--cores", "8"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("partition plan"), "{stdout}");
+    assert!(stdout.contains("data"), "{stdout}");
+    assert!(stdout.contains("on-chip"), "{stdout}");
+}
+
+#[test]
+fn off_chip_flag_forces_shmalloc() {
+    let input = write_temp("cli_offchip.c", EXAMPLE);
+    let out = hsm2rcce(&[input.to_str().unwrap(), "--off-chip-only"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RCCE_shmalloc"), "{stdout}");
+    assert!(!stdout.contains("RCCE_malloc("), "{stdout}");
+}
+
+#[test]
+fn missing_file_fails_with_message() {
+    let out = hsm2rcce(&["/nonexistent/file.c"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn parse_error_reports_location() {
+    let input = write_temp("cli_broken.c", "int main( {");
+    let out = hsm2rcce(&[input.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}

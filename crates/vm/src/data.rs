@@ -1,0 +1,170 @@
+//! Byte-addressable data storage for the simulated address spaces.
+//!
+//! Timing is `scc-sim`'s job; this module stores the actual bytes. Memory
+//! is organized in lazily-allocated 4 KB pages so a sparse 32-bit address
+//! space costs nothing until touched.
+
+use crate::value::{MemKind, Value};
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse byte-addressable memory.
+#[derive(Debug, Clone, Default)]
+pub struct ByteMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl ByteMemory {
+    /// Creates an empty memory (all bytes read as zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = v;
+    }
+
+    /// Reads `n <= 8` bytes little-endian.
+    fn read_le(&self, addr: u64, n: usize) -> u64 {
+        let mut out = 0u64;
+        for i in 0..n {
+            out |= u64::from(self.read_u8(addr + i as u64)) << (8 * i);
+        }
+        out
+    }
+
+    /// Writes `n <= 8` bytes little-endian.
+    fn write_le(&mut self, addr: u64, n: usize, v: u64) {
+        for i in 0..n {
+            self.write_u8(addr + i as u64, (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Loads a typed value.
+    pub fn load(&self, addr: u64, kind: MemKind) -> Value {
+        match kind {
+            MemKind::I8 => Value::I(self.read_le(addr, 1) as i8 as i64),
+            MemKind::I16 => Value::I(self.read_le(addr, 2) as i16 as i64),
+            MemKind::I32 => Value::I(self.read_le(addr, 4) as i32 as i64),
+            MemKind::I64 => Value::I(self.read_le(addr, 8) as i64),
+            MemKind::F32 => Value::F(f64::from(f32::from_bits(self.read_le(addr, 4) as u32))),
+            MemKind::F64 => Value::F(f64::from_bits(self.read_le(addr, 8))),
+        }
+    }
+
+    /// Stores a typed value.
+    pub fn store(&mut self, addr: u64, kind: MemKind, v: Value) {
+        match kind {
+            MemKind::I8 => self.write_le(addr, 1, v.as_i() as u64),
+            MemKind::I16 => self.write_le(addr, 2, v.as_i() as u64),
+            MemKind::I32 => self.write_le(addr, 4, v.as_i() as u64),
+            MemKind::I64 => self.write_le(addr, 8, v.as_i() as u64),
+            MemKind::F32 => self.write_le(addr, 4, u64::from((v.as_f() as f32).to_bits())),
+            MemKind::F64 => self.write_le(addr, 8, v.as_f().to_bits()),
+        }
+    }
+
+    /// Copies a byte slice in (program images, string tables).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads a NUL-terminated C string (capped at 64 KB).
+    pub fn read_cstr(&self, addr: u64) -> String {
+        let mut out = Vec::new();
+        for i in 0..65536 {
+            let b = self.read_u8(addr + i);
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    /// Number of resident pages (test/diagnostic aid).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = ByteMemory::new();
+        assert_eq!(m.load(0x1234, MemKind::I64), Value::I(0));
+        assert_eq!(m.load(0x9999, MemKind::F64), Value::F(0.0));
+    }
+
+    #[test]
+    fn round_trips_each_kind() {
+        let mut m = ByteMemory::new();
+        m.store(0x100, MemKind::I8, Value::I(-5));
+        assert_eq!(m.load(0x100, MemKind::I8), Value::I(-5));
+        m.store(0x200, MemKind::I16, Value::I(-30000));
+        assert_eq!(m.load(0x200, MemKind::I16), Value::I(-30000));
+        m.store(0x300, MemKind::I32, Value::I(-2_000_000_000));
+        assert_eq!(m.load(0x300, MemKind::I32), Value::I(-2_000_000_000));
+        m.store(0x400, MemKind::I64, Value::I(i64::MIN / 3));
+        assert_eq!(m.load(0x400, MemKind::I64), Value::I(i64::MIN / 3));
+        m.store(0x500, MemKind::F64, Value::F(std::f64::consts::PI));
+        assert_eq!(m.load(0x500, MemKind::F64), Value::F(std::f64::consts::PI));
+        m.store(0x600, MemKind::F32, Value::F(1.5));
+        assert_eq!(m.load(0x600, MemKind::F32), Value::F(1.5));
+    }
+
+    #[test]
+    fn i32_truncates_like_c() {
+        let mut m = ByteMemory::new();
+        m.store(0x100, MemKind::I32, Value::I(0x1_0000_0001));
+        assert_eq!(m.load(0x100, MemKind::I32), Value::I(1));
+    }
+
+    #[test]
+    fn cross_page_access_works() {
+        let mut m = ByteMemory::new();
+        let addr = (PAGE_SIZE - 4) as u64;
+        m.store(addr, MemKind::I64, Value::I(0x0102_0304_0506_0708));
+        assert_eq!(m.load(addr, MemKind::I64), Value::I(0x0102_0304_0506_0708));
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn cstr_round_trip() {
+        let mut m = ByteMemory::new();
+        m.write_bytes(0x100, b"Sum Array: %d\n\0");
+        assert_eq!(m.read_cstr(0x100), "Sum Array: %d\n");
+        assert_eq!(m.read_cstr(0x10_000), "");
+    }
+
+    #[test]
+    fn adjacent_scalars_do_not_clobber() {
+        let mut m = ByteMemory::new();
+        m.store(0x100, MemKind::I32, Value::I(11));
+        m.store(0x104, MemKind::I32, Value::I(22));
+        assert_eq!(m.load(0x100, MemKind::I32), Value::I(11));
+        assert_eq!(m.load(0x104, MemKind::I32), Value::I(22));
+    }
+}

@@ -1,0 +1,226 @@
+//! The stack-machine instruction set.
+//!
+//! The compiler lowers CIR to this bytecode; the VM executes one
+//! instruction per [`crate::vm::Vm::run_until_event`], which is what makes execution
+//! suspendable — the discrete-event engine can interleave 48 cores at
+//! instruction granularity.
+
+use crate::value::MemKind;
+use std::fmt;
+
+/// Library calls resolved by the execution engine (or inline by the VM for
+/// the pure-math ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Intrinsic {
+    // Common C library.
+    Printf,
+    Sqrt,
+    Fabs,
+    Exit,
+    Malloc,
+    Wtime,
+    // Pthread API (meaningful in pthread execution mode).
+    PthreadCreate,
+    PthreadJoin,
+    PthreadExit,
+    PthreadSelf,
+    MutexInit,
+    MutexLock,
+    MutexUnlock,
+    MutexDestroy,
+    BarrierInit,
+    BarrierWait,
+    BarrierDestroy,
+    // RCCE API (meaningful in RCCE execution mode).
+    RcceInit,
+    RcceFinalize,
+    RcceUe,
+    RcceNumUes,
+    RcceShmalloc,
+    RcceMpbMalloc,
+    RcceBarrier,
+    RcceAcquireLock,
+    RcceReleaseLock,
+    RcceWtime,
+    RccePut,
+    RcceGet,
+    RcceFlagAlloc,
+    RcceFlagWrite,
+    RcceFlagRead,
+    RcceWaitUntil,
+    RcceSend,
+    RcceRecv,
+}
+
+impl Intrinsic {
+    /// Resolves a C function name to an intrinsic.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        use Intrinsic::*;
+        Some(match name {
+            "printf" => Printf,
+            "sqrt" => Sqrt,
+            "fabs" => Fabs,
+            "exit" => Exit,
+            "malloc" => Malloc,
+            "wtime" => Wtime,
+            "pthread_create" => PthreadCreate,
+            "pthread_join" => PthreadJoin,
+            "pthread_exit" => PthreadExit,
+            "pthread_self" => PthreadSelf,
+            "pthread_mutex_init" => MutexInit,
+            "pthread_mutex_lock" => MutexLock,
+            "pthread_mutex_unlock" => MutexUnlock,
+            "pthread_mutex_destroy" => MutexDestroy,
+            "pthread_barrier_init" => BarrierInit,
+            "pthread_barrier_wait" => BarrierWait,
+            "pthread_barrier_destroy" => BarrierDestroy,
+            "RCCE_init" => RcceInit,
+            "RCCE_finalize" => RcceFinalize,
+            "RCCE_ue" => RcceUe,
+            "RCCE_num_ues" => RcceNumUes,
+            "RCCE_shmalloc" => RcceShmalloc,
+            "RCCE_malloc" => RcceMpbMalloc,
+            "RCCE_barrier" => RcceBarrier,
+            "RCCE_acquire_lock" => RcceAcquireLock,
+            "RCCE_release_lock" => RcceReleaseLock,
+            "RCCE_wtime" => RcceWtime,
+            "RCCE_put" => RccePut,
+            "RCCE_get" => RcceGet,
+            "RCCE_flag_alloc" => RcceFlagAlloc,
+            "RCCE_flag_write" => RcceFlagWrite,
+            "RCCE_flag_read" => RcceFlagRead,
+            "RCCE_wait_until" => RcceWaitUntil,
+            "RCCE_send" => RcceSend,
+            "RCCE_recv" => RcceRecv,
+            _ => return None,
+        })
+    }
+
+    /// Whether the VM can evaluate this intrinsic itself without engine
+    /// involvement (pure math).
+    pub fn is_pure(self) -> bool {
+        matches!(self, Intrinsic::Sqrt | Intrinsic::Fabs)
+    }
+}
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)]
+pub enum Instr {
+    /// Push an integer (also used for addresses and function indices).
+    PushI(i64),
+    /// Push a float.
+    PushF(f64),
+    /// Read register-allocated local `slot`.
+    LocalGet(u16),
+    /// Write register-allocated local `slot` (pops).
+    LocalSet(u16),
+    /// Push `frame.mem_base + offset` (memory-resident locals/arrays).
+    LocalMemAddr(u32),
+    /// Pop address, load a value through the memory system.
+    Load(MemKind),
+    /// Pop value then address, store through the memory system. When
+    /// `keep` is true the stored value is pushed back (assignment used as
+    /// an expression).
+    Store(MemKind, bool),
+    Dup,
+    Pop,
+    Swap,
+    /// Rotate the top three values: `a b c` → `b c a`.
+    Rot3,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Neg,
+    Not,
+    BitNot,
+    CmpLt,
+    CmpLe,
+    CmpGt,
+    CmpGe,
+    CmpEq,
+    CmpNe,
+    /// Convert int → float.
+    I2F,
+    /// Convert float → int (truncating).
+    F2I,
+    /// Unconditional jump to instruction index.
+    Jump(u32),
+    /// Pop; jump when zero.
+    JumpIfZero(u32),
+    /// Pop; jump when non-zero.
+    JumpIfNotZero(u32),
+    /// Call function by index; the top `nargs` values become arguments.
+    Call(u32, u8),
+    /// Call a library intrinsic with `nargs` stacked arguments.
+    CallIntrinsic(Intrinsic, u8),
+    /// Return popping the return value.
+    Ret,
+    /// Return with an implicit 0.
+    RetVoid,
+    Nop,
+}
+
+impl Instr {
+    /// Base execution cost in core cycles (P54C-flavoured CPI model).
+    /// `Load`/`Store` report only issue cost; the memory system adds the
+    /// hierarchy latency.
+    pub fn base_cost(self) -> u64 {
+        use Instr::*;
+        match self {
+            PushI(_) | PushF(_) | LocalGet(_) | LocalSet(_) | LocalMemAddr(_) | Dup | Pop
+            | Swap | Rot3 | Nop => 1,
+            Load(_) | Store(..) => 1,
+            Add | Sub | BitAnd | BitOr | BitXor | Neg | Not | BitNot | CmpLt | CmpLe | CmpGt
+            | CmpGe | CmpEq | CmpNe | Shl | Shr | I2F | F2I => 1,
+            Mul => 4,
+            Div | Rem => 24,
+            Jump(_) | JumpIfZero(_) | JumpIfNotZero(_) => 1,
+            Call(..) | CallIntrinsic(..) => 4,
+            Ret | RetVoid => 3,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic_resolution() {
+        assert_eq!(Intrinsic::from_name("printf"), Some(Intrinsic::Printf));
+        assert_eq!(Intrinsic::from_name("RCCE_ue"), Some(Intrinsic::RcceUe));
+        assert_eq!(
+            Intrinsic::from_name("RCCE_malloc"),
+            Some(Intrinsic::RcceMpbMalloc)
+        );
+        assert_eq!(Intrinsic::from_name("unknown_fn"), None);
+    }
+
+    #[test]
+    fn pure_intrinsics() {
+        assert!(Intrinsic::Sqrt.is_pure());
+        assert!(!Intrinsic::Printf.is_pure());
+        assert!(!Intrinsic::RcceBarrier.is_pure());
+    }
+
+    #[test]
+    fn division_is_expensive() {
+        assert!(Instr::Div.base_cost() > Instr::Mul.base_cost());
+        assert!(Instr::Mul.base_cost() > Instr::Add.base_cost());
+    }
+}

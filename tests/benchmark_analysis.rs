@@ -1,0 +1,93 @@
+//! Integration test: the analysis stages identify exactly the expected
+//! shared superset for each of the six evaluation benchmarks — "a
+//! conservative yet tight superset of shared data" (the paper's first
+//! contribution), checked against what each benchmark actually shares.
+
+use hsm_analysis::ProgramAnalysis;
+use hsm_workloads::{source, Bench, Params};
+
+fn shared_set(bench: Bench) -> Vec<String> {
+    let p = Params {
+        threads: 8,
+        size: 64,
+        reps: 4,
+    };
+    let src = source(bench, &p);
+    let tu = hsm_cir::parse(&src).expect("benchmark parses");
+    let analysis = ProgramAnalysis::analyze(&tu);
+    analysis
+        .shared_variables()
+        .iter()
+        .map(|v| v.key.name.clone())
+        .collect()
+}
+
+#[test]
+fn count_primes_shares_only_the_counts() {
+    assert_eq!(shared_set(Bench::CountPrimes), vec!["counts"]);
+}
+
+#[test]
+fn pi_shares_only_the_partials() {
+    assert_eq!(shared_set(Bench::PiApprox), vec!["partial"]);
+}
+
+#[test]
+fn sum35_shares_only_the_partials() {
+    assert_eq!(shared_set(Bench::Sum35), vec!["partial"]);
+}
+
+#[test]
+fn dot_shares_vectors_and_partials() {
+    assert_eq!(shared_set(Bench::DotProduct), vec!["a", "b", "partial"]);
+}
+
+#[test]
+fn lu_shares_matrices_and_checksums() {
+    assert_eq!(shared_set(Bench::LuDecomp), vec!["mats", "checks"]);
+}
+
+#[test]
+fn stream_shares_the_three_arrays() {
+    assert_eq!(shared_set(Bench::Stream), vec!["a", "b", "c"]);
+}
+
+/// The superset is *tight*: no benchmark drags locals or bookkeeping
+/// variables (loop counters, thread handles) into shared memory.
+#[test]
+fn no_bookkeeping_variables_leak_into_shared_memory() {
+    for bench in Bench::all() {
+        let shared = shared_set(bench);
+        for forbidden in ["t", "i", "j", "threads", "t0", "t1", "id", "lo", "hi"] {
+            assert!(
+                !shared.iter().any(|s| s == forbidden),
+                "{bench}: `{forbidden}` wrongly classified shared: {shared:?}"
+            );
+        }
+    }
+}
+
+/// Every shared variable is a global in these benchmarks (no escaping
+/// locals like Example 4.1's `tmp`), and all are thread-accessed.
+#[test]
+fn shared_variables_are_thread_accessed_globals() {
+    for bench in Bench::all() {
+        let p = Params {
+            threads: 4,
+            size: 32,
+            reps: 4,
+        };
+        let src = source(bench, &p);
+        let tu = hsm_cir::parse(&src).expect("parses");
+        let analysis = ProgramAnalysis::analyze(&tu);
+        for v in analysis.shared_variables() {
+            assert!(v.is_global, "{bench}: {} is not global", v.key.name);
+            assert!(
+                v.used_in.contains(&"tf".to_string())
+                    || v.defined_in.contains(&"tf".to_string()),
+                "{bench}: shared {} never touched by the worker",
+                v.key.name
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration test for the Jacobi extension benchmark: in-worker
+//! `pthread_barrier_wait` must survive translation as chip-wide
+//! `RCCE_barrier`s, and both execution modes must compute the reference
+//! result.
+
+use hsm_workloads::{jacobi_reference_exit, jacobi_source, Params};
+use scc_sim::SccConfig;
+
+fn params() -> Params {
+    Params {
+        threads: 8,
+        size: 66, // 64 interior cells split evenly over 8 workers
+        reps: 12,
+    }
+}
+
+#[test]
+fn jacobi_baseline_matches_reference() {
+    let p = params();
+    let src = jacobi_source(&p);
+    let r = hsm_core::run_baseline(&src, &SccConfig::table_6_1()).expect("baseline");
+    assert_eq!(r.exit_code, jacobi_reference_exit(&p));
+}
+
+#[test]
+fn jacobi_translates_barriers_and_matches_reference() {
+    let p = params();
+    let src = jacobi_source(&p);
+    let translation =
+        hsm_core::translate_source(&src, p.threads, hsm_core::Policy::SizeAscending)
+            .expect("translation");
+    let out = translation.to_source();
+    assert!(
+        out.contains("RCCE_barrier(&RCCE_COMM_WORLD)"),
+        "worker barrier must convert: {out}"
+    );
+    assert!(!out.contains("pthread_barrier"), "{out}");
+
+    let r = hsm_core::run_translated(
+        &src,
+        p.threads,
+        hsm_core::Policy::SizeAscending,
+        &SccConfig::table_6_1(),
+    )
+    .expect("rcce run");
+    assert_eq!(r.exit_code, jacobi_reference_exit(&p));
+}
+
+#[test]
+fn jacobi_scales_with_cores() {
+    let mut p = params();
+    p.size = 130;
+    p.reps = 16;
+    let src = jacobi_source(&p);
+    let config = SccConfig::table_6_1();
+    let base = hsm_core::run_baseline(&src, &config).expect("baseline");
+    let rcce = hsm_core::run_translated(&src, p.threads, hsm_core::Policy::SizeAscending, &config)
+        .expect("rcce");
+    let speedup = base.timed_cycles as f64 / rcce.timed_cycles as f64;
+    // Barrier-per-iteration overhead keeps it well below linear, but the
+    // conversion must still win.
+    assert!(
+        speedup > 1.5,
+        "8-core Jacobi should beat the baseline: {speedup:.2}"
+    );
+}
+
+/// The pthread barrier itself (baseline mode): last arriver sees the
+/// serial-thread return value, everyone proceeds.
+#[test]
+fn pthread_barrier_semantics() {
+    let src = r#"
+pthread_barrier_t b;
+int order[8];
+int slot;
+void *tf(void *tid) {
+    int id = (int)tid;
+    pthread_barrier_wait(&b);
+    order[slot] = id;
+    slot = slot + 1;
+    return tid;
+}
+int main() {
+    pthread_t t[4];
+    int i;
+    slot = 0;
+    pthread_barrier_init(&b, NULL, 4);
+    for (i = 0; i < 4; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 4; i++) pthread_join(t[i], NULL);
+    pthread_barrier_destroy(&b);
+    return slot;
+}
+"#;
+    let program = hsm_vm::compile(&hsm_cir::parse(src).expect("parse")).expect("compile");
+    let r = hsm_exec::run_pthread(&program, &SccConfig::table_6_1()).expect("run");
+    assert_eq!(r.exit_code, 4, "all four threads passed the barrier");
+}

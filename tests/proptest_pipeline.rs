@@ -1,0 +1,325 @@
+//! Cross-crate property tests:
+//!
+//! * randomly generated integer-expression programs compute the same value
+//!   in the VM as a Rust reference evaluator (compiler/VM correctness);
+//! * the partitioner never overflows its budget and never leaves a
+//!   fitting variable off-chip when capacity remains (Algorithm 3's
+//!   invariants);
+//! * randomly generated pthread programs translate to parseable RCCE
+//!   source with no pthread vestiges.
+
+use hsm_partition::{partition, MemorySpec, Placement, Policy, SharedVar};
+use proptest::prelude::*;
+
+// ------------------------------------------------- expression semantics --
+
+/// An expression tree we can render to C and evaluate in Rust with
+/// identical semantics (division guarded against zero).
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Rem(Box<E>, Box<E>),
+    Neg(Box<E>),
+    Ternary(Box<E>, Box<E>, Box<E>),
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::Lit(v) => format!("{v}"),
+            E::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            E::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            E::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            E::Div(a, b) => format!("({} / (({}) == 0 ? 1 : ({})))", a.render(), b.render(), b.render()),
+            E::Rem(a, b) => format!("({} % (({}) == 0 ? 1 : ({})))", a.render(), b.render(), b.render()),
+            // The space prevents `-` + `-5` lexing as `--`.
+            E::Neg(a) => format!("(- {})", a.render()),
+            E::Ternary(c, t, f) => format!("(({}) ? ({}) : ({}))", c.render(), t.render(), f.render()),
+        }
+    }
+
+    fn eval(&self) -> i64 {
+        match self {
+            E::Lit(v) => i64::from(*v),
+            E::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            E::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            E::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            E::Div(a, b) => {
+                let d = b.eval();
+                a.eval().wrapping_div(if d == 0 { 1 } else { d })
+            }
+            E::Rem(a, b) => {
+                let d = b.eval();
+                a.eval().wrapping_rem(if d == 0 { 1 } else { d })
+            }
+            E::Neg(a) => a.eval().wrapping_neg(),
+            E::Ternary(c, t, f) => {
+                if c.eval() != 0 {
+                    t.eval()
+                } else {
+                    f.eval()
+                }
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = (-50i32..50).prop_map(E::Lit);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| E::Ternary(Box::new(c), Box::new(t), Box::new(f))),
+        ]
+    })
+}
+
+
+// -------------------------------------------------- float semantics --
+
+/// Float expression trees with Rust-identical evaluation order.
+#[derive(Debug, Clone)]
+enum F {
+    Lit(f64),
+    Add(Box<F>, Box<F>),
+    Sub(Box<F>, Box<F>),
+    Mul(Box<F>, Box<F>),
+    Div(Box<F>, Box<F>),
+    FromInt(i32),
+}
+
+impl F {
+    fn render(&self) -> String {
+        match self {
+            F::Lit(v) => format!("{v:?}"),
+            F::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            F::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            F::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            // Guard against division by exact zero (IEEE inf is fine but
+            // printf formatting of inf differs).
+            F::Div(a, b) => format!("({} / ({} + 1.5))", a.render(), b.render()),
+            F::FromInt(v) => format!("(1.0 * {v})"),
+        }
+    }
+
+    fn eval(&self) -> f64 {
+        match self {
+            F::Lit(v) => *v,
+            F::Add(a, b) => a.eval() + b.eval(),
+            F::Sub(a, b) => a.eval() - b.eval(),
+            F::Mul(a, b) => a.eval() * b.eval(),
+            F::Div(a, b) => a.eval() / (b.eval() + 1.5),
+            F::FromInt(v) => 1.0 * f64::from(*v),
+        }
+    }
+}
+
+fn arb_fexpr() -> impl Strategy<Value = F> {
+    let leaf = prop_oneof![
+        (-8.0f64..8.0).prop_map(|v| F::Lit((v * 4.0).round() / 4.0)),
+        (-20i32..20).prop_map(F::FromInt),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Div(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The VM evaluates arbitrary integer expressions exactly like Rust
+    /// (the benchmarks' correctness rests on this).
+    #[test]
+    fn vm_matches_reference_arithmetic(expr in arb_expr()) {
+        let expected = expr.eval();
+        // Exit codes are i64 in the VM; compute via a long to avoid C int
+        // truncation differences.
+        let src = format!(
+            "int main() {{ long result = {}; printf(\"%ld\\n\", result); return 0; }}",
+            expr.render()
+        );
+        let program = hsm_vm::compile(&hsm_cir::parse(&src).expect("parse"))
+            .expect("compile");
+        let run = hsm_exec::run_pthread(&program, &scc_sim::SccConfig::table_6_1())
+            .expect("run");
+        let printed: i64 = run.output_text().trim().parse().expect("numeric output");
+        prop_assert_eq!(printed, expected, "source: {}", src);
+    }
+
+    /// Algorithm 3 never overspends the on-chip budget, and when it
+    /// reports free space no off-chip variable would have fit.
+    #[test]
+    fn partitioner_invariants(
+        sizes in proptest::collection::vec(1usize..5_000, 1..24),
+        cap in 0usize..16_384,
+    ) {
+        let vars: Vec<SharedVar> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| SharedVar::new(format!("v{i}"), s, 1))
+            .collect();
+        let spec = MemorySpec::with_on_chip(cap);
+        for policy in [Policy::SizeAscending, Policy::SizeDescending, Policy::FrequencyDensity] {
+            let plan = partition(&vars, &spec, policy);
+            prop_assert!(plan.on_chip_used <= cap, "{policy:?} overspent");
+            let used: usize = plan
+                .placements
+                .iter()
+                .filter(|p| p.placement == Placement::OnChip)
+                .map(|p| p.var.mem_size)
+                .sum();
+            prop_assert_eq!(used, plan.on_chip_used, "{:?} accounting", policy);
+            // No off-chip variable fits in the remaining space *if the
+            // policy is greedy ascending* (the smallest spilled variable
+            // must not fit).
+            if policy == Policy::SizeAscending {
+                let smallest_spilled = plan
+                    .placements
+                    .iter()
+                    .filter(|p| p.placement == Placement::OffChip)
+                    .map(|p| p.var.mem_size)
+                    .min();
+                if let Some(s) = smallest_spilled {
+                    prop_assert!(
+                        s > plan.on_chip_free(),
+                        "variable of {s} B left off-chip with {} B free",
+                        plan.on_chip_free()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Translating a partition-shaped pthread program always yields
+    /// parseable RCCE C with no pthread identifiers, for arbitrary thread
+    /// counts and array lengths.
+    #[test]
+    fn translation_total_on_generated_programs(
+        threads in 1usize..16,
+        len in 1usize..64,
+    ) {
+        let src = format!(
+            r#"
+#include <pthread.h>
+int data[{len}];
+void *tf(void *tid) {{
+    int id = (int)tid;
+    if (id < {len}) data[id] = id;
+    return tid;
+}}
+int main() {{
+    pthread_t t[{threads}];
+    int i;
+    for (i = 0; i < {threads}; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < {threads}; i++) pthread_join(t[i], NULL);
+    return data[0];
+}}
+"#
+        );
+        let out = hsm_translate::translate_source(&src).expect("translate");
+        prop_assert!(!out.contains("pthread"), "{out}");
+        hsm_cir::parse(&out).expect("reparse");
+    }
+
+    /// The VM's double arithmetic is bitwise-identical to Rust's (both
+    /// are IEEE 754, same evaluation order) — the foundation of the
+    /// benchmarks' exit-code equivalence checks.
+    #[test]
+    fn vm_matches_reference_float_arithmetic(expr in arb_fexpr()) {
+        let expected = expr.eval();
+        prop_assume!(expected.is_finite());
+        let src = format!(
+            "int main() {{ double r = {}; printf(\"%.17e\\n\", r); return 0; }}",
+            expr.render()
+        );
+        let program = hsm_vm::compile(&hsm_cir::parse(&src).expect("parse"))
+            .expect("compile");
+        let run = hsm_exec::run_pthread(&program, &scc_sim::SccConfig::table_6_1())
+            .expect("run");
+        let printed: f64 = run.output_text().trim().parse().expect("float output");
+        prop_assert!(
+            printed == expected || (printed - expected).abs() < 1e-12 * expected.abs().max(1.0),
+            "vm {printed:?} vs rust {expected:?} for {}",
+            src
+        );
+    }
+
+    /// End-to-end translation equivalence fuzzing: random worker bodies
+    /// (assembled from data-parallel statement templates over each
+    /// thread's own slice) must produce the same exit code as a pthread
+    /// baseline and as a translated RCCE program. This is the pipeline's
+    /// strongest property: parser, analysis, partitioner, translator,
+    /// bytecode compiler and both execution modes all agree.
+    #[test]
+    fn translated_programs_compute_identically(
+        ops in proptest::collection::vec(0usize..6, 1..8),
+        threads in 2usize..6,
+    ) {
+        let templates = [
+            "data[j] = data[j] + id;",
+            "data[j] = data[j] * 2;",
+            "data[j] = data[j] + aux[j];",
+            "aux[j] = data[j] - 1;",
+            "if (data[j] % 2 == 0) data[j] = data[j] + 3;",
+            "data[j] = data[j] + j % 5;",
+        ];
+        let body: String = ops
+            .iter()
+            .map(|&i| templates[i])
+            .collect::<Vec<_>>()
+            .join("\n        ");
+        let n = threads * 8;
+        let src = format!(
+            r#"
+#include <pthread.h>
+int data[{n}];
+int aux[{n}];
+void *tf(void *tid) {{
+    int id = (int)tid;
+    int j;
+    for (j = id * 8; j < id * 8 + 8; j++) {{
+        {body}
+    }}
+    pthread_exit(NULL);
+}}
+int main() {{
+    pthread_t t[{threads}];
+    int i;
+    for (i = 0; i < {n}; i++) {{
+        data[i] = i % 7;
+        aux[i] = (i + 2) % 3;
+    }}
+    for (i = 0; i < {threads}; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < {threads}; i++) pthread_join(t[i], NULL);
+    int check = 0;
+    for (i = 0; i < {n}; i++) check = check * 31 % 100003 + data[i] + aux[i];
+    return check % 100000;
+}}
+"#
+        );
+        let config = scc_sim::SccConfig::table_6_1();
+        let base = hsm_core::run_baseline(&src, &config)
+            .unwrap_or_else(|e| panic!("baseline: {e}\n{src}"));
+        let off = hsm_core::run_translated(&src, threads, hsm_core::Policy::OffChipOnly, &config)
+            .unwrap_or_else(|e| panic!("off-chip: {e}\n{src}"));
+        let hsm = hsm_core::run_translated(&src, threads, hsm_core::Policy::SizeAscending, &config)
+            .unwrap_or_else(|e| panic!("hsm: {e}\n{src}"));
+        prop_assert_eq!(base.exit_code, off.exit_code, "off-chip diverged for\n{}", src);
+        prop_assert_eq!(base.exit_code, hsm.exit_code, "hsm diverged for\n{}", src);
+    }
+}
