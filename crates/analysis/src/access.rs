@@ -367,11 +367,7 @@ impl Counter<'_> {
 
 /// Constant-folds the trip count of a canonical counted `for` loop
 /// (`for (i = a; i < b; i++)` and friends).
-pub fn trip_count(
-    init: Option<&ForInit>,
-    cond: Option<&Expr>,
-    step: Option<&Expr>,
-) -> Option<u64> {
+pub fn trip_count(init: Option<&ForInit>, cond: Option<&Expr>, step: Option<&Expr>) -> Option<u64> {
     let (ivar, start) = match init? {
         ForInit::Expr(e) => match &e.kind {
             ExprKind::Assign(AssignOp::Assign, lhs, rhs) => {
@@ -458,7 +454,10 @@ int main() {
     fn example_4_1_occurrence_counts() {
         let (map, _) = analyze(EXAMPLE_4_1, CountMode::Occurrence);
         // global: never accessed.
-        assert_eq!(map.counts(&VarKey::global("global")), AccessCounts::default());
+        assert_eq!(
+            map.counts(&VarKey::global("global")),
+            AccessCounts::default()
+        );
         // ptr: written once (main), read once (*ptr in tf).
         let ptr = map.counts(&VarKey::global("ptr"));
         assert_eq!((ptr.reads, ptr.writes), (1, 1));

@@ -302,16 +302,15 @@ mod tests {
 
     #[test]
     fn if_else_creates_diamond() {
-        let cfg = cfg_of("int f(int x) { if (x) { x = 1; } else { x = 2; } return x; }", "f");
+        let cfg = cfg_of(
+            "int f(int x) { if (x) { x = 1; } else { x = 2; } return x; }",
+            "f",
+        );
         // entry(cond), then, join, else + exit-side blocks.
         let r = cfg.reachable();
         assert!(r.len() >= 4, "expected a diamond: {}", cfg.to_text());
         // The join block has two predecessors.
-        let join_preds = cfg
-            .blocks
-            .iter()
-            .filter(|b| b.preds.len() >= 2)
-            .count();
+        let join_preds = cfg.blocks.iter().filter(|b| b.preds.len() >= 2).count();
         assert!(join_preds >= 1);
     }
 

@@ -80,11 +80,7 @@ impl InterThreadAnalysis {
     /// * Globals referenced only outside threads stay `Shared`
     ///   conservatively (main's writes must still be visible to later
     ///   threads); unused globals are left for Stage 3 post-processing.
-    pub fn run(
-        scope: &ScopeAnalysis,
-        model: &ThreadModel,
-        sharing: &mut SharingMap,
-    ) -> Self {
+    pub fn run(scope: &ScopeAnalysis, model: &ThreadModel, sharing: &mut SharingMap) -> Self {
         let mut presence = BTreeMap::new();
         for var in &scope.variables {
             let procs: Vec<String> = match &var.key.owner {

@@ -113,7 +113,12 @@ impl PointsToAnalysis {
         for (pointer, mut targets) in per_ptr {
             targets.sort();
             targets.dedup_by(|a, b| a.0 == b.0 && (b.1 || !a.1));
-            let multi = targets.iter().map(|(t, _)| t).collect::<BTreeSet<_>>().len() > 1;
+            let multi = targets
+                .iter()
+                .map(|(t, _)| t)
+                .collect::<BTreeSet<_>>()
+                .len()
+                > 1;
             for (target, definite) in targets {
                 facts.push(PointsToFact {
                     pointer: pointer.clone(),
@@ -518,10 +523,18 @@ int main() {
     #[test]
     fn table_4_2_after_stage_3() {
         let (_, sharing, _) = full_pipeline(EXAMPLE_4_1);
-        assert_eq!(sharing.status("global"), SharingStatus::Private, "unused global demoted");
+        assert_eq!(
+            sharing.status("global"),
+            SharingStatus::Private,
+            "unused global demoted"
+        );
         assert_eq!(sharing.status("ptr"), SharingStatus::Shared);
         assert_eq!(sharing.status("sum"), SharingStatus::Shared);
-        assert_eq!(sharing.status("tmp"), SharingStatus::Shared, "pointed-at by shared ptr");
+        assert_eq!(
+            sharing.status("tmp"),
+            SharingStatus::Shared,
+            "pointed-at by shared ptr"
+        );
         for private in ["tLocal", "tid", "local", "threads", "rc"] {
             assert_eq!(sharing.status(private), SharingStatus::Private, "{private}");
         }
@@ -550,7 +563,10 @@ int main() {
         let (_, _, pts) = full_pipeline(src);
         let targets = pts.targets(&VarKey::global("p"));
         assert_eq!(targets.len(), 2);
-        assert!(targets.iter().all(|(_, d)| !d), "if-else targets are possible");
+        assert!(
+            targets.iter().all(|(_, d)| !d),
+            "if-else targets are possible"
+        );
     }
 
     #[test]

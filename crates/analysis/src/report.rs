@@ -133,11 +133,17 @@ int main() {
         let tu = parse(EXAMPLE_4_1).unwrap();
         let a = ProgramAnalysis::analyze(&tu);
         let t = super::table_4_1(&a);
-        for name in ["global", "ptr", "sum", "tLocal", "tid", "local", "tmp", "threads", "rc"] {
+        for name in [
+            "global", "ptr", "sum", "tLocal", "tid", "local", "tmp", "threads", "rc",
+        ] {
             assert!(t.contains(name), "missing {name} in:\n{t}");
         }
         // Arrays display decayed, as in the paper.
-        assert!(t.lines().any(|l| l.starts_with("sum") && l.contains("int*")), "{t}");
+        assert!(
+            t.lines()
+                .any(|l| l.starts_with("sum") && l.contains("int*")),
+            "{t}"
+        );
     }
 
     #[test]

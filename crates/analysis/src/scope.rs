@@ -212,7 +212,11 @@ int main() {
     #[test]
     fn address_taken_flag_present() {
         let (a, _) = run(EXAMPLE_4_1);
-        assert!(a.variable(&VarKey::local("main", "tmp")).unwrap().address_taken);
+        assert!(
+            a.variable(&VarKey::local("main", "tmp"))
+                .unwrap()
+                .address_taken
+        );
         assert!(!a.variable(&VarKey::global("sum")).unwrap().address_taken);
     }
 }

@@ -168,8 +168,12 @@ mod tests {
         let mut m = SharingMap::new();
         m.record("g", SharingStatus::Shared); // stage 1 (global)
         m.record("g", SharingStatus::Shared); // stage 2 keeps
-        assert_eq!(m.record("g", SharingStatus::Private), SharingStatus::Private); // stage 3 flip
-        assert_eq!(m.record("g", SharingStatus::Shared), SharingStatus::Private); // pinned
+        assert_eq!(
+            m.record("g", SharingStatus::Private),
+            SharingStatus::Private
+        ); // stage 3 flip
+        assert_eq!(m.record("g", SharingStatus::Shared), SharingStatus::Private);
+        // pinned
     }
 
     #[test]
@@ -186,11 +190,46 @@ mod tests {
     fn table_4_2_trajectories() {
         // Reproduce the exact trajectories of Table 4.2.
         let expect = [
-            ("global", [SharingStatus::Shared, SharingStatus::Shared, SharingStatus::Private]),
-            ("ptr", [SharingStatus::Shared, SharingStatus::Shared, SharingStatus::Shared]),
-            ("sum", [SharingStatus::Shared, SharingStatus::Shared, SharingStatus::Shared]),
-            ("tLocal", [SharingStatus::Unknown, SharingStatus::Private, SharingStatus::Private]),
-            ("tmp", [SharingStatus::Unknown, SharingStatus::Private, SharingStatus::Shared]),
+            (
+                "global",
+                [
+                    SharingStatus::Shared,
+                    SharingStatus::Shared,
+                    SharingStatus::Private,
+                ],
+            ),
+            (
+                "ptr",
+                [
+                    SharingStatus::Shared,
+                    SharingStatus::Shared,
+                    SharingStatus::Shared,
+                ],
+            ),
+            (
+                "sum",
+                [
+                    SharingStatus::Shared,
+                    SharingStatus::Shared,
+                    SharingStatus::Shared,
+                ],
+            ),
+            (
+                "tLocal",
+                [
+                    SharingStatus::Unknown,
+                    SharingStatus::Private,
+                    SharingStatus::Private,
+                ],
+            ),
+            (
+                "tmp",
+                [
+                    SharingStatus::Unknown,
+                    SharingStatus::Private,
+                    SharingStatus::Shared,
+                ],
+            ),
         ];
         for (name, stages) in expect {
             let mut m = SharingMap::new();

@@ -95,9 +95,7 @@ impl ThreadModel {
 
     /// Whether `entry` is launched from inside a loop anywhere.
     pub fn launched_in_loop(&self, entry: &str) -> bool {
-        self.launches
-            .iter()
-            .any(|l| l.entry == entry && l.in_loop)
+        self.launches.iter().any(|l| l.entry == entry && l.in_loop)
     }
 
     /// Algorithm 1's classification: is `entry` executed by multiple

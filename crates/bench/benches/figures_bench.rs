@@ -1,11 +1,16 @@
-//! Criterion benches: one per paper table/figure, timing the simulation
-//! harness that regenerates it (reduced sizes keep Criterion iterations
+//! Wall-clock benches: one per paper table/figure, timing the simulation
+//! harness that regenerates it (reduced sizes keep the timed iterations
 //! tractable — the `figures` binary runs the full-size versions).
+//!
+//! Built with `harness = false` on `testkit::time_median`, so `cargo
+//! bench` needs nothing beyond the workspace.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hsm_core::experiment::{run, run_all_modes, Mode};
 use hsm_workloads::Bench;
 use scc_sim::SccConfig;
+use testkit::time_median;
+
+const RUNS: usize = 10;
 
 fn reduced(bench: Bench, units: usize) -> hsm_workloads::Params {
     let mut p = bench.default_params(units);
@@ -22,70 +27,70 @@ fn reduced(bench: Bench, units: usize) -> hsm_workloads::Params {
 }
 
 /// Figure 6.1: each benchmark through baseline + off-chip modes.
-fn fig6_1(c: &mut Criterion) {
+fn fig6_1() {
     let config = SccConfig::table_6_1();
-    let mut group = c.benchmark_group("fig6_1");
-    group.sample_size(10);
+    println!("fig6_1");
     for bench in Bench::all() {
         let p = reduced(bench, 16);
-        group.bench_function(bench.name().replace(' ', "_"), |b| {
-            b.iter(|| {
-                let base = run(bench, &p, Mode::PthreadBaseline, &config).expect("base");
-                let off = run(bench, &p, Mode::RcceOffChip, &config).expect("off");
-                std::hint::black_box(base.timed_cycles as f64 / off.timed_cycles as f64)
-            })
+        let name = bench.name().replace(' ', "_");
+        let report = time_median(&name, RUNS, || {
+            let base = run(bench, &p, Mode::PthreadBaseline, &config).expect("base");
+            let off = run(bench, &p, Mode::RcceOffChip, &config).expect("off");
+            std::hint::black_box(base.timed_cycles as f64 / off.timed_cycles as f64);
         });
+        println!("  {report}");
     }
-    group.finish();
 }
 
 /// Figure 6.2: off-chip vs MPB placement.
-fn fig6_2(c: &mut Criterion) {
+fn fig6_2() {
     let config = SccConfig::table_6_1();
-    let mut group = c.benchmark_group("fig6_2");
-    group.sample_size(10);
+    println!("fig6_2");
     for bench in [Bench::Stream, Bench::DotProduct] {
         let p = reduced(bench, 16);
-        group.bench_function(bench.name().replace(' ', "_"), |b| {
-            b.iter(|| {
-                let r = run_all_modes(bench, &p, &config).expect("modes");
-                std::hint::black_box(r.hsm_improvement())
-            })
+        let name = bench.name().replace(' ', "_");
+        let report = time_median(&name, RUNS, || {
+            let r = run_all_modes(bench, &p, &config).expect("modes");
+            std::hint::black_box(r.hsm_improvement());
         });
+        println!("  {report}");
     }
-    group.finish();
 }
 
 /// Figure 6.3: Pi at several core counts.
-fn fig6_3(c: &mut Criterion) {
+fn fig6_3() {
     let config = SccConfig::table_6_1();
-    let mut group = c.benchmark_group("fig6_3");
-    group.sample_size(10);
+    println!("fig6_3");
     for cores in [4usize, 16, 32] {
         let p = reduced(Bench::PiApprox, cores);
-        group.bench_function(format!("pi_{cores}_cores"), |b| {
-            b.iter(|| {
-                let r = run(Bench::PiApprox, &p, Mode::RcceHsm, &config).expect("run");
-                std::hint::black_box(r.timed_cycles)
-            })
+        let report = time_median(&format!("pi_{cores}_cores"), RUNS, || {
+            let r = run(Bench::PiApprox, &p, Mode::RcceHsm, &config).expect("run");
+            std::hint::black_box(r.timed_cycles);
         });
+        println!("  {report}");
     }
-    group.finish();
 }
 
 /// Tables 4.1/4.2: the analysis stages on Example Code 4.1.
-fn analysis_tables(c: &mut Criterion) {
-    c.bench_function("table4_1_and_4_2", |b| {
-        b.iter(|| std::hint::black_box(hsm_bench::analysis_tables()))
+fn analysis_tables() {
+    let report = time_median("table4_1_and_4_2", RUNS, || {
+        std::hint::black_box(hsm_bench::analysis_tables());
     });
+    println!("{report}");
 }
 
 /// Example 4.2: the full source-to-source translation.
-fn translation(c: &mut Criterion) {
-    c.bench_function("example4_2_translation", |b| {
-        b.iter(|| std::hint::black_box(hsm_bench::render_example_4_2()))
+fn translation() {
+    let report = time_median("example4_2_translation", RUNS, || {
+        std::hint::black_box(hsm_bench::render_example_4_2());
     });
+    println!("{report}");
 }
 
-criterion_group!(benches, fig6_1, fig6_2, fig6_3, analysis_tables, translation);
-criterion_main!(benches);
+fn main() {
+    fig6_1();
+    fig6_2();
+    fig6_3();
+    analysis_tables();
+    translation();
+}

@@ -1,56 +1,89 @@
 //! Microbenchmarks of the pipeline stages themselves (parser, analysis,
 //! partitioner, translator, bytecode compiler) and of the simulator's
 //! memory system.
+//!
+//! Built with `harness = false` on `testkit::time_median`, so `cargo
+//! bench` needs nothing beyond the workspace.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use scc_sim::{memory::SHARED_DRAM_BASE, MemorySystem, SccConfig};
+use testkit::time_median;
 
-fn pipeline_stages(c: &mut Criterion) {
+const RUNS: usize = 20;
+
+/// Iterations folded into each memory-system sample so a sample is long
+/// enough for the host clock to resolve.
+const MEM_ITERS: usize = 100_000;
+
+fn pipeline_stages() {
     let src = hsm_workloads::source(
         hsm_workloads::Bench::Stream,
         &hsm_workloads::Bench::Stream.default_params(32),
     );
-    c.bench_function("parse_stream", |b| {
-        b.iter(|| std::hint::black_box(hsm_cir::parse(&src).expect("parse")))
-    });
+    println!(
+        "{}",
+        time_median("parse_stream", RUNS, || {
+            std::hint::black_box(hsm_cir::parse(&src).expect("parse"));
+        })
+    );
     let tu = hsm_cir::parse(&src).expect("parse");
-    c.bench_function("analyze_stream", |b| {
-        b.iter(|| std::hint::black_box(hsm_analysis::ProgramAnalysis::analyze(&tu)))
-    });
-    c.bench_function("translate_stream", |b| {
-        b.iter(|| {
+    println!(
+        "{}",
+        time_median("analyze_stream", RUNS, || {
+            std::hint::black_box(hsm_analysis::ProgramAnalysis::analyze(&tu));
+        })
+    );
+    println!(
+        "{}",
+        time_median("translate_stream", RUNS, || {
             std::hint::black_box(
                 hsm_translate::translate(&tu, Default::default()).expect("translate"),
-            )
+            );
         })
-    });
+    );
     let translated = hsm_translate::translate(&tu, Default::default()).expect("translate");
-    c.bench_function("bytecode_compile_stream", |b| {
-        b.iter(|| std::hint::black_box(hsm_vm::compile(&translated.unit).expect("compile")))
-    });
+    println!(
+        "{}",
+        time_median("bytecode_compile_stream", RUNS, || {
+            std::hint::black_box(hsm_vm::compile(&translated.unit).expect("compile"));
+        })
+    );
 }
 
-fn memory_system(c: &mut Criterion) {
-    c.bench_function("memsys_private_hits", |b| {
-        let mut chip = MemorySystem::new(SccConfig::table_6_1());
-        chip.access(0, 0x1000, false, 0);
-        let mut now = 0u64;
-        b.iter(|| {
-            now += 2;
-            std::hint::black_box(chip.access(0, 0x1000, false, now))
+fn memory_system() {
+    let mut chip = MemorySystem::new(SccConfig::table_6_1());
+    chip.access(0, 0x1000, false, 0);
+    let mut now = 0u64;
+    println!(
+        "{}",
+        time_median("memsys_private_hits_100k", RUNS, || {
+            for _ in 0..MEM_ITERS {
+                now += 2;
+                std::hint::black_box(chip.access(0, 0x1000, false, now));
+            }
         })
-    });
-    c.bench_function("memsys_shared_contended", |b| {
-        let mut chip = MemorySystem::new(SccConfig::table_6_1());
-        let mut now = 0u64;
-        let mut core = 0usize;
-        b.iter(|| {
-            core = (core + 1) % 8;
-            now += 1;
-            std::hint::black_box(chip.access(core, SHARED_DRAM_BASE + 64 * core as u64, false, now))
+    );
+
+    let mut chip = MemorySystem::new(SccConfig::table_6_1());
+    let mut now = 0u64;
+    let mut core = 0usize;
+    println!(
+        "{}",
+        time_median("memsys_shared_contended_100k", RUNS, || {
+            for _ in 0..MEM_ITERS {
+                core = (core + 1) % 8;
+                now += 1;
+                std::hint::black_box(chip.access(
+                    core,
+                    SHARED_DRAM_BASE + 64 * core as u64,
+                    false,
+                    now,
+                ));
+            }
         })
-    });
+    );
 }
 
-criterion_group!(benches, pipeline_stages, memory_system);
-criterion_main!(benches);
+fn main() {
+    pipeline_stages();
+    memory_system();
+}

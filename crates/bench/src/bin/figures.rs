@@ -16,16 +16,41 @@
 //! figures stream.kernels   # per-kernel Stream bandwidth
 //! figures dvfs             # frequency sweep (memory wall)
 //! figures ext.jacobi       # barrier-heavy stencil extension
+//! figures --json           # write the BENCH_pipeline.json run manifest
 //! ```
+//!
+//! `--json` composes with the table selectors: `figures fig6.1 --json`
+//! prints Figure 6.1 and writes the manifest.
 
 use std::env;
 use std::process::ExitCode;
 
+/// Output file of `--json`.
+const MANIFEST_FILE: &str = "BENCH_pipeline.json";
+
 fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
-    let all = args.is_empty();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let emit_json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let all = args.is_empty() && !emit_json;
     let want = |name: &str| all || args.iter().any(|a| a == name);
     let mut failed = false;
+
+    if emit_json {
+        match hsm_bench::manifest::full_manifest(Default::default()) {
+            Ok(m) => match std::fs::write(MANIFEST_FILE, m.render()) {
+                Ok(()) => println!("wrote {MANIFEST_FILE}"),
+                Err(e) => {
+                    eprintln!("writing {MANIFEST_FILE} failed: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("manifest generation failed: {e}");
+                failed = true;
+            }
+        }
+    }
 
     if want("table4.1") || want("table4.2") {
         let (t41, t42) = hsm_bench::analysis_tables();

@@ -1,0 +1,193 @@
+//! A minimal order-preserving JSON value and writer.
+//!
+//! The run manifest must be reproducible byte for byte (it is diffed
+//! against checked-in goldens), so keys keep their insertion order and the
+//! rendering is fully deterministic — no external serialization crate, no
+//! hash-map ordering, no locale-dependent formatting.
+
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (counters, sizes, cycles).
+    UInt(u64),
+    /// A signed integer (exit codes).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds an array of unsigned integers.
+    pub fn uints(values: impl IntoIterator<Item = u64>) -> Json {
+        Json::Arr(values.into_iter().map(Json::UInt).collect())
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Arrays of scalars render inline; nested structures
+                // get one element per line.
+                let scalar = items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_)));
+                if scalar {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, indent);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        pad(out, indent + 1);
+                        item.write(out, indent + 1);
+                        if i + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    pad(out, indent);
+                    out.push(']');
+                }
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    pad(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_plainly() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::UInt(42).render(), "42\n");
+        assert_eq!(Json::Int(-7).render(), "-7\n");
+        assert_eq!(Json::str("hi").render(), "\"hi\"\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"\n");
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let j = Json::obj(vec![("zebra", Json::UInt(1)), ("apple", Json::UInt(2))]);
+        assert_eq!(j.render(), "{\n  \"zebra\": 1,\n  \"apple\": 2\n}\n");
+    }
+
+    #[test]
+    fn scalar_arrays_inline_nested_break() {
+        assert_eq!(Json::uints([1, 2, 3]).render(), "[1, 2, 3]\n");
+        let nested = Json::Arr(vec![Json::obj(vec![("k", Json::UInt(1))])]);
+        assert_eq!(nested.render(), "[\n  {\n    \"k\": 1\n  }\n]\n");
+    }
+
+    #[test]
+    fn get_finds_keys() {
+        let j = Json::obj(vec![("a", Json::UInt(1))]);
+        assert_eq!(j.get("a"), Some(&Json::UInt(1)));
+        assert_eq!(j.get("b"), None);
+        assert_eq!(Json::Null.get("a"), None);
+    }
+}

@@ -1,11 +1,15 @@
-//! # hsm-bench — experiment harness shared by the Criterion benches and
-//! the `figures` binary.
+//! # hsm-bench — experiment harness shared by the benches and the
+//! `figures` binary.
 //!
 //! Each function regenerates the data behind one table or figure of the
-//! paper; the `figures` binary prints them, and `benches/` wraps the same
-//! entry points in Criterion for timing.
+//! paper; the `figures` binary prints them (and with `--json` writes the
+//! versioned run manifest from [`manifest`]), and `benches/` wraps the
+//! same entry points in `testkit` timing loops.
 
 #![warn(missing_docs)]
+
+pub mod json;
+pub mod manifest;
 
 use hsm_core::experiment::{self, BenchResult, Mode};
 use hsm_core::PipelineError;
@@ -153,9 +157,8 @@ pub fn fig_6_3(core_counts: &[usize]) -> Result<String, PipelineError> {
 ///
 /// Propagates pipeline failures.
 pub fn ablation_memory_controllers(units: usize) -> Result<String, PipelineError> {
-    let mut out = String::from(
-        "Ablation — Dot Product (off-chip, 32 cores) vs memory controllers\n\n",
-    );
+    let mut out =
+        String::from("Ablation — Dot Product (off-chip, 32 cores) vs memory controllers\n\n");
     let _ = writeln!(out, "{:<8}{:>14}{:>12}", "MCs", "Cycles", "Slowdown");
     out.push_str(&"-".repeat(34));
     out.push('\n');
@@ -191,9 +194,8 @@ pub fn ablation_partition_policies() -> String {
         SharedVar::new("reps", 4, 32),
     ];
     let spec = MemorySpec::with_on_chip(128 * 1024);
-    let mut out = String::from(
-        "Ablation — partition policy quality (Stream variables, 128 KB MPB)\n\n",
-    );
+    let mut out =
+        String::from("Ablation — partition policy quality (Stream variables, 128 KB MPB)\n\n");
     let _ = writeln!(
         out,
         "{:<20}{:>14}{:>20}",
@@ -227,9 +229,8 @@ pub fn ablation_partition_policies() -> String {
 /// Propagates pipeline failures.
 pub fn thread_folding(thread_counts: &[usize]) -> Result<String, PipelineError> {
     let config = SccConfig::table_6_1();
-    let mut out = String::from(
-        "§7.2 extension — Pi with more threads than cores (folded onto 48)\n\n",
-    );
+    let mut out =
+        String::from("§7.2 extension — Pi with more threads than cores (folded onto 48)\n\n");
     let _ = writeln!(out, "{:<10}{:>10}{:>12}", "Threads", "Cores", "Speedup");
     out.push_str(&"-".repeat(32));
     out.push('\n');
@@ -241,12 +242,7 @@ pub fn thread_folding(thread_counts: &[usize]) -> Result<String, PipelineError> 
         let base = hsm_core::run_baseline(&src, &config)?;
         // Translating a T-thread program for C < T cores triggers the
         // translator's many-to-one fold loop.
-        let hsm = hsm_core::run_translated(
-            &src,
-            cores,
-            hsm_core::Policy::SizeAscending,
-            &config,
-        )?;
+        let hsm = hsm_core::run_translated(&src, cores, hsm_core::Policy::SizeAscending, &config)?;
         let _ = writeln!(
             out,
             "{:<10}{:>10}{:>10.1}x",
@@ -270,9 +266,8 @@ pub fn energy_comparison(units: usize) -> Result<String, PipelineError> {
     let config = SccConfig::table_6_1();
     let tiles = config.mesh_cols * config.mesh_rows;
     let model = PowerModel::new(tiles);
-    let mut out = String::from(
-        "Energy estimate at the Table 6.1 operating point (full chip powered)\n\n",
-    );
+    let mut out =
+        String::from("Energy estimate at the Table 6.1 operating point (full chip powered)\n\n");
     let _ = writeln!(
         out,
         "{:<18}{:>16}{:>14}{:>12}",
@@ -317,9 +312,7 @@ pub fn stream_kernel_table(units: usize) -> Result<String, PipelineError> {
         size: 12_288,
         reps: 2,
     };
-    let mut out = String::from(
-        "Stream kernels — effective bandwidth (MB/s, simulated)\n\n",
-    );
+    let mut out = String::from("Stream kernels — effective bandwidth (MB/s, simulated)\n\n");
     let _ = writeln!(
         out,
         "{:<8}{:>16}{:>16}{:>16}",
@@ -356,9 +349,7 @@ pub fn stream_kernel_table(units: usize) -> Result<String, PipelineError> {
 ///
 /// Propagates pipeline failures.
 pub fn dvfs_sweep(units: usize) -> Result<String, PipelineError> {
-    let mut out = String::from(
-        "DVFS sweep — simulated run time (ms) of the HSM configuration\n\n",
-    );
+    let mut out = String::from("DVFS sweep — simulated run time (ms) of the HSM configuration\n\n");
     let _ = writeln!(
         out,
         "{:<12}{:>16}{:>16}",
@@ -393,9 +384,7 @@ pub fn dvfs_sweep(units: usize) -> Result<String, PipelineError> {
 pub fn jacobi_extension(core_counts: &[usize]) -> Result<String, PipelineError> {
     use hsm_workloads::{jacobi_source, Params};
     let config = SccConfig::table_6_1();
-    let mut out = String::from(
-        "Extension — Jacobi 1-D heat diffusion (in-worker barriers)\n\n",
-    );
+    let mut out = String::from("Extension — Jacobi 1-D heat diffusion (in-worker barriers)\n\n");
     let _ = writeln!(out, "{:<10}{:>12}{:>14}", "Cores", "Speedup", "Imbalance");
     out.push_str(&"-".repeat(36));
     out.push('\n');
@@ -407,8 +396,7 @@ pub fn jacobi_extension(core_counts: &[usize]) -> Result<String, PipelineError> 
         };
         let src = jacobi_source(&p);
         let base = hsm_core::run_baseline(&src, &config)?;
-        let hsm =
-            hsm_core::run_translated(&src, cores, hsm_core::Policy::SizeAscending, &config)?;
+        let hsm = hsm_core::run_translated(&src, cores, hsm_core::Policy::SizeAscending, &config)?;
         let _ = writeln!(
             out,
             "{:<10}{:>10.1}x{:>14.2}",

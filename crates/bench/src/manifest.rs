@@ -1,0 +1,340 @@
+//! The machine-readable run manifest.
+//!
+//! `figures --json` writes `BENCH_pipeline.json`: a versioned snapshot of
+//! the chip configuration, per-core × per-region memory counters, MPB
+//! occupancy and per-stage pipeline metrics for a fixed set of corpus
+//! programs. Everything except the `host_wall_nanos` fields is a pure
+//! function of the program sources and the simulator, so the manifest is
+//! diffable against the checked-in goldens in `goldens/` — the CI gate
+//! that pins the simulator's observable behaviour.
+
+use crate::json::Json;
+use hsm_core::metrics::PipelineMetrics;
+use hsm_core::{PipelineError, Policy};
+use hsm_exec::RunResult;
+use scc_sim::{Region, SccConfig};
+use std::path::PathBuf;
+
+/// Version of the manifest layout. Bump when renaming or moving fields so
+/// downstream consumers can dispatch.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+
+/// The corpus programs the manifest replays, with the core counts the
+/// corpus integration tests use.
+pub const MANIFEST_PROGRAMS: [(&str, usize); 5] = [
+    ("example_4_1", 3),
+    ("matrix_vector", 4),
+    ("mutex_histogram", 4),
+    ("switch_classifier", 2),
+    ("escaping_local", 4),
+];
+
+/// The subset of [`MANIFEST_PROGRAMS`] covered by the checked-in goldens
+/// (kept small so the debug-mode regression test stays fast).
+pub const GOLDEN_PROGRAMS: [(&str, usize); 2] = [("example_4_1", 3), ("matrix_vector", 4)];
+
+/// Timed runs behind each entry's `host_timing` block.
+const HOST_TIMING_RUNS: usize = 3;
+
+/// Manifest generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ManifestOptions {
+    /// Include host wall-clock stage timings (`host_wall_nanos`). These
+    /// vary run to run; goldens are built without them.
+    pub include_host_timings: bool,
+}
+
+impl Default for ManifestOptions {
+    fn default() -> Self {
+        ManifestOptions {
+            include_host_timings: true,
+        }
+    }
+}
+
+/// Absolute path of a corpus program.
+fn corpus_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../corpus")
+        .join(format!("{name}.c"))
+}
+
+/// The chip-configuration block.
+pub fn config_json(config: &SccConfig) -> Json {
+    Json::obj(vec![
+        ("cores", Json::UInt(config.cores as u64)),
+        ("mesh_cols", Json::UInt(config.mesh_cols as u64)),
+        ("mesh_rows", Json::UInt(config.mesh_rows as u64)),
+        ("core_freq_mhz", Json::UInt(u64::from(config.core_freq_mhz))),
+        ("l1_bytes", Json::UInt(config.l1_bytes as u64)),
+        ("l2_bytes", Json::UInt(config.l2_bytes as u64)),
+        ("line_bytes", Json::UInt(config.line_bytes as u64)),
+        (
+            "mpb_bytes_per_core",
+            Json::UInt(config.mpb_bytes_per_core as u64),
+        ),
+        (
+            "memory_controllers",
+            Json::UInt(config.memory_controllers as u64),
+        ),
+    ])
+}
+
+/// One run's counter block: chip-global aggregate, per-region totals with
+/// latency histograms, and per-core rows for every core that issued at
+/// least one access.
+pub fn run_json(r: &RunResult) -> Json {
+    let agg = &r.mem_stats;
+    let matrix = &r.stats_matrix;
+    let regions = Json::Obj(
+        Region::ALL
+            .iter()
+            .map(|&region| {
+                let hist = matrix.region_histogram(region);
+                let reads: u64 = matrix
+                    .per_core
+                    .iter()
+                    .map(|c| c.reads[region.index()])
+                    .sum();
+                let writes: u64 = matrix
+                    .per_core
+                    .iter()
+                    .map(|c| c.writes[region.index()])
+                    .sum();
+                (
+                    region.name().to_string(),
+                    Json::obj(vec![
+                        ("reads", Json::UInt(reads)),
+                        ("writes", Json::UInt(writes)),
+                        ("cycles", Json::UInt(hist.total_cycles)),
+                        ("max_latency", Json::UInt(hist.max)),
+                        ("latency_buckets", Json::uints(hist.buckets)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let per_core = Json::Arr(
+        matrix
+            .per_core
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.total_accesses() > 0)
+            .map(|(i, c)| {
+                Json::obj(vec![
+                    ("core", Json::UInt(i as u64)),
+                    ("reads", Json::uints(c.reads)),
+                    ("writes", Json::uints(c.writes)),
+                    ("cycles", Json::uints(c.region_cycles)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("total_cycles", Json::UInt(r.total_cycles)),
+        ("timed_cycles", Json::UInt(r.timed_cycles)),
+        ("exit_code", Json::Int(r.exit_code)),
+        ("l1_hits", Json::UInt(agg.l1_hits)),
+        ("l2_hits", Json::UInt(agg.l2_hits)),
+        ("private_dram", Json::UInt(agg.private_dram)),
+        ("shared_dram", Json::UInt(agg.shared_dram)),
+        ("mpb", Json::UInt(agg.mpb)),
+        ("mc_queue_cycles", Json::UInt(agg.mc_queue_cycles)),
+        ("active_cores", Json::UInt(matrix.active_cores() as u64)),
+        ("mpb_high_water_bytes", Json::UInt(r.mpb_high_water as u64)),
+        ("regions", regions),
+        ("per_core", per_core),
+    ])
+}
+
+/// The per-stage pipeline block (region sizes always; wall times only when
+/// requested, since they are host-dependent).
+pub fn metrics_json(m: &PipelineMetrics, opts: ManifestOptions) -> Json {
+    Json::Arr(
+        m.stages
+            .iter()
+            .map(|s| {
+                let mut pairs = vec![
+                    ("stage", Json::str(s.stage)),
+                    ("ir_size", Json::UInt(s.ir_size as u64)),
+                ];
+                if opts.include_host_timings {
+                    pairs.push(("host_wall_nanos", Json::UInt(s.wall_nanos as u64)));
+                }
+                Json::obj(pairs)
+            })
+            .collect(),
+    )
+}
+
+/// Replays one corpus program (baseline + HSM) and builds its manifest
+/// entry.
+///
+/// # Errors
+///
+/// Propagates pipeline failures; panics only if the corpus file itself is
+/// missing (a build-tree corruption, not a runtime condition).
+pub fn program_entry(
+    name: &str,
+    cores: usize,
+    config: &SccConfig,
+    opts: ManifestOptions,
+) -> Result<Json, PipelineError> {
+    let path = corpus_path(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read corpus program {}: {e}", path.display()));
+    let (base, base_metrics) = hsm_core::run_baseline_metered(&src, config)?;
+    let (hsm, hsm_metrics) =
+        hsm_core::run_translated_metered(&src, cores, Policy::SizeAscending, config)?;
+    let mut pairs = vec![
+        ("name", Json::str(name)),
+        ("cores", Json::UInt(cores as u64)),
+        ("pipeline", metrics_json(&hsm_metrics, opts)),
+        ("baseline_pipeline", metrics_json(&base_metrics, opts)),
+        ("baseline", run_json(&base)),
+        ("hsm", run_json(&hsm)),
+    ];
+    if opts.include_host_timings {
+        // Median-of-N wall time of the whole translate-and-simulate path
+        // (host-dependent, so `host_`-prefixed and absent from goldens).
+        let report = testkit::time_median(name, HOST_TIMING_RUNS, || {
+            let _ = std::hint::black_box(hsm_core::run_translated(
+                &src,
+                cores,
+                Policy::SizeAscending,
+                config,
+            ));
+        });
+        pairs.push((
+            "host_timing",
+            Json::obj(vec![
+                ("runs", Json::UInt(report.runs as u64)),
+                ("median_nanos", Json::UInt(report.median_nanos as u64)),
+                ("min_nanos", Json::UInt(report.min_nanos as u64)),
+                ("max_nanos", Json::UInt(report.max_nanos as u64)),
+            ]),
+        ));
+    }
+    Ok(Json::obj(pairs))
+}
+
+/// Builds a manifest for an explicit program list.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn manifest_for(
+    programs: &[(&str, usize)],
+    opts: ManifestOptions,
+) -> Result<Json, PipelineError> {
+    let config = SccConfig::table_6_1();
+    let entries = programs
+        .iter()
+        .map(|&(name, cores)| program_entry(name, cores, &config, opts))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Json::obj(vec![
+        ("schema_version", Json::UInt(MANIFEST_SCHEMA_VERSION)),
+        ("config", config_json(&config)),
+        ("programs", Json::Arr(entries)),
+    ]))
+}
+
+/// The full manifest `figures --json` writes.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn full_manifest(opts: ManifestOptions) -> Result<Json, PipelineError> {
+    manifest_for(&MANIFEST_PROGRAMS, opts)
+}
+
+/// The deterministic golden manifest (no host timings, golden program
+/// subset) the regression test pins.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn golden_manifest() -> Result<Json, PipelineError> {
+    manifest_for(
+        &GOLDEN_PROGRAMS,
+        ManifestOptions {
+            include_host_timings: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_structure_is_versioned_and_complete() {
+        let m = manifest_for(
+            &[("example_4_1", 3)],
+            ManifestOptions {
+                include_host_timings: false,
+            },
+        )
+        .expect("manifest");
+        assert_eq!(
+            m.get("schema_version"),
+            Some(&Json::UInt(MANIFEST_SCHEMA_VERSION))
+        );
+        assert_eq!(
+            m.get("config").and_then(|c| c.get("cores")),
+            Some(&Json::UInt(48))
+        );
+        let Some(Json::Arr(programs)) = m.get("programs") else {
+            panic!("programs array missing");
+        };
+        let entry = &programs[0];
+        assert_eq!(entry.get("name"), Some(&Json::str("example_4_1")));
+        // The HSM pipeline has all five stages, the baseline two.
+        let Some(Json::Arr(stages)) = entry.get("pipeline") else {
+            panic!("pipeline missing");
+        };
+        assert_eq!(stages.len(), 5);
+        let Some(Json::Arr(base_stages)) = entry.get("baseline_pipeline") else {
+            panic!("baseline pipeline missing");
+        };
+        assert_eq!(base_stages.len(), 2);
+        // Counter blocks are present and populated.
+        let hsm = entry.get("hsm").expect("hsm block");
+        assert!(matches!(hsm.get("total_cycles"), Some(Json::UInt(c)) if *c > 0));
+        let shared = hsm.get("regions").and_then(|r| r.get("shared_dram"));
+        assert!(shared.is_some(), "per-region block missing");
+        // Without host timings the rendering is deterministic.
+        let again = manifest_for(
+            &[("example_4_1", 3)],
+            ManifestOptions {
+                include_host_timings: false,
+            },
+        )
+        .expect("manifest");
+        assert_eq!(m.render(), again.render());
+    }
+
+    #[test]
+    fn host_timings_are_opt_in() {
+        let with = program_entry(
+            "example_4_1",
+            3,
+            &SccConfig::table_6_1(),
+            ManifestOptions {
+                include_host_timings: true,
+            },
+        )
+        .expect("entry");
+        let without = program_entry(
+            "example_4_1",
+            3,
+            &SccConfig::table_6_1(),
+            ManifestOptions {
+                include_host_timings: false,
+            },
+        )
+        .expect("entry");
+        assert!(with.render().contains("host_wall_nanos"));
+        assert!(!without.render().contains("host_wall_nanos"));
+    }
+}

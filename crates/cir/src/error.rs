@@ -74,7 +74,10 @@ mod tests {
     #[test]
     fn display_includes_location() {
         let e = LexError::new(Loc::new(2, 7), "unterminated string literal");
-        assert_eq!(e.to_string(), "lex error at 2:7: unterminated string literal");
+        assert_eq!(
+            e.to_string(),
+            "lex error at 2:7: unterminated string literal"
+        );
     }
 
     #[test]

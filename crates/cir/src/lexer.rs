@@ -255,10 +255,7 @@ impl<'src> Lexer<'src> {
     }
 
     fn skip_int_suffix(&mut self) {
-        while matches!(
-            self.peek(),
-            Some('u') | Some('U') | Some('l') | Some('L')
-        ) {
+        while matches!(self.peek(), Some('u') | Some('U') | Some('l') | Some('L')) {
             self.bump();
         }
     }
@@ -553,10 +550,7 @@ mod tests {
     fn skips_line_and_block_comments() {
         assert_eq!(
             kinds("a // comment\n /* multi\nline */ b"),
-            vec![
-                TokenKind::Ident("a".into()),
-                TokenKind::Ident("b".into()),
-            ]
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()),]
         );
     }
 

@@ -227,7 +227,8 @@ impl Parser {
                     storage = Storage::Typedef;
                     self.bump();
                 }
-                TokenKind::Keyword(Keyword::Const) | TokenKind::Keyword(Keyword::Volatile)
+                TokenKind::Keyword(Keyword::Const)
+                | TokenKind::Keyword(Keyword::Volatile)
                 | TokenKind::Keyword(Keyword::Signed) => {
                     self.bump();
                 }
@@ -269,7 +270,9 @@ impl Parser {
                     base = Some(CType::Named(format!("struct {name}")));
                 }
                 TokenKind::Ident(name)
-                    if base.is_none() && longs == 0 && !unsigned
+                    if base.is_none()
+                        && longs == 0
+                        && !unsigned
                         && self.type_names.contains(&name) =>
                 {
                     base = Some(CType::Named(name.clone()));
@@ -285,9 +288,7 @@ impl Parser {
             (Some(CType::Int) | None, 0, true) => CType::UInt,
             (Some(CType::Double), _, _) => CType::Double,
             (Some(t), _, _) => t,
-            (None, _, _) => {
-                return Err(ParseError::new(self.loc(), "expected type specifier"))
-            }
+            (None, _, _) => return Err(ParseError::new(self.loc(), "expected type specifier")),
         };
         Ok((storage, ty))
     }
@@ -334,9 +335,8 @@ impl Parser {
         // literals and simple products/sums of literals.
         let loc = self.loc();
         let expr = self.parse_assignment()?;
-        const_fold(&expr).ok_or_else(|| {
-            ParseError::new(loc, "array length must be a constant expression")
-        })
+        const_fold(&expr)
+            .ok_or_else(|| ParseError::new(loc, "array length must be a constant expression"))
     }
 
     // ---------------------------------------------------------------- items
@@ -396,7 +396,10 @@ impl Parser {
             let mut body = Vec::new();
             while !self.eat_punct(Punct::RBrace) {
                 if self.peek() == &TokenKind::Eof {
-                    return Err(ParseError::new(self.loc(), "unexpected end of file in function body"));
+                    return Err(ParseError::new(
+                        self.loc(),
+                        "unexpected end of file in function body",
+                    ));
                 }
                 body.push(self.parse_stmt()?);
             }
@@ -553,7 +556,10 @@ impl Parser {
                 let mut stmts = Vec::new();
                 while !self.eat_punct(Punct::RBrace) {
                     if self.peek() == &TokenKind::Eof {
-                        return Err(ParseError::new(self.loc(), "unexpected end of file in block"));
+                        return Err(ParseError::new(
+                            self.loc(),
+                            "unexpected end of file in block",
+                        ));
                     }
                     stmts.push(self.parse_stmt()?);
                 }
@@ -584,7 +590,10 @@ impl Parser {
                 self.bump();
                 let body = Box::new(self.parse_stmt()?);
                 if !self.eat_keyword(Keyword::While) {
-                    return Err(ParseError::new(self.loc(), "expected `while` after do body"));
+                    return Err(ParseError::new(
+                        self.loc(),
+                        "expected `while` after do body",
+                    ));
                 }
                 self.expect_punct(Punct::LParen)?;
                 let cond = self.parse_expr()?;
@@ -1135,7 +1144,10 @@ int main() {
         let ExprKind::Binary(BinaryOp::Add, _, add_rhs) = &rhs.kind else {
             panic!("expected + at top: {:?}", rhs.kind);
         };
-        assert!(matches!(add_rhs.kind, ExprKind::Binary(BinaryOp::Mul, _, _)));
+        assert!(matches!(
+            add_rhs.kind,
+            ExprKind::Binary(BinaryOp::Mul, _, _)
+        ));
     }
 
     #[test]
@@ -1146,24 +1158,30 @@ int main() {
         let StmtKind::Expr(Some(e1)) = &main.body[2].kind else {
             panic!()
         };
-        let ExprKind::Assign(_, _, r1) = &e1.kind else { panic!() };
+        let ExprKind::Assign(_, _, r1) = &e1.kind else {
+            panic!()
+        };
         assert!(matches!(r1.kind, ExprKind::Cast(CType::Int, _)));
         let StmtKind::Expr(Some(e2)) = &main.body[3].kind else {
             panic!()
         };
-        let ExprKind::Assign(_, _, r2) = &e2.kind else { panic!() };
+        let ExprKind::Assign(_, _, r2) = &e2.kind else {
+            panic!()
+        };
         assert!(matches!(r2.kind, ExprKind::Binary(BinaryOp::Add, _, _)));
     }
 
     #[test]
     fn void_pointer_cast_of_argument() {
-        let tu = parse("int f(int x); int main() { f((int)((void *) 5)); return 0; }")
-            .expect("parse");
+        let tu =
+            parse("int f(int x); int main() { f((int)((void *) 5)); return 0; }").expect("parse");
         let main = tu.function("main").unwrap();
         let StmtKind::Expr(Some(call)) = &main.body[0].kind else {
             panic!()
         };
-        let ExprKind::Call(_, args) = &call.kind else { panic!() };
+        let ExprKind::Call(_, args) = &call.kind else {
+            panic!()
+        };
         let ExprKind::Cast(CType::Int, inner) = &args[0].kind else {
             panic!("outer cast")
         };
@@ -1172,11 +1190,15 @@ int main() {
 
     #[test]
     fn sizeof_type_and_expr() {
-        let tu = parse("int main() { int x; x = sizeof(int) + sizeof x; return x; }")
-            .expect("parse");
+        let tu =
+            parse("int main() { int x; x = sizeof(int) + sizeof x; return x; }").expect("parse");
         let main = tu.function("main").unwrap();
-        let StmtKind::Expr(Some(e)) = &main.body[1].kind else { panic!() };
-        let ExprKind::Assign(_, _, rhs) = &e.kind else { panic!() };
+        let StmtKind::Expr(Some(e)) = &main.body[1].kind else {
+            panic!()
+        };
+        let ExprKind::Assign(_, _, rhs) = &e.kind else {
+            panic!()
+        };
         let ExprKind::Binary(BinaryOp::Add, l, r) = &rhs.kind else {
             panic!()
         };
@@ -1188,7 +1210,9 @@ int main() {
     fn pthread_t_is_a_type_name() {
         let tu = parse("int main() { pthread_t threads[3]; return 0; }").expect("parse");
         let main = tu.function("main").unwrap();
-        let StmtKind::Decl(d) = &main.body[0].kind else { panic!() };
+        let StmtKind::Decl(d) = &main.body[0].kind else {
+            panic!()
+        };
         assert_eq!(
             d.vars[0].ty,
             CType::Named("pthread_t".into()).array_of(Some(3))
@@ -1205,11 +1229,9 @@ int main() {
 
     #[test]
     fn for_with_decl_init() {
-        let tu = parse("int main() { for (int i = 0; i < 10; i++) { } return 0; }")
-            .expect("parse");
+        let tu = parse("int main() { for (int i = 0; i < 10; i++) { } return 0; }").expect("parse");
         let main = tu.function("main").unwrap();
-        let StmtKind::For(Some(ForInit::Decl(d)), Some(_), Some(_), _) = &main.body[0].kind
-        else {
+        let StmtKind::For(Some(ForInit::Decl(d)), Some(_), Some(_), _) = &main.body[0].kind else {
             panic!()
         };
         assert_eq!(d.vars[0].name, "i");
@@ -1226,10 +1248,13 @@ int main() {
 
     #[test]
     fn ternary_and_logical_ops() {
-        let tu = parse("int main() { int a = 1, b = 2; int c = a && b ? a | b : a ^ b; return c; }")
-            .expect("parse");
+        let tu =
+            parse("int main() { int a = 1, b = 2; int c = a && b ? a | b : a ^ b; return c; }")
+                .expect("parse");
         let main = tu.function("main").unwrap();
-        let StmtKind::Decl(d) = &main.body[1].kind else { panic!() };
+        let StmtKind::Decl(d) = &main.body[1].kind else {
+            panic!()
+        };
         assert!(matches!(
             d.vars[0].init.as_ref().unwrap().kind,
             ExprKind::Ternary(..)
@@ -1240,10 +1265,7 @@ int main() {
     fn unsigned_and_long_types() {
         let tu = parse("unsigned int a; unsigned long b; long c; long long d; unsigned e;")
             .expect("parse");
-        let tys: Vec<_> = tu
-            .global_decls()
-            .map(|d| d.vars[0].ty.clone())
-            .collect();
+        let tys: Vec<_> = tu.global_decls().map(|d| d.vars[0].ty.clone()).collect();
         assert_eq!(
             tys,
             vec![
@@ -1298,21 +1320,26 @@ int main() {
     fn postfix_chain_member_call_index() {
         let tu = parse("int main() { int a[3]; a[0]++; --a[1]; return a[0]; }").expect("parse");
         let main = tu.function("main").unwrap();
-        let StmtKind::Expr(Some(e)) = &main.body[1].kind else { panic!() };
+        let StmtKind::Expr(Some(e)) = &main.body[1].kind else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::PostIncDec(_, true)));
-        let StmtKind::Expr(Some(e2)) = &main.body[2].kind else { panic!() };
-        assert!(matches!(
-            e2.kind,
-            ExprKind::Unary(UnaryOp::PreDec, _)
-        ));
+        let StmtKind::Expr(Some(e2)) = &main.body[2].kind else {
+            panic!()
+        };
+        assert!(matches!(e2.kind, ExprKind::Unary(UnaryOp::PreDec, _)));
     }
 
     #[test]
     fn adjacent_string_literals_concatenate() {
         let tu = parse(r#"int main() { printf("a" "b"); return 0; }"#).expect("parse");
         let main = tu.function("main").unwrap();
-        let StmtKind::Expr(Some(e)) = &main.body[0].kind else { panic!() };
-        let ExprKind::Call(_, args) = &e.kind else { panic!() };
+        let StmtKind::Expr(Some(e)) = &main.body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Call(_, args) = &e.kind else {
+            panic!()
+        };
         assert_eq!(args[0].kind, ExprKind::StrLit("ab".into()));
     }
 
@@ -1345,11 +1372,11 @@ int main() {
 
     #[test]
     fn comma_expression_in_for_step() {
-        let tu = parse("int main() { int i, j; for (i = 0, j = 9; i < j; i++, j--) { } return 0; }")
-            .expect("parse");
+        let tu =
+            parse("int main() { int i, j; for (i = 0, j = 9; i < j; i++, j--) { } return 0; }")
+                .expect("parse");
         let main = tu.function("main").unwrap();
-        let StmtKind::For(Some(ForInit::Expr(init)), _, Some(step), _) = &main.body[1].kind
-        else {
+        let StmtKind::For(Some(ForInit::Expr(init)), _, Some(step), _) = &main.body[1].kind else {
             panic!()
         };
         assert!(matches!(init.kind, ExprKind::Comma(..)));
@@ -1360,8 +1387,12 @@ int main() {
     fn const_fold_handles_sizeof() {
         let tu = parse("int main() { int x; x = sizeof(double) * 3; return x; }").expect("parse");
         let main = tu.function("main").unwrap();
-        let StmtKind::Expr(Some(e)) = &main.body[1].kind else { panic!() };
-        let ExprKind::Assign(_, _, rhs) = &e.kind else { panic!() };
+        let StmtKind::Expr(Some(e)) = &main.body[1].kind else {
+            panic!()
+        };
+        let ExprKind::Assign(_, _, rhs) = &e.kind else {
+            panic!()
+        };
         assert_eq!(const_fold(rhs), Some(24));
     }
 
@@ -1404,8 +1435,8 @@ int main() { return classify(1); }
 
     #[test]
     fn case_label_must_be_constant() {
-        let err = parse("int main() { int x = 0; switch (x) { case x: break; } return 0; }")
-            .unwrap_err();
+        let err =
+            parse("int main() { int x = 0; switch (x) { case x: break; } return 0; }").unwrap_err();
         assert!(err.message.contains("constant"), "{err}");
     }
 }

@@ -84,9 +84,7 @@ impl Printer {
                 .collect::<Vec<_>>()
                 .join(", ")
         };
-        let header = f
-            .ret
-            .display_decl(&format!("{}({params})", f.name));
+        let header = f.ret.display_decl(&format!("{}({params})", f.name));
         let _ = writeln!(self.out, "{header}");
         self.out.push_str("{\n");
         self.indent += 1;
@@ -537,7 +535,9 @@ int main() {
 
     #[test]
     fn round_trips_unary_chains() {
-        reparses("int main() { int a = 1; int b = - -a; int c = !!a; int *p = &a; return *p + b + c; }");
+        reparses(
+            "int main() { int a = 1; int b = - -a; int c = !!a; int *p = &a; return *p + b + c; }",
+        );
     }
 
     #[test]
@@ -556,8 +556,8 @@ int main() {
     #[test]
     fn comma_argument_is_parenthesized() {
         // A comma expression as a call argument must keep its parens.
-        let tu = parse("int f(int); int main() { int a = 0, b = 1; return f((a, b)); }")
-            .expect("parse");
+        let tu =
+            parse("int f(int); int main() { int a = 0, b = 1; return f((a, b)); }").expect("parse");
         let out = print_unit(&tu);
         assert!(out.contains("f((a, b))"), "got: {out}");
         parse(&out).expect("reparse");

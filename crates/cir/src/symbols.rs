@@ -207,9 +207,7 @@ impl SymbolTable {
                     self.collect_stmt(func, e);
                 }
             }
-            StmtKind::While(_, body) | StmtKind::DoWhile(body, _) => {
-                self.collect_stmt(func, body)
-            }
+            StmtKind::While(_, body) | StmtKind::DoWhile(body, _) => self.collect_stmt(func, body),
             StmtKind::Switch(_, body) => {
                 for st in body {
                     self.collect_stmt(func, st);
@@ -320,7 +318,11 @@ int main() {
     fn classifies_globals_and_locals() {
         let tu = parse(EXAMPLE).unwrap();
         let t = SymbolTable::build(&tu);
-        let globals: Vec<_> = t.global_variables().iter().map(|s| s.name.clone()).collect();
+        let globals: Vec<_> = t
+            .global_variables()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
         assert_eq!(globals, vec!["global", "ptr", "sum"]);
         let main_locals: Vec<_> = t.locals_of("main").iter().map(|s| s.name.clone()).collect();
         assert_eq!(main_locals, vec!["local", "tmp", "threads", "rc"]);

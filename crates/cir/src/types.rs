@@ -74,8 +74,13 @@ impl CType {
     pub fn is_integer(&self) -> bool {
         matches!(
             self,
-            CType::Char | CType::Short | CType::Int | CType::Long | CType::LongLong
-                | CType::UInt | CType::ULong
+            CType::Char
+                | CType::Short
+                | CType::Int
+                | CType::Long
+                | CType::LongLong
+                | CType::UInt
+                | CType::ULong
         )
     }
 

@@ -20,9 +20,7 @@ pub fn walk_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
         | ExprKind::PostIncDec(inner, _)
         | ExprKind::Cast(_, inner)
         | ExprKind::SizeofExpr(inner) => walk_expr(inner, f),
-        ExprKind::Binary(_, l, r)
-        | ExprKind::Assign(_, l, r)
-        | ExprKind::Comma(l, r) => {
+        ExprKind::Binary(_, l, r) | ExprKind::Assign(_, l, r) | ExprKind::Comma(l, r) => {
             walk_expr(l, f);
             walk_expr(r, f);
         }
@@ -171,10 +169,7 @@ pub fn walk_decls_in_unit(tu: &TranslationUnit, f: &mut impl FnMut(&Declaration,
 
 /// Collects every direct call to `target` in the unit, together with the
 /// name of the function it appears in and whether it is inside a loop.
-pub fn find_calls<'a>(
-    tu: &'a TranslationUnit,
-    target: &str,
-) -> Vec<CallSite<'a>> {
+pub fn find_calls<'a>(tu: &'a TranslationUnit, target: &str) -> Vec<CallSite<'a>> {
     let mut out = Vec::new();
     for func in tu.functions() {
         for s in &func.body {
@@ -320,8 +315,8 @@ int main() {
 
     #[test]
     fn walk_exprs_in_stmt_covers_conditions_and_steps() {
-        let tu = parse("int main() { int i; for (i = 0; i < 9; i++) { i += 1; } return 0; }")
-            .unwrap();
+        let tu =
+            parse("int main() { int i; for (i = 0; i < 9; i++) { i += 1; } return 0; }").unwrap();
         let main = tu.function("main").unwrap();
         let mut idents = 0;
         walk_exprs_in_stmt(&main.body[1], &mut |e| {

@@ -1,13 +1,16 @@
-//! Property tests: printing an AST and re-parsing the output must be a
-//! fixpoint (print ∘ parse ∘ print == print), and lexing printed operators
-//! must round-trip.
+//! Property tests (testkit-driven): printing an AST and re-parsing the
+//! output must be a fixpoint (print ∘ parse ∘ print == print), and lexing
+//! printed operators must round-trip.
+//!
+//! Regressions found by the old proptest suite are pinned as named test
+//! cases at the bottom instead of a `.proptest-regressions` seed file.
 
 use hsm_cir::ast::*;
 use hsm_cir::parser::parse;
 use hsm_cir::printer::print_unit;
 use hsm_cir::span::Span;
 use hsm_cir::types::CType;
-use proptest::prelude::*;
+use testkit::{check, SplitMix64};
 
 fn e(kind: ExprKind) -> Expr {
     Expr {
@@ -17,84 +20,78 @@ fn e(kind: ExprKind) -> Expr {
     }
 }
 
-fn arb_binop() -> impl Strategy<Value = BinaryOp> {
-    prop_oneof![
-        Just(BinaryOp::Add),
-        Just(BinaryOp::Sub),
-        Just(BinaryOp::Mul),
-        Just(BinaryOp::Div),
-        Just(BinaryOp::Rem),
-        Just(BinaryOp::Shl),
-        Just(BinaryOp::Shr),
-        Just(BinaryOp::Lt),
-        Just(BinaryOp::Gt),
-        Just(BinaryOp::Le),
-        Just(BinaryOp::Ge),
-        Just(BinaryOp::Eq),
-        Just(BinaryOp::Ne),
-        Just(BinaryOp::BitAnd),
-        Just(BinaryOp::BitXor),
-        Just(BinaryOp::BitOr),
-        Just(BinaryOp::LogAnd),
-        Just(BinaryOp::LogOr),
-    ]
-}
+const BINOPS: [BinaryOp; 18] = [
+    BinaryOp::Add,
+    BinaryOp::Sub,
+    BinaryOp::Mul,
+    BinaryOp::Div,
+    BinaryOp::Rem,
+    BinaryOp::Shl,
+    BinaryOp::Shr,
+    BinaryOp::Lt,
+    BinaryOp::Gt,
+    BinaryOp::Le,
+    BinaryOp::Ge,
+    BinaryOp::Eq,
+    BinaryOp::Ne,
+    BinaryOp::BitAnd,
+    BinaryOp::BitXor,
+    BinaryOp::BitOr,
+    BinaryOp::LogAnd,
+    BinaryOp::LogOr,
+];
 
-fn arb_unop() -> impl Strategy<Value = UnaryOp> {
-    prop_oneof![
-        Just(UnaryOp::Neg),
-        Just(UnaryOp::Not),
-        Just(UnaryOp::BitNot),
-        Just(UnaryOp::Deref),
-        Just(UnaryOp::Addr),
-    ]
-}
+const UNOPS: [UnaryOp; 5] = [
+    UnaryOp::Neg,
+    UnaryOp::Not,
+    UnaryOp::BitNot,
+    UnaryOp::Deref,
+    UnaryOp::Addr,
+];
 
 /// Identifiers drawn from a small pool that the harness declares.
-fn arb_ident() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("a".to_string()),
-        Just("b".to_string()),
-        Just("c".to_string()),
-        Just("p".to_string()),
-        Just("arr".to_string()),
-    ]
-}
+const IDENTS: [&str; 5] = ["a", "b", "c", "p", "arr"];
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0i64..1000).prop_map(|v| e(ExprKind::IntLit(v))),
-        arb_ident().prop_map(|n| e(ExprKind::Ident(n))),
-    ];
-    leaf.prop_recursive(4, 48, 3, |inner| {
-        prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| e(
-                ExprKind::Binary(op, Box::new(l), Box::new(r))
-            )),
-            (arb_unop(), inner.clone()).prop_map(|(op, x)| e(ExprKind::Unary(
-                op,
-                Box::new(x)
+/// Random expression over the harness's declared names, depth-bounded like
+/// the old `prop_recursive(4, ..)` strategy.
+fn gen_expr(rng: &mut SplitMix64, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_range_usize(0, 4) == 0 {
+        return if rng.gen_bool() {
+            e(ExprKind::IntLit(rng.gen_range_i64(0, 1000)))
+        } else {
+            e(ExprKind::Ident((*rng.choose(&IDENTS)).to_string()))
+        };
+    }
+    let d = depth - 1;
+    match rng.gen_range_usize(0, 6) {
+        0 => e(ExprKind::Binary(
+            *rng.choose(&BINOPS),
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+        )),
+        1 => e(ExprKind::Unary(
+            *rng.choose(&UNOPS),
+            Box::new(gen_expr(rng, d)),
+        )),
+        2 => e(ExprKind::Ternary(
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+        )),
+        3 => e(ExprKind::Index(
+            Box::new(e(ExprKind::Ident("arr".into()))),
+            Box::new(e(ExprKind::Binary(
+                BinaryOp::Add,
+                Box::new(gen_expr(rng, d)),
+                Box::new(gen_expr(rng, d)),
             ))),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| e(
-                ExprKind::Ternary(Box::new(c), Box::new(t), Box::new(f))
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(b, i)| e(ExprKind::Index(
-                Box::new(e(ExprKind::Ident("arr".into()))),
-                Box::new(e(ExprKind::Binary(
-                    BinaryOp::Add,
-                    Box::new(b),
-                    Box::new(i)
-                )))
-            ))),
-            inner
-                .clone()
-                .prop_map(|x| e(ExprKind::Cast(CType::Int, Box::new(x)))),
-            inner.clone().prop_map(|_| e(ExprKind::PostIncDec(
-                Box::new(e(ExprKind::Ident("a".into()))),
-                true
-            ))),
-        ]
-    })
+        )),
+        4 => e(ExprKind::Cast(CType::Int, Box::new(gen_expr(rng, d)))),
+        _ => e(ExprKind::PostIncDec(
+            Box::new(e(ExprKind::Ident("a".into()))),
+            true,
+        )),
+    }
 }
 
 /// Wraps an expression into a compilable harness program.
@@ -111,47 +108,84 @@ fn harness(expr: &Expr) -> TranslationUnit {
     tu
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// The fixpoint check shared by the random property and the pinned
+/// regressions: print(parse(print(ast))) == print(ast).
+fn assert_fixpoint(expr: &Expr) {
+    let tu = harness(expr);
+    let printed = print_unit(&tu);
+    let reparsed = parse(&printed)
+        .unwrap_or_else(|err| panic!("printed source failed to parse: {err}\n{printed}"));
+    let printed2 = print_unit(&reparsed);
+    assert_eq!(printed, printed2);
+}
 
-    /// print(parse(print(ast))) == print(ast): printing is a fixpoint and
-    /// the printed source is always parseable.
-    #[test]
-    fn print_parse_print_is_fixpoint(expr in arb_expr()) {
-        let tu = harness(&expr);
-        let printed = print_unit(&tu);
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|err| panic!("printed source failed to parse: {err}\n{printed}"));
-        let printed2 = print_unit(&reparsed);
-        prop_assert_eq!(printed, printed2);
-    }
+// ------------------------------------------------------- properties --
 
-    /// Integer literals survive the full pipeline unchanged.
-    #[test]
-    fn int_literals_round_trip(v in 0i64..i64::MAX / 2) {
+/// print(parse(print(ast))) == print(ast): printing is a fixpoint and the
+/// printed source is always parseable.
+#[test]
+fn print_parse_print_is_fixpoint() {
+    check("print_parse_print_is_fixpoint", 256, |rng| {
+        let expr = gen_expr(rng, 4);
+        assert_fixpoint(&expr);
+    });
+}
+
+/// Integer literals survive the full pipeline unchanged.
+#[test]
+fn int_literals_round_trip() {
+    check("int_literals_round_trip", 256, |rng| {
+        let v = rng.gen_range_i64(0, i64::MAX / 2);
         let src = format!("long x = {v};");
         let tu = parse(&src).unwrap();
         let printed = print_unit(&tu);
-        prop_assert!(printed.contains(&v.to_string()));
+        assert!(printed.contains(&v.to_string()));
         let again = parse(&printed).unwrap();
-        prop_assert_eq!(print_unit(&again), printed);
-    }
+        assert_eq!(print_unit(&again), printed);
+    });
+}
 
-    /// Any identifier-shaped name lexes back to itself.
-    #[test]
-    fn identifiers_round_trip(name in "[a-zA-Z_][a-zA-Z0-9_]{0,12}") {
-        prop_assume!(hsm_cir::token::Keyword::from_str(&name).is_none());
+const IDENT_FIRST: [char; 53] = [
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L',
+    'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '_',
+];
+
+const IDENT_REST: [char; 63] = [
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L',
+    'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '_', '0', '1', '2', '3',
+    '4', '5', '6', '7', '8', '9',
+];
+
+/// Any identifier-shaped name lexes back to itself.
+#[test]
+fn identifiers_round_trip() {
+    check("identifiers_round_trip", 256, |rng| {
+        let mut name = String::new();
+        name.push(*rng.choose(&IDENT_FIRST));
+        let rest = rng.gen_range_usize(0, 13);
+        name.push_str(&rng.gen_string(&IDENT_REST, rest));
+        if hsm_cir::token::Keyword::from_str(&name).is_some() {
+            return;
+        }
         // Skip names the parser treats as type names.
         let src = format!("int {name};");
         if let Ok(tu) = parse(&src) {
             let printed = print_unit(&tu);
-            prop_assert!(printed.contains(&name));
+            assert!(printed.contains(&name));
         }
-    }
+    });
+}
 
-    /// String literal escaping round-trips arbitrary printable content.
-    #[test]
-    fn string_literals_round_trip(s in "[ -~]{0,24}") {
+/// String literal escaping round-trips arbitrary printable content.
+#[test]
+fn string_literals_round_trip() {
+    check("string_literals_round_trip", 256, |rng| {
+        let len = rng.gen_range_usize(0, 25);
+        let s: String = (0..len)
+            .map(|_| char::from(rng.gen_range_u64(0x20, 0x7F) as u8))
+            .collect();
         let escaped: String = s
             .chars()
             .flat_map(|ch| match ch {
@@ -164,46 +198,92 @@ proptest! {
         let tu = parse(&src).unwrap();
         let printed = print_unit(&tu);
         let reparsed = parse(&printed).unwrap();
-        prop_assert_eq!(print_unit(&reparsed), printed);
-    }
+        assert_eq!(print_unit(&reparsed), printed);
+    });
+}
 
-    /// The lexer never panics: arbitrary input either lexes or returns a
-    /// located error.
-    #[test]
-    fn lexer_is_total(input in "\\PC{0,200}") {
+/// The lexer never panics: arbitrary input either lexes or returns a
+/// located error.
+#[test]
+fn lexer_is_total() {
+    check("lexer_is_total", 256, |rng| {
+        let len = rng.gen_range_usize(0, 201);
+        let input: String = (0..len)
+            .map(|_| {
+                // Arbitrary scalar values, surrogates skipped — covers
+                // ASCII, multi-byte UTF-8 and astral-plane characters.
+                loop {
+                    let v = rng.gen_range_u64(0, 0x11_0000) as u32;
+                    if let Some(ch) = char::from_u32(v) {
+                        return ch;
+                    }
+                }
+            })
+            .collect();
         let _ = hsm_cir::lexer::lex(&input);
-    }
+    });
+}
 
-    /// The parser never panics on arbitrary token-shaped soup.
-    #[test]
-    fn parser_is_total(input in "[a-z0-9(){};*&=+<>,.\"' \n-]{0,300}") {
+const SOUP: [char; 30] = [
+    'a', 'b', 'c', 'd', 'e', 'f', 'x', 'y', 'z', '0', '1', '9', '(', ')', '{', '}', ';', '*', '&',
+    '=', '+', '<', '>', ',', '.', '"', '\'', ' ', '\n', '-',
+];
+
+/// The parser never panics on arbitrary token-shaped soup.
+#[test]
+fn parser_is_total() {
+    check("parser_is_total", 256, |rng| {
+        let len = rng.gen_range_usize(0, 301);
+        let input = rng.gen_string(&SOUP, len);
         let _ = parse(&input);
-    }
+    });
+}
 
-    /// Whatever parses must print and re-parse to a fixpoint — for whole
-    /// random programs assembled from statement templates.
-    #[test]
-    fn random_programs_round_trip(
-        stmts in proptest::collection::vec(0usize..8, 1..12),
-        n in 1usize..20,
-    ) {
-        let templates = [
-            "a = a + 1;",
-            "b = a * 2 - c;",
-            "if (a > b) { c = 1; } else { c = 2; }",
-            "while (a > 0) { a = a - 1; }",
-            "for (a = 0; a < 5; a++) { arr[a] = a; }",
-            "p = &a;",
-            "c = *p;",
-            "switch (a) { case 1: b = 1; break; default: b = 0; }",
-        ];
-        let body: String = stmts.iter().map(|&i| templates[i]).collect::<Vec<_>>().join("\n    ");
+/// Whatever parses must print and re-parse to a fixpoint — for whole
+/// random programs assembled from statement templates.
+#[test]
+fn random_programs_round_trip() {
+    let templates = [
+        "a = a + 1;",
+        "b = a * 2 - c;",
+        "if (a > b) { c = 1; } else { c = 2; }",
+        "while (a > 0) { a = a - 1; }",
+        "for (a = 0; a < 5; a++) { arr[a] = a; }",
+        "p = &a;",
+        "c = *p;",
+        "switch (a) { case 1: b = 1; break; default: b = 0; }",
+    ];
+    check("random_programs_round_trip", 256, |rng| {
+        let count = rng.gen_range_usize(1, 12);
+        let n = rng.gen_range_usize(1, 20);
+        let body: String = (0..count)
+            .map(|_| *rng.choose(&templates))
+            .collect::<Vec<_>>()
+            .join("\n    ");
         let src = format!(
             "int a; int b; int c; int *p; int arr[{n}];\nint main() {{\n    {body}\n    return a + b + c;\n}}\n"
         );
         let tu = parse(&src).expect("template program parses");
         let printed = print_unit(&tu);
         let reparsed = parse(&printed).expect("printed parses");
-        prop_assert_eq!(print_unit(&reparsed), printed);
-    }
+        assert_eq!(print_unit(&reparsed), printed);
+    });
+}
+
+// ------------------------------------------------- pinned regressions --
+
+/// Pinned from the retired `.proptest-regressions` file: proptest once
+/// shrank a fixpoint failure to `&(&0)` — taking the address of an
+/// address-of expression, which exercises parenthesisation of nested
+/// prefix `&` in the printer.
+#[test]
+fn regression_addr_of_addr_of_literal() {
+    let expr = e(ExprKind::Unary(
+        UnaryOp::Addr,
+        Box::new(e(ExprKind::Unary(
+            UnaryOp::Addr,
+            Box::new(e(ExprKind::IntLit(0))),
+        ))),
+    ));
+    assert_fixpoint(&expr);
 }

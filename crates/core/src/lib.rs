@@ -20,13 +20,17 @@
 
 #![warn(missing_docs)]
 
+pub mod metrics;
+
 use hsm_exec::{ExecError, RunResult};
 use hsm_translate::{TranslateError, TranslateOptions, Translation};
 use hsm_workloads::{Bench, Params};
+use metrics::PipelineMetrics;
 use scc_sim::SccConfig;
 use std::fmt;
 
 pub use hsm_partition::Policy;
+pub use metrics::{StageMetric, STAGE_NAMES};
 
 /// A pipeline failure at any stage.
 #[derive(Debug)]
@@ -87,7 +91,70 @@ pub fn translate_source(
     policy: Policy,
 ) -> Result<Translation, PipelineError> {
     let tu = hsm_cir::parse(src)?;
-    Ok(hsm_translate::translate(&tu, TranslateOptions { cores, policy })?)
+    Ok(hsm_translate::translate(
+        &tu,
+        TranslateOptions { cores, policy },
+    )?)
+}
+
+/// [`translate_source`] plus bytecode compilation, with every stage
+/// individually metered (wall time and IR size).
+///
+/// Runs the same five stages as [`run_translated`] — parse, analyze,
+/// partition, translate, compile — but drives them one at a time so each
+/// gets its own [`StageMetric`].
+///
+/// # Errors
+///
+/// Propagates parse, translation and compilation failures.
+pub fn compile_translated_metered(
+    src: &str,
+    cores: usize,
+    policy: Policy,
+) -> Result<(Translation, hsm_vm::Program, PipelineMetrics), PipelineError> {
+    let mut metrics = PipelineMetrics::default();
+    let tu = metrics.measure("parse", || {
+        hsm_cir::parse(src)
+            .map(|tu| {
+                let size = hsm_cir::print_unit(&tu).len();
+                (tu, size)
+            })
+            .map_err(PipelineError::from)
+    })?;
+    let analysis = metrics.measure("analyze", || {
+        let a = hsm_analysis::ProgramAnalysis::analyze(&tu);
+        let vars = a.sharing.variables().count();
+        Ok::<_, PipelineError>((a, vars))
+    })?;
+    let plan = metrics.measure("partition", || {
+        let shared = hsm_partition::shared_vars_from_analysis(&analysis);
+        let spec = hsm_partition::MemorySpec::scc(48);
+        let plan = hsm_partition::partition(&shared, &spec, policy);
+        let placements = plan.placements.len();
+        Ok::<_, PipelineError>((plan, placements))
+    })?;
+    let translation = metrics.measure("translate", || {
+        hsm_translate::translate_with_plan(
+            &tu,
+            &analysis,
+            &plan,
+            TranslateOptions { cores, policy },
+        )
+        .map(|t| {
+            let size = t.to_source().len();
+            (t, size)
+        })
+        .map_err(PipelineError::from)
+    })?;
+    let program = metrics.measure("compile", || {
+        hsm_vm::compile(&translation.unit)
+            .map(|p| {
+                let len = p.code_len();
+                (p, len)
+            })
+            .map_err(PipelineError::from)
+    })?;
+    Ok((translation, program, metrics))
 }
 
 /// Runs pthread C source in baseline mode (all threads on one core).
@@ -115,6 +182,51 @@ pub fn run_translated(
     let translation = translate_source(src, cores, policy)?;
     let program = hsm_vm::compile(&translation.unit)?;
     Ok(hsm_exec::run_rcce(&program, cores, config)?)
+}
+
+/// Runs pthread C source in baseline mode with stage metering (the
+/// baseline pipeline has only two stages: parse and compile).
+///
+/// # Errors
+///
+/// Propagates failures from any stage.
+pub fn run_baseline_metered(
+    src: &str,
+    config: &SccConfig,
+) -> Result<(RunResult, PipelineMetrics), PipelineError> {
+    let mut metrics = PipelineMetrics::default();
+    let tu = metrics.measure("parse", || {
+        hsm_cir::parse(src)
+            .map(|tu| {
+                let size = hsm_cir::print_unit(&tu).len();
+                (tu, size)
+            })
+            .map_err(PipelineError::from)
+    })?;
+    let program = metrics.measure("compile", || {
+        hsm_vm::compile(&tu)
+            .map(|p| {
+                let len = p.code_len();
+                (p, len)
+            })
+            .map_err(PipelineError::from)
+    })?;
+    Ok((hsm_exec::run_pthread(&program, config)?, metrics))
+}
+
+/// Translates, compiles and runs with stage metering.
+///
+/// # Errors
+///
+/// Propagates failures from any stage.
+pub fn run_translated_metered(
+    src: &str,
+    cores: usize,
+    policy: Policy,
+    config: &SccConfig,
+) -> Result<(RunResult, PipelineMetrics), PipelineError> {
+    let (_, program, metrics) = compile_translated_metered(src, cores, policy)?;
+    Ok((hsm_exec::run_rcce(&program, cores, config)?, metrics))
 }
 
 /// Experiment drivers for every table and figure in the evaluation.
@@ -146,11 +258,31 @@ pub mod experiment {
         let src = hsm_workloads::source(bench, params);
         match mode {
             Mode::PthreadBaseline => run_baseline(&src, config),
+            Mode::RcceOffChip => run_translated(&src, params.threads, Policy::OffChipOnly, config),
+            Mode::RcceHsm => run_translated(&src, params.threads, Policy::SizeAscending, config),
+        }
+    }
+
+    /// [`run`] with per-stage pipeline instrumentation: the baseline meters
+    /// its two stages (parse, compile), the RCCE modes all five.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn run_metered(
+        bench: Bench,
+        params: &Params,
+        mode: Mode,
+        config: &SccConfig,
+    ) -> Result<(RunResult, PipelineMetrics), PipelineError> {
+        let src = hsm_workloads::source(bench, params);
+        match mode {
+            Mode::PthreadBaseline => run_baseline_metered(&src, config),
             Mode::RcceOffChip => {
-                run_translated(&src, params.threads, Policy::OffChipOnly, config)
+                run_translated_metered(&src, params.threads, Policy::OffChipOnly, config)
             }
             Mode::RcceHsm => {
-                run_translated(&src, params.threads, Policy::SizeAscending, config)
+                run_translated_metered(&src, params.threads, Policy::SizeAscending, config)
             }
         }
     }
@@ -335,5 +467,45 @@ mod tests {
     fn parse_errors_surface() {
         let err = run_baseline("int main( {", &cfg()).unwrap_err();
         assert!(matches!(err, PipelineError::Parse(_)));
+    }
+
+    #[test]
+    fn metered_pipeline_reports_all_five_stages() {
+        let p = tiny(Bench::PiApprox, 4);
+        let src = hsm_workloads::source(Bench::PiApprox, &p);
+        let (translation, program, m) =
+            compile_translated_metered(&src, 4, Policy::SizeAscending).expect("pipeline");
+        let names: Vec<&str> = m.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(names, STAGE_NAMES);
+        assert!(m.stages.iter().all(|s| s.ir_size > 0));
+        assert_eq!(
+            m.stage("compile").unwrap().ir_size,
+            program.code_len(),
+            "compile stage size is the instruction count"
+        );
+        assert_eq!(
+            m.stage("translate").unwrap().ir_size,
+            translation.to_source().len()
+        );
+    }
+
+    #[test]
+    fn metered_run_matches_unmetered() {
+        let p = tiny(Bench::Sum35, 4);
+        let plain = experiment::run(Bench::Sum35, &p, Mode::RcceHsm, &cfg()).expect("plain");
+        let (metered, m) =
+            experiment::run_metered(Bench::Sum35, &p, Mode::RcceHsm, &cfg()).expect("metered");
+        assert_eq!(plain.total_cycles, metered.total_cycles);
+        assert_eq!(plain.exit_code, metered.exit_code);
+        assert_eq!(m.stages.len(), 5);
+    }
+
+    #[test]
+    fn baseline_metering_has_two_stages() {
+        let p = tiny(Bench::PiApprox, 4);
+        let (_, m) = experiment::run_metered(Bench::PiApprox, &p, Mode::PthreadBaseline, &cfg())
+            .expect("baseline");
+        let names: Vec<&str> = m.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(names, ["parse", "compile"]);
     }
 }

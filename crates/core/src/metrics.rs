@@ -1,0 +1,92 @@
+//! Per-stage instrumentation of the five-stage pipeline.
+//!
+//! Each run of the pipeline (parse → analyze → partition → translate →
+//! compile) can report, per stage, the wall time it took on the host and a
+//! stage-appropriate IR size — source bytes in, variables analyzed,
+//! placements decided, RCCE bytes out, bytecode instructions. The wall
+//! times feed the run manifest's `host_*_nanos` fields (informational,
+//! host-dependent); the IR sizes are deterministic and golden-checked.
+
+use std::time::Instant;
+
+/// Canonical stage names, in pipeline order.
+pub const STAGE_NAMES: [&str; 5] = ["parse", "analyze", "partition", "translate", "compile"];
+
+/// One stage's measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageMetric {
+    /// Stage name (one of [`STAGE_NAMES`]).
+    pub stage: &'static str,
+    /// Host wall time the stage took, in nanoseconds (not simulated time;
+    /// varies run to run).
+    pub wall_nanos: u128,
+    /// Deterministic size of the stage's output IR:
+    /// * `parse` — bytes of the parsed unit re-printed as C;
+    /// * `analyze` — variables classified;
+    /// * `partition` — placements decided;
+    /// * `translate` — bytes of the emitted RCCE C source;
+    /// * `compile` — bytecode instructions in the program.
+    pub ir_size: usize,
+}
+
+/// All five stages of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineMetrics {
+    /// Stage measurements in execution order.
+    pub stages: Vec<StageMetric>,
+}
+
+impl PipelineMetrics {
+    /// Looks up a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageMetric> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// Total host wall time across all recorded stages.
+    pub fn total_nanos(&self) -> u128 {
+        self.stages.iter().map(|s| s.wall_nanos).sum()
+    }
+
+    /// Times `body` and records it as `stage` with the IR size it reports.
+    pub(crate) fn measure<T, E>(
+        &mut self,
+        stage: &'static str,
+        body: impl FnOnce() -> Result<(T, usize), E>,
+    ) -> Result<T, E> {
+        let start = Instant::now();
+        let (value, ir_size) = body()?;
+        self.stages.push(StageMetric {
+            stage,
+            wall_nanos: start.elapsed().as_nanos(),
+            ir_size,
+        });
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_records_in_order() {
+        let mut m = PipelineMetrics::default();
+        let v: Result<i32, ()> = m.measure("parse", || Ok((41, 7)));
+        assert_eq!(v, Ok(41));
+        let _: Result<(), ()> = m.measure("analyze", || Ok(((), 3)));
+        assert_eq!(m.stages.len(), 2);
+        assert_eq!(m.stages[0].stage, "parse");
+        assert_eq!(m.stages[0].ir_size, 7);
+        assert_eq!(m.stage("analyze").unwrap().ir_size, 3);
+        assert!(m.stage("compile").is_none());
+        assert_eq!(m.total_nanos(), m.stages.iter().map(|s| s.wall_nanos).sum());
+    }
+
+    #[test]
+    fn measure_propagates_errors_without_recording() {
+        let mut m = PipelineMetrics::default();
+        let v: Result<(), &str> = m.measure("parse", || Err("boom"));
+        assert_eq!(v, Err("boom"));
+        assert!(m.stages.is_empty());
+    }
+}

@@ -45,10 +45,12 @@ pub mod machine;
 pub mod printf;
 mod pthread;
 mod rcce;
+pub mod trace;
 
 pub use machine::{DataSpaces, ExecError, OutputLine, RunResult};
-pub use pthread::run_pthread;
-pub use rcce::run_rcce;
+pub use pthread::{run_pthread, run_pthread_traced};
+pub use rcce::{run_rcce, run_rcce_traced};
+pub use trace::{NullSink, RingTrace, TraceEvent, TraceSink};
 
 /// Fixed syscall overheads in core cycles (single place to tune).
 pub mod syscall_cost {
@@ -361,7 +363,11 @@ int RCCE_APP(int *argc, char **argv) {
         let p = compile_src(src);
         let r = run_rcce(&p, 8, &cfg()).expect("run");
         assert_eq!(r.exit_code, 36);
-        assert!(r.mem_stats.mpb > 0, "MPB must be exercised: {:?}", r.mem_stats);
+        assert!(
+            r.mem_stats.mpb > 0,
+            "MPB must be exercised: {:?}",
+            r.mem_stats
+        );
     }
 
     #[test]
@@ -643,5 +649,82 @@ int RCCE_APP(int *argc, char **argv) {{
             big.timed_cycles,
             small.timed_cycles
         );
+    }
+
+    // ------------------------------------------------------ observability --
+
+    #[test]
+    fn trace_ring_captures_rcce_accesses() {
+        use crate::trace::RingTrace;
+        let p = compile_src(RCCE_SUM);
+        let mut ring = RingTrace::new(100_000);
+        let r = run_rcce_traced(&p, 4, &cfg(), &mut ring).expect("run");
+        assert!(!ring.is_empty(), "a real program performs memory accesses");
+        assert_eq!(ring.dropped(), 0, "capacity is ample for this program");
+        // Every traced event is attributed in the counter matrix: totals
+        // must agree exactly.
+        let traced = ring.total_seen();
+        let counted: u64 = r
+            .stats_matrix
+            .per_core
+            .iter()
+            .map(|c| c.total_accesses())
+            .sum();
+        assert_eq!(traced, counted, "trace and counters see the same stream");
+        // The shared `sum` array lives in shared DRAM: shared accesses from
+        // more than one core must appear.
+        let shared_cores: std::collections::HashSet<usize> = ring
+            .events()
+            .iter()
+            .filter(|e| e.region == scc_sim::Region::SharedDram)
+            .map(|e| e.core)
+            .collect();
+        assert!(shared_cores.len() >= 2, "cores {shared_cores:?}");
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_timing() {
+        use crate::trace::RingTrace;
+        let p = compile_src(RCCE_SUM);
+        let plain = run_rcce(&p, 4, &cfg()).expect("plain");
+        let mut ring = RingTrace::new(64);
+        let traced = run_rcce_traced(&p, 4, &cfg(), &mut ring).expect("traced");
+        assert_eq!(plain.total_cycles, traced.total_cycles);
+        assert_eq!(plain.exit_code, traced.exit_code);
+        assert_eq!(plain.mem_stats, traced.mem_stats);
+        assert!(
+            ring.dropped() > 0,
+            "a tiny ring overflows and stays bounded"
+        );
+        assert_eq!(ring.len(), 64);
+    }
+
+    #[test]
+    fn pthread_trace_stays_on_core_zero() {
+        use crate::trace::RingTrace;
+        let p = compile_src(PTHREAD_SUM);
+        let mut ring = RingTrace::new(1_000_000);
+        let r = run_pthread_traced(&p, &cfg(), &mut ring).expect("run");
+        assert!(ring.events().iter().all(|e| e.core == 0));
+        assert_eq!(r.stats_matrix.active_cores(), 1, "baseline uses one core");
+        assert_eq!(r.exit_code, 400);
+    }
+
+    #[test]
+    fn run_result_reports_mpb_high_water() {
+        let src = r#"
+int *fast;
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    fast = (int *)RCCE_malloc(sizeof(int) * 100);
+    fast[RCCE_ue()] = 1;
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    RCCE_finalize();
+    return 0;
+}
+"#;
+        let p = compile_src(src);
+        let r = run_rcce(&p, 2, &cfg()).expect("run");
+        assert_eq!(r.mpb_high_water, 416, "400 B rounds to the 32 B line");
     }
 }

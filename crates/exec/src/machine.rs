@@ -3,7 +3,7 @@
 
 use hsm_vm::data::ByteMemory;
 use hsm_vm::{MemKind, Value, VmError};
-use scc_sim::{MemStats, MemorySystem, Region};
+use scc_sim::{MemStats, MemorySystem, Region, StatsMatrix};
 use std::fmt;
 
 /// An execution failure.
@@ -148,8 +148,12 @@ pub struct RunResult {
     pub output: Vec<OutputLine>,
     /// Exit value of the entry function per core/thread 0.
     pub exit_code: i64,
-    /// Memory system statistics.
+    /// Memory system statistics (chip-global aggregate).
     pub mem_stats: MemStats,
+    /// Per-core × per-region counter matrix with latency histograms.
+    pub stats_matrix: StatsMatrix,
+    /// Peak bytes ever allocated in the MPB during the run.
+    pub mpb_high_water: usize,
     /// Final local clock per core (RCCE mode) or busy cycles per thread
     /// (pthread mode) — the load-balance picture.
     pub per_unit_cycles: Vec<u64>,
@@ -183,8 +187,8 @@ impl RunResult {
             return 1.0;
         }
         let max = *self.per_unit_cycles.iter().max().expect("non-empty") as f64;
-        let mean = self.per_unit_cycles.iter().sum::<u64>() as f64
-            / self.per_unit_cycles.len() as f64;
+        let mean =
+            self.per_unit_cycles.iter().sum::<u64>() as f64 / self.per_unit_cycles.len() as f64;
         if mean == 0.0 {
             1.0
         } else {
@@ -249,7 +253,10 @@ mod tests {
         let mut s = DataSpaces::new(1);
         s.store(0, 0x100, MemKind::I32, Value::I(0x0A0B0C0D));
         s.copy_bytes(0, SHARED_DRAM_BASE, 0x100, 4);
-        assert_eq!(s.load(0, SHARED_DRAM_BASE, MemKind::I32), Value::I(0x0A0B0C0D));
+        assert_eq!(
+            s.load(0, SHARED_DRAM_BASE, MemKind::I32),
+            Value::I(0x0A0B0C0D)
+        );
     }
 
     #[test]
@@ -289,6 +296,8 @@ mod tests {
             ],
             exit_code: 0,
             mem_stats: MemStats::default(),
+            stats_matrix: StatsMatrix::default(),
+            mpb_high_water: 0,
         };
         assert_eq!(r.output_sorted(), vec!["a", "b"]);
         assert_eq!(r.output_text(), "b\na\n");

@@ -172,7 +172,10 @@ mod tests {
             format("Sum Array: %d\n", &[Value::I(7)], &[]),
             "Sum Array: 7\n"
         );
-        assert_eq!(format("%d + %d = %d", &[1.into(), 2.into(), 3.into()], &[]), "1 + 2 = 3");
+        assert_eq!(
+            format("%d + %d = %d", &[1.into(), 2.into(), 3.into()], &[]),
+            "1 + 2 = 3"
+        );
         assert_eq!(format("100%%", &[], &[]), "100%");
     }
 
@@ -200,7 +203,11 @@ mod tests {
     #[test]
     fn strings_and_chars() {
         assert_eq!(
-            format("%s world %c", &[Value::I(0), Value::I(33)], &["hello".into()]),
+            format(
+                "%s world %c",
+                &[Value::I(0), Value::I(33)],
+                &["hello".into()]
+            ),
             "hello world !"
         );
     }

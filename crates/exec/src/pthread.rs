@@ -9,6 +9,7 @@
 use crate::machine::{DataSpaces, ExecError, OutputLine, RunResult, WtimeTracker};
 use crate::rcce::format_printf;
 use crate::syscall_cost;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use hsm_vm::compile::{Program, HEAP_BASE, STACKS_BASE, STACK_SIZE};
 use hsm_vm::{Intrinsic, StepOutcome, Value, Vm};
 use scc_sim::{MemorySystem, SccConfig};
@@ -38,6 +39,22 @@ struct Thread {
 /// Returns [`ExecError`] on VM faults, deadlock, joins of unknown thread
 /// ids, or RCCE calls appearing in a pthread program.
 pub fn run_pthread(program: &Program, config: &SccConfig) -> Result<RunResult, ExecError> {
+    run_pthread_traced(program, config, &mut NullSink)
+}
+
+/// [`run_pthread`] with every memory access streamed to `sink`.
+///
+/// The loop is monomorphized over the sink type; with [`NullSink`] this is
+/// exactly [`run_pthread`].
+///
+/// # Errors
+///
+/// Same failure modes as [`run_pthread`].
+pub fn run_pthread_traced<S: TraceSink>(
+    program: &Program,
+    config: &SccConfig,
+    sink: &mut S,
+) -> Result<RunResult, ExecError> {
     let mut chip = MemorySystem::new(config.clone());
     let mut spaces = DataSpaces::new(1);
     spaces.load_image(0, &program.image);
@@ -122,6 +139,14 @@ pub fn run_pthread(program: &Program, config: &SccConfig) -> Result<RunResult, E
             StepOutcome::Load { addr, kind, cycles } => {
                 clock += cycles;
                 let lat = chip.access(0, addr, false, clock);
+                sink.record(TraceEvent {
+                    core: 0,
+                    cycle: clock,
+                    addr,
+                    region: MemorySystem::region_of(addr),
+                    latency: lat,
+                    write: false,
+                });
                 clock += lat;
                 quantum_used += cycles + lat;
                 threads[current].busy_cycles += cycles + lat;
@@ -136,6 +161,14 @@ pub fn run_pthread(program: &Program, config: &SccConfig) -> Result<RunResult, E
             } => {
                 clock += cycles;
                 let lat = chip.access(0, addr, true, clock);
+                sink.record(TraceEvent {
+                    core: 0,
+                    cycle: clock,
+                    addr,
+                    region: MemorySystem::region_of(addr),
+                    latency: lat,
+                    write: true,
+                });
                 clock += lat;
                 quantum_used += cycles + lat;
                 threads[current].busy_cycles += cycles + lat;
@@ -152,14 +185,11 @@ pub fn run_pthread(program: &Program, config: &SccConfig) -> Result<RunResult, E
                 match intrinsic {
                     Intrinsic::PthreadCreate => {
                         clock += syscall_cost::THREAD_CREATE;
-                        let handle_addr =
-                            args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                        let handle_addr = args.first().copied().unwrap_or(Value::I(0)).as_addr();
                         let func = args.get(2).copied().unwrap_or(Value::I(0)).as_i();
                         let arg = args.get(3).copied().unwrap_or(Value::I(0));
                         if func < 0 || func as usize >= program.funcs.len() {
-                            return Err(ExecError::new(
-                                "pthread_create: bad thread function",
-                            ));
+                            return Err(ExecError::new("pthread_create: bad thread function"));
                         }
                         let tid = threads.len();
                         if tid >= 1024 {
@@ -264,9 +294,8 @@ pub fn run_pthread(program: &Program, config: &SccConfig) -> Result<RunResult, E
                             ));
                         }
                         mutex_owner.remove(&key);
-                        if let Some(waiter) = mutex_waiters
-                            .get_mut(&key)
-                            .and_then(|q| q.pop_front())
+                        if let Some(waiter) =
+                            mutex_waiters.get_mut(&key).and_then(|q| q.pop_front())
                         {
                             mutex_owner.insert(key, waiter);
                             threads[waiter].state = ThreadState::Ready;
@@ -314,13 +343,7 @@ pub fn run_pthread(program: &Program, config: &SccConfig) -> Result<RunResult, E
                 }
             }
             StepOutcome::Finished { exit } => {
-                finish_thread(
-                    current,
-                    exit.as_i(),
-                    &mut threads,
-                    &mut joiners,
-                    &mut ready,
-                );
+                finish_thread(current, exit.as_i(), &mut threads, &mut joiners, &mut ready);
                 if current == 0 {
                     // main returning ends the process.
                     break;
@@ -341,6 +364,8 @@ pub fn run_pthread(program: &Program, config: &SccConfig) -> Result<RunResult, E
         output,
         exit_code,
         mem_stats: chip.stats(),
+        stats_matrix: chip.stats_matrix().clone(),
+        mpb_high_water: chip.mpb_high_water(),
         per_unit_cycles: threads.iter().map(|t| t.busy_cycles).collect(),
     })
 }

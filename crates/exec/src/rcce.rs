@@ -5,6 +5,7 @@
 use crate::machine::{DataSpaces, ExecError, OutputLine, RunResult, WtimeTracker};
 use crate::printf;
 use crate::syscall_cost;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use hsm_vm::compile::{Program, HEAP_BASE, STACKS_BASE, STACK_SIZE};
 use hsm_vm::{Intrinsic, StepOutcome, Value, Vm};
 use rcce_rt::RcceRuntime;
@@ -14,15 +15,32 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, PartialEq)]
 enum CoreState {
     Running,
-    InBarrier { arrived_at: u64 },
-    WaitingLock { id: usize },
+    InBarrier {
+        arrived_at: u64,
+    },
+    WaitingLock {
+        id: usize,
+    },
     /// Spinning on its own copy of a flag (`RCCE_wait_until`).
-    WaitingFlag { flag: usize, value: i64 },
+    WaitingFlag {
+        flag: usize,
+        value: i64,
+    },
     /// Blocked in `RCCE_send(buf, size, dst)` until `dst` posts the recv.
-    WaitingSend { dst: usize, buf: u64, size: usize },
+    WaitingSend {
+        dst: usize,
+        buf: u64,
+        size: usize,
+    },
     /// Blocked in `RCCE_recv(buf, size, src)` until `src` posts the send.
-    WaitingRecv { src: usize, buf: u64, size: usize },
-    Done { exit: i64 },
+    WaitingRecv {
+        src: usize,
+        buf: u64,
+        size: usize,
+    },
+    Done {
+        exit: i64,
+    },
 }
 
 struct Core {
@@ -49,7 +67,28 @@ struct Core {
 /// Returns [`ExecError`] on VM faults, allocation failures, deadlock
 /// (barrier reached by only a subset of live cores), or pthread calls
 /// that survived translation.
-pub fn run_rcce(program: &Program, cores: usize, config: &SccConfig) -> Result<RunResult, ExecError> {
+pub fn run_rcce(
+    program: &Program,
+    cores: usize,
+    config: &SccConfig,
+) -> Result<RunResult, ExecError> {
+    run_rcce_traced(program, cores, config, &mut NullSink)
+}
+
+/// [`run_rcce`] with every memory access streamed to `sink`.
+///
+/// The loop is monomorphized over the sink type; with [`NullSink`] this is
+/// exactly [`run_rcce`].
+///
+/// # Errors
+///
+/// Same failure modes as [`run_rcce`].
+pub fn run_rcce_traced<S: TraceSink>(
+    program: &Program,
+    cores: usize,
+    config: &SccConfig,
+    sink: &mut S,
+) -> Result<RunResult, ExecError> {
     if cores == 0 || cores > config.cores {
         return Err(ExecError::new(format!(
             "core count {cores} outside 1..={}",
@@ -65,7 +104,12 @@ pub fn run_rcce(program: &Program, cores: usize, config: &SccConfig) -> Result<R
 
     let mut cs: Vec<Core> = (0..cores)
         .map(|i| Core {
-            vm: Vm::new(program, program.entry, vec![], STACKS_BASE + i as u64 * STACK_SIZE),
+            vm: Vm::new(
+                program,
+                program.entry,
+                vec![],
+                STACKS_BASE + i as u64 * STACK_SIZE,
+            ),
             clock: 0,
             state: CoreState::Running,
             alloc_seq: 0,
@@ -120,6 +164,14 @@ pub fn run_rcce(program: &Program, cores: usize, config: &SccConfig) -> Result<R
             StepOutcome::Load { addr, kind, cycles } => {
                 cs[core].clock += cycles;
                 let lat = chip.access(core, addr, false, cs[core].clock);
+                sink.record(TraceEvent {
+                    core,
+                    cycle: cs[core].clock,
+                    addr,
+                    region: MemorySystem::region_of(addr),
+                    latency: lat,
+                    write: false,
+                });
                 cs[core].clock += lat;
                 let v = spaces.load(core, addr, kind);
                 cs[core].vm.provide_load(v);
@@ -132,6 +184,14 @@ pub fn run_rcce(program: &Program, cores: usize, config: &SccConfig) -> Result<R
             } => {
                 cs[core].clock += cycles;
                 let lat = chip.access(core, addr, true, cs[core].clock);
+                sink.record(TraceEvent {
+                    core,
+                    cycle: cs[core].clock,
+                    addr,
+                    region: MemorySystem::region_of(addr),
+                    latency: lat,
+                    write: true,
+                });
                 cs[core].clock += lat;
                 spaces.store(core, addr, kind, value);
                 cs[core].vm.store_done();
@@ -160,9 +220,7 @@ pub fn run_rcce(program: &Program, cores: usize, config: &SccConfig) -> Result<R
                 )?;
             }
             StepOutcome::Finished { exit } => {
-                cs[core].state = CoreState::Done {
-                    exit: exit.as_i(),
-                };
+                cs[core].state = CoreState::Done { exit: exit.as_i() };
             }
         }
 
@@ -183,6 +241,8 @@ pub fn run_rcce(program: &Program, cores: usize, config: &SccConfig) -> Result<R
         output,
         exit_code,
         mem_stats: chip.stats(),
+        stats_matrix: chip.stats_matrix().clone(),
+        mpb_high_water: chip.mpb_high_water(),
         per_unit_cycles: cs
             .iter()
             .map(|c| {
@@ -343,8 +403,8 @@ fn handle_syscall(
             let dst = args.first().copied().unwrap_or(Value::I(0)).as_addr();
             let src = args.get(1).copied().unwrap_or(Value::I(0)).as_addr();
             let bytes = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
-            let target = args.get(3).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize
-                % cores.max(1);
+            let target =
+                args.get(3).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores.max(1);
             spaces.copy_bytes(core, dst, src, bytes);
             cs[core].clock += rt.put_get_cost(chip, core, target, bytes);
             Value::I(0)
@@ -379,7 +439,12 @@ fn handle_syscall(
                 flags.push(vec![0; cores]);
             }
             if let Some(handle) = args.first() {
-                spaces.store(core, handle.as_addr(), hsm_vm::MemKind::I64, Value::I(seq as i64));
+                spaces.store(
+                    core,
+                    handle.as_addr(),
+                    hsm_vm::MemKind::I64,
+                    Value::I(seq as i64),
+                );
             }
             Value::I(0)
         }
@@ -388,8 +453,8 @@ fn handle_syscall(
             let id = flag_id(core, args.first(), spaces, flags.len())?;
             let value = args.get(1).copied().unwrap_or(Value::I(0)).as_i();
             let ue = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
-            cs[core].clock += chip.mesh.mpb_round_trip(core, ue).max(2)
-                + chip.config.mpb_access_cycles;
+            cs[core].clock +=
+                chip.mesh.mpb_round_trip(core, ue).max(2) + chip.config.mpb_access_cycles;
             flags[id][ue] = value;
             // Wake a waiter spinning on this copy.
             if cs[ue].state == (CoreState::WaitingFlag { flag: id, value }) {
@@ -404,8 +469,8 @@ fn handle_syscall(
             // RCCE_flag_read(&flag, &out, ue)
             let id = flag_id(core, args.first(), spaces, flags.len())?;
             let ue = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
-            cs[core].clock += chip.mesh.mpb_round_trip(core, ue).max(2)
-                + chip.config.mpb_access_cycles;
+            cs[core].clock +=
+                chip.mesh.mpb_round_trip(core, ue).max(2) + chip.config.mpb_access_cycles;
             let v = flags[id][ue];
             if let Some(out) = args.get(1) {
                 if out.as_i() != 0 {
@@ -431,7 +496,12 @@ fn handle_syscall(
             let buf = args.first().copied().unwrap_or(Value::I(0)).as_addr();
             let size = args.get(1).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
             let dst = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
-            if let CoreState::WaitingRecv { src, buf: rbuf, size: rsize } = cs[dst].state {
+            if let CoreState::WaitingRecv {
+                src,
+                buf: rbuf,
+                size: rsize,
+            } = cs[dst].state
+            {
                 if src == core {
                     let n = size.min(rsize);
                     transfer(core, buf, dst, rbuf, n, cs, chip, rt, spaces);
@@ -452,7 +522,12 @@ fn handle_syscall(
             let buf = args.first().copied().unwrap_or(Value::I(0)).as_addr();
             let size = args.get(1).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
             let src = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
-            if let CoreState::WaitingSend { dst, buf: sbuf, size: ssize } = cs[src].state {
+            if let CoreState::WaitingSend {
+                dst,
+                buf: sbuf,
+                size: ssize,
+            } = cs[src].state
+            {
                 if dst == core {
                     let n = size.min(ssize);
                     transfer(src, sbuf, core, buf, n, cs, chip, rt, spaces);

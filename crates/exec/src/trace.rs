@@ -1,0 +1,192 @@
+//! Optional event tracing of the simulated machines.
+//!
+//! Every memory access the discrete-event engine performs can be streamed
+//! to a [`TraceSink`]. The run loops are generic over the sink and the
+//! default [`NullSink`] is a zero-sized no-op, so the traced and untraced
+//! paths compile to the same code when tracing is off — observability
+//! must never perturb the experiment it observes.
+//!
+//! [`RingTrace`] is the bundled sink: a bounded ring buffer that keeps the
+//! most recent `capacity` events and counts what it evicted, so tracing a
+//! billion-access run costs a fixed amount of memory.
+//!
+//! ```
+//! use hsm_exec::trace::{RingTrace, TraceEvent, TraceSink};
+//! use scc_sim::Region;
+//!
+//! let mut ring = RingTrace::new(2);
+//! for cycle in 0..3 {
+//!     ring.record(TraceEvent {
+//!         core: 0,
+//!         cycle,
+//!         addr: 0x1000,
+//!         region: Region::Private,
+//!         latency: 1,
+//!         write: false,
+//!     });
+//! }
+//! assert_eq!(ring.len(), 2);
+//! assert_eq!(ring.dropped(), 1);
+//! assert_eq!(ring.events()[0].cycle, 1, "oldest surviving event");
+//! ```
+
+use scc_sim::Region;
+
+/// One memory access observed by the execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Issuing core (RCCE mode) or 0 (pthread mode runs on core 0).
+    pub core: usize,
+    /// The issuing core's local clock when the access started.
+    pub cycle: u64,
+    /// Simulated address.
+    pub addr: u64,
+    /// Address-space region the access landed in.
+    pub region: Region,
+    /// Cycles the access cost (cache/mesh/queue/service combined).
+    pub latency: u64,
+    /// Store (`true`) or load (`false`).
+    pub write: bool,
+}
+
+/// A consumer of [`TraceEvent`]s.
+///
+/// The run loops are monomorphized over the sink type, so a no-op
+/// implementation costs nothing.
+pub trait TraceSink {
+    /// Observes one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The default sink: discards everything, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// A bounded ring buffer of the most recent events.
+#[derive(Debug, Clone)]
+pub struct RingTrace {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl RingTrace {
+    /// A ring keeping at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingTrace {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever observed (held + dropped).
+    pub fn total_seen(&self) -> u64 {
+        self.buf.len() as u64 + self.dropped
+    }
+}
+
+impl TraceSink for RingTrace {
+    fn record(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            core: 1,
+            cycle,
+            addr: 0x8000_0000,
+            region: Region::SharedDram,
+            latency: 50,
+            write: cycle.is_multiple_of(2),
+        }
+    }
+
+    #[test]
+    fn ring_holds_everything_under_capacity() {
+        let mut r = RingTrace::new(8);
+        for c in 0..5 {
+            r.record(ev(c));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(
+            r.events().iter().map(|e| e.cycle).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_when_full() {
+        let mut r = RingTrace::new(3);
+        for c in 0..10 {
+            r.record(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(r.total_seen(), 10);
+        assert_eq!(
+            r.events().iter().map(|e| e.cycle).collect::<Vec<_>>(),
+            vec![7, 8, 9],
+            "oldest-first order survives wraparound"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = RingTrace::new(0);
+        r.record(ev(1));
+        r.record(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.events()[0].cycle, 2);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut n = NullSink;
+        n.record(ev(1));
+    }
+}

@@ -226,8 +226,7 @@ impl PartitionPlan {
                 Placement::OnChip => p.var.access_weight as f64,
                 Placement::OffChip => 0.0,
                 Placement::Split { on_chip_bytes } => {
-                    p.var.access_weight as f64 * on_chip_bytes as f64
-                        / p.var.mem_size.max(1) as f64
+                    p.var.access_weight as f64 * on_chip_bytes as f64 / p.var.mem_size.max(1) as f64
                 }
             })
             .sum();
@@ -391,7 +390,11 @@ mod tests {
     #[test]
     fn everything_fits_goes_on_chip() {
         let vars = vec![v("a", 100, 1), v("b", 200, 1), v("c", 300, 1)];
-        let plan = partition(&vars, &MemorySpec::with_on_chip(1000), Policy::SizeAscending);
+        let plan = partition(
+            &vars,
+            &MemorySpec::with_on_chip(1000),
+            Policy::SizeAscending,
+        );
         assert!(plan
             .placements
             .iter()
@@ -413,7 +416,11 @@ mod tests {
     #[test]
     fn greedy_skips_non_fitting_but_continues() {
         let vars = vec![v("c", 480, 1), v("a", 100, 1), v("b", 450, 1)];
-        let plan = partition(&vars, &MemorySpec::with_on_chip(1000), Policy::SizeAscending);
+        let plan = partition(
+            &vars,
+            &MemorySpec::with_on_chip(1000),
+            Policy::SizeAscending,
+        );
         assert!(plan.is_on_chip("a"));
         assert!(plan.is_on_chip("b"));
         assert!(!plan.is_on_chip("c"));
@@ -431,7 +438,11 @@ mod tests {
     #[test]
     fn frequency_density_prefers_hot_small_data() {
         let vars = vec![v("cold", 400, 10), v("hot", 400, 10000)];
-        let plan = partition(&vars, &MemorySpec::with_on_chip(400), Policy::FrequencyDensity);
+        let plan = partition(
+            &vars,
+            &MemorySpec::with_on_chip(400),
+            Policy::FrequencyDensity,
+        );
         assert!(plan.is_on_chip("hot"));
         assert!(!plan.is_on_chip("cold"));
         assert!(plan.on_chip_access_fraction() > 0.99);
@@ -440,7 +451,11 @@ mod tests {
     #[test]
     fn size_descending_fills_big_first() {
         let vars = vec![v("a", 100, 1), v("b", 900, 1)];
-        let plan = partition(&vars, &MemorySpec::with_on_chip(950), Policy::SizeDescending);
+        let plan = partition(
+            &vars,
+            &MemorySpec::with_on_chip(950),
+            Policy::SizeDescending,
+        );
         assert!(plan.is_on_chip("b"));
         assert!(!plan.is_on_chip("a"));
     }

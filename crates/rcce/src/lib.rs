@@ -123,11 +123,7 @@ impl RcceRuntime {
     /// # Errors
     ///
     /// Fails when the chip's 384 KB MPB is exhausted.
-    pub fn mpb_malloc(
-        &mut self,
-        chip: &mut MemorySystem,
-        bytes: usize,
-    ) -> Result<u64, AllocError> {
+    pub fn mpb_malloc(&mut self, chip: &mut MemorySystem, bytes: usize) -> Result<u64, AllocError> {
         // Capacity spans the whole 384 KB MPB; ownership blocks across
         // the participating UEs so each core's partition chunk is local.
         match chip.mpb.alloc_shared(self.num_ues, bytes) {

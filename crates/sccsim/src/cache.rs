@@ -83,13 +83,11 @@ impl Cache {
         }
         self.misses += 1;
         // Victim: invalid line if any, else LRU.
-        let victim = (0..self.ways)
-            .find(|&w| !set[w].valid)
-            .unwrap_or_else(|| {
-                (0..self.ways)
-                    .min_by_key(|&w| set[w].lru)
-                    .expect("ways >= 1")
-            });
+        let victim = (0..self.ways).find(|&w| !set[w].valid).unwrap_or_else(|| {
+            (0..self.ways)
+                .min_by_key(|&w| set[w].lru)
+                .expect("ways >= 1")
+        });
         let dirty_victim = set[victim].valid && set[victim].dirty;
         if dirty_victim {
             self.writebacks += 1;
@@ -161,20 +159,19 @@ impl CacheHierarchy {
     pub fn access(&mut self, addr: u64, write: bool) -> (ServiceLevel, u64) {
         match self.l1.access(addr, write) {
             CacheOutcome::Hit => (ServiceLevel::L1, self.l1_hit_cycles),
-            CacheOutcome::Miss { dirty_victim: l1_dirty } => {
-                match self.l2.access(addr, write) {
-                    CacheOutcome::Hit => (
-                        ServiceLevel::L2,
-                        self.l1_hit_cycles + self.l2_hit_cycles,
-                    ),
-                    CacheOutcome::Miss { dirty_victim: l2_dirty } => (
-                        ServiceLevel::Memory {
-                            writeback: l1_dirty || l2_dirty,
-                        },
-                        self.l1_hit_cycles + self.l2_hit_cycles,
-                    ),
-                }
-            }
+            CacheOutcome::Miss {
+                dirty_victim: l1_dirty,
+            } => match self.l2.access(addr, write) {
+                CacheOutcome::Hit => (ServiceLevel::L2, self.l1_hit_cycles + self.l2_hit_cycles),
+                CacheOutcome::Miss {
+                    dirty_victim: l2_dirty,
+                } => (
+                    ServiceLevel::Memory {
+                        writeback: l1_dirty || l2_dirty,
+                    },
+                    self.l1_hit_cycles + self.l2_hit_cycles,
+                ),
+            },
         }
     }
 }
@@ -204,14 +201,17 @@ mod tests {
         c.access(0x000, false); // A again (B becomes LRU)
         c.access(0x200, false); // C evicts B
         assert_eq!(c.access(0x000, false), CacheOutcome::Hit, "A stays");
-        assert!(matches!(c.access(0x100, false), CacheOutcome::Miss { .. }), "B gone");
+        assert!(
+            matches!(c.access(0x100, false), CacheOutcome::Miss { .. }),
+            "B gone"
+        );
     }
 
     #[test]
     fn dirty_eviction_reports_writeback() {
         let mut c = Cache::new(64, 1, 32); // direct-mapped, 2 sets
         c.access(0x000, true); // dirty line in set 0
-        // Same set (bit 5 is the set index; 0x40 maps to set 0 again).
+                               // Same set (bit 5 is the set index; 0x40 maps to set 0 again).
         let out = c.access(0x40, false);
         assert_eq!(out, CacheOutcome::Miss { dirty_victim: true });
         let (_, _, wb) = c.stats();
@@ -235,7 +235,12 @@ mod tests {
         let mut c = Cache::new(1024, 2, 32);
         c.access(0x100, true);
         c.invalidate_all();
-        assert!(matches!(c.access(0x100, false), CacheOutcome::Miss { dirty_victim: false }));
+        assert!(matches!(
+            c.access(0x100, false),
+            CacheOutcome::Miss {
+                dirty_victim: false
+            }
+        ));
     }
 
     #[test]

@@ -140,10 +140,7 @@ impl SccConfig {
     /// identical by design: same silicon, different software stack).
     pub fn render_table_6_1(&self, rcce_units: usize, pthread_units: usize) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "{:<24}{:>14}{:>14}\n",
-            "", "RCCE", "Pthreads"
-        ));
+        out.push_str(&format!("{:<24}{:>14}{:>14}\n", "", "RCCE", "Pthreads"));
         out.push_str(&"-".repeat(52));
         out.push('\n');
         out.push_str(&format!(

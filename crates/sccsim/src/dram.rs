@@ -62,7 +62,10 @@ impl DramBank {
         self.busy_until[mc] = done_at;
         self.requests[mc] += 1;
         self.wait_cycles[mc] += queued_for;
-        DramResponse { done_at, queued_for }
+        DramResponse {
+            done_at,
+            queued_for,
+        }
     }
 
     /// Number of controllers.

@@ -18,10 +18,13 @@
 //!
 //! [`MemorySystem`] ties these together behind a single
 //! `access(core, addr, write, now) -> latency` interface that the
-//! `hsm-exec` discrete-event engine drives.
+//! `hsm-exec` discrete-event engine drives. Every access is attributed
+//! to a per-core × per-region counter matrix ([`stats`]) with latency
+//! histograms — the substrate of the run manifests the `figures` binary
+//! emits.
 //!
 //! ```
-//! use scc_sim::{MemorySystem, SccConfig, memory::SHARED_DRAM_BASE};
+//! use scc_sim::{MemorySystem, Region, SccConfig, memory::SHARED_DRAM_BASE};
 //!
 //! let mut chip = MemorySystem::new(SccConfig::table_6_1());
 //! let cold = chip.access(0, 0x1000, false, 0);          // private, cold
@@ -29,6 +32,9 @@
 //! let shared = chip.access(0, SHARED_DRAM_BASE, false, 200); // uncacheable
 //! assert!(warm < cold);
 //! assert!(warm < shared);
+//! let matrix = chip.stats_matrix();
+//! assert_eq!(matrix.per_core[0].region_accesses(Region::Private), 2);
+//! assert_eq!(matrix.per_core[0].region_accesses(Region::SharedDram), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -40,9 +46,11 @@ pub mod memory;
 pub mod mesh;
 pub mod mpb;
 pub mod power;
+pub mod stats;
 pub mod tas;
 
 pub use config::SccConfig;
 pub use memory::{MemStats, MemorySystem, Region};
 pub use mesh::{Mesh, Tile};
 pub use power::{OperatingPoint, PowerModel};
+pub use stats::{CoreStats, LatencyHistogram, StatsMatrix, REGION_COUNT};

@@ -18,6 +18,7 @@ use crate::config::SccConfig;
 use crate::dram::DramBank;
 use crate::mesh::Mesh;
 use crate::mpb::Mpb;
+use crate::stats::StatsMatrix;
 use crate::tas::TasBank;
 
 /// Base of the shared off-chip DRAM window.
@@ -67,7 +68,7 @@ pub struct MemorySystem {
     /// Test-and-set registers.
     pub tas: TasBank,
     caches: Vec<CacheHierarchy>,
-    stats: MemStats,
+    stats: StatsMatrix,
 }
 
 impl MemorySystem {
@@ -86,7 +87,7 @@ impl MemorySystem {
             mpb,
             tas,
             caches,
-            stats: MemStats::default(),
+            stats: StatsMatrix::new(config.cores),
             config,
         }
     }
@@ -109,26 +110,27 @@ impl MemorySystem {
     ///
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: usize, addr: u64, write: bool, now: u64) -> u64 {
-        match Self::region_of(addr) {
+        let region = Self::region_of(addr);
+        let latency = match region {
             Region::Private => {
                 // Fold the core id into the private address so each core's
                 // private pages are distinct cache contents.
                 let (level, cache_cycles) = self.caches[core].access(addr, write);
                 match level {
                     ServiceLevel::L1 => {
-                        self.stats.l1_hits += 1;
+                        self.stats.per_core[core].l1_hits += 1;
                         cache_cycles
                     }
                     ServiceLevel::L2 => {
-                        self.stats.l2_hits += 1;
+                        self.stats.per_core[core].l2_hits += 1;
                         cache_cycles
                     }
                     ServiceLevel::Memory { writeback } => {
-                        self.stats.private_dram += 1;
+                        self.stats.per_core[core].private_dram += 1;
                         let mc = self.mesh.mc_of(core);
                         let trip = self.mesh.mc_round_trip(core, mc);
                         let resp = self.dram.request(mc, now + trip / 2);
-                        self.stats.mc_queue_cycles += resp.queued_for;
+                        self.stats.per_core[core].mc_queue_cycles += resp.queued_for;
                         let mut lat =
                             cache_cycles + trip + resp.queued_for + self.config.dram_service_cycles;
                         if writeback {
@@ -143,12 +145,11 @@ impl MemorySystem {
                 }
             }
             Region::SharedDram => {
-                self.stats.shared_dram += 1;
                 let mc = self.mesh.mc_of(core);
                 let trip = self.mesh.mc_round_trip(core, mc);
                 let occ = self.config.shared_dram_occupancy_cycles;
                 let resp = self.dram.request_with_occupancy(mc, now + trip / 2, occ);
-                self.stats.mc_queue_cycles += resp.queued_for;
+                self.stats.per_core[core].mc_queue_cycles += resp.queued_for;
                 if write {
                     // Posted write: the store enters the write-combining
                     // buffer and the core moves on; the controller still
@@ -162,7 +163,6 @@ impl MemorySystem {
                 }
             }
             Region::Mpb => {
-                self.stats.mpb += 1;
                 let linear = (addr - MPB_BASE) as usize;
                 let owner = self.mpb.owner_of(linear);
                 let full = self.mpb.access(&self.mesh, core, owner);
@@ -174,17 +174,39 @@ impl MemorySystem {
                     full
                 }
             }
-        }
+        };
+        self.stats.record(core, region, write, latency);
+        latency
     }
 
-    /// Accumulated statistics.
+    /// Accumulated chip-global statistics, aggregated over all cores.
     pub fn stats(&self) -> MemStats {
-        self.stats
+        let mut agg = MemStats::default();
+        for c in &self.stats.per_core {
+            agg.l1_hits += c.l1_hits;
+            agg.l2_hits += c.l2_hits;
+            agg.private_dram += c.private_dram;
+            agg.shared_dram += c.region_accesses(Region::SharedDram);
+            agg.mpb += c.region_accesses(Region::Mpb);
+            agg.mc_queue_cycles += c.mc_queue_cycles;
+        }
+        agg
     }
 
-    /// Resets statistics (not cache/DRAM state).
+    /// The per-core × per-region counter matrix.
+    pub fn stats_matrix(&self) -> &StatsMatrix {
+        &self.stats
+    }
+
+    /// High-water mark of MPB allocation, in bytes (see
+    /// [`Mpb::high_water`](crate::mpb::Mpb::high_water)).
+    pub fn mpb_high_water(&self) -> usize {
+        self.mpb.high_water()
+    }
+
+    /// Resets statistics (not cache/DRAM/allocator state).
     pub fn reset_stats(&mut self) {
-        self.stats = MemStats::default();
+        self.stats.reset();
     }
 }
 
@@ -266,7 +288,7 @@ mod tests {
         let mut m = sys();
         let a = m.access(0, SHARED_DRAM_BASE, false, 0); // MC 0
         let b = m.access(47, SHARED_DRAM_BASE + 64, false, 0); // MC 3
-        // Core 47 sits on its MC tile: zero mesh trip, so pure service.
+                                                               // Core 47 sits on its MC tile: zero mesh trip, so pure service.
         assert!(b <= a);
         assert_eq!(m.stats().mc_queue_cycles, 0);
     }
@@ -277,5 +299,75 @@ mod tests {
         m.access(0, 0x0, false, 0);
         m.reset_stats();
         assert_eq!(m.stats(), MemStats::default());
+        assert_eq!(m.stats_matrix().active_cores(), 0);
+    }
+
+    /// Per-core × per-region attribution for the crate doctest scenario:
+    /// a private cold miss, a private warm hit, a shared-DRAM read and an
+    /// MPB read, each landing in exactly one row/column of the matrix.
+    #[test]
+    fn matrix_attributes_doctest_scenario() {
+        let mut m = sys();
+        let cold = m.access(0, 0x1000, false, 0); // private, cold
+        let warm = m.access(0, 0x1000, false, 100); // L1 hit
+        let shared = m.access(0, SHARED_DRAM_BASE, false, 200); // uncacheable
+        let mpb = m.access(5, MPB_BASE + 5 * 8192, true, 300); // posted MPB store
+
+        let c0 = &m.stats_matrix().per_core[0];
+        assert_eq!(c0.reads[Region::Private.index()], 2);
+        assert_eq!(c0.l1_hits, 1, "warm access hits L1");
+        assert_eq!(c0.private_dram, 1, "cold access reaches DRAM");
+        assert_eq!(c0.reads[Region::SharedDram.index()], 1);
+        assert_eq!(c0.writes[Region::SharedDram.index()], 0);
+        assert_eq!(
+            c0.region_accesses(Region::Mpb),
+            0,
+            "core 0 never touched the MPB"
+        );
+        assert_eq!(
+            c0.region_cycles[Region::Private.index()],
+            cold + warm,
+            "private cycle total is the sum of both accesses"
+        );
+        assert_eq!(c0.region_cycles[Region::SharedDram.index()], shared);
+
+        let c5 = &m.stats_matrix().per_core[5];
+        assert_eq!(c5.writes[Region::Mpb.index()], 1);
+        assert_eq!(c5.region_cycles[Region::Mpb.index()], mpb);
+        assert_eq!(c5.total_accesses(), 1);
+
+        // Other cores stay untouched.
+        assert_eq!(m.stats_matrix().active_cores(), 2);
+        // The chip-global aggregate agrees with the matrix.
+        let agg = m.stats();
+        assert_eq!(agg.l1_hits, 1);
+        assert_eq!(agg.private_dram, 1);
+        assert_eq!(agg.shared_dram, 1);
+        assert_eq!(agg.mpb, 1);
+    }
+
+    #[test]
+    fn latency_histograms_follow_region_costs() {
+        let mut m = sys();
+        m.access(0, 0x1000, false, 0);
+        m.access(0, 0x1000, false, 100);
+        let c0 = &m.stats_matrix().per_core[0];
+        let h = &c0.latency[Region::Private.index()];
+        assert_eq!(h.count, 2);
+        // The cold miss and the warm hit land in different buckets.
+        assert!(h.max > m.config.l1_hit_cycles);
+        assert_eq!(h.total_cycles, c0.region_cycles[Region::Private.index()]);
+    }
+
+    #[test]
+    fn mpb_high_water_tracks_peak_allocation() {
+        let mut m = sys();
+        assert_eq!(m.mpb_high_water(), 0);
+        m.mpb.alloc(0, 100).expect("alloc");
+        m.mpb.alloc_shared(4, 1000).expect("alloc_shared");
+        assert_eq!(m.mpb_high_water(), 128 + 1024, "line-aligned peak");
+        m.mpb.reset();
+        assert_eq!(m.mpb.allocated(), 0);
+        assert_eq!(m.mpb_high_water(), 128 + 1024, "high water survives reset");
     }
 }

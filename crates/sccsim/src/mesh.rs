@@ -39,12 +39,21 @@ impl Mesh {
         let rows = config.mesh_rows;
         let mc_tiles = match config.memory_controllers {
             1 => vec![Tile { x: 0, y: 0 }],
-            2 => vec![Tile { x: 0, y: 0 }, Tile { x: cols - 1, y: rows - 1 }],
+            2 => vec![
+                Tile { x: 0, y: 0 },
+                Tile {
+                    x: cols - 1,
+                    y: rows - 1,
+                },
+            ],
             4 => vec![
                 Tile { x: 0, y: 0 },
                 Tile { x: cols - 1, y: 0 },
                 Tile { x: 0, y: rows - 1 },
-                Tile { x: cols - 1, y: rows - 1 },
+                Tile {
+                    x: cols - 1,
+                    y: rows - 1,
+                },
             ],
             n => (0..n)
                 .map(|i| Tile {

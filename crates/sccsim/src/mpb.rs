@@ -22,6 +22,11 @@ pub struct Mpb {
     shared_allocs: Vec<(usize, usize, usize)>,
     /// Total accesses per owner core.
     accesses: Vec<u64>,
+    /// Bytes currently allocated (both allocators combined).
+    allocated: usize,
+    /// Largest `allocated` ever observed — the occupancy high-water mark
+    /// reported in the run manifest.
+    high_water: usize,
 }
 
 /// A chip-wide MPB address: (owner core, offset).
@@ -44,6 +49,8 @@ impl Mpb {
             linear_brk: 0,
             shared_allocs: Vec::new(),
             accesses: vec![0; config.cores],
+            allocated: 0,
+            high_water: 0,
         }
     }
 
@@ -69,6 +76,8 @@ impl Mpb {
         }
         let offset = self.brk[core];
         self.brk[core] += aligned;
+        self.allocated += aligned;
+        self.high_water = self.high_water.max(self.allocated);
         Some(core * self.bytes_per_core + offset)
     }
 
@@ -89,6 +98,8 @@ impl Mpb {
         }
         let offset = self.linear_brk;
         self.linear_brk += aligned;
+        self.allocated += aligned;
+        self.high_water = self.high_water.max(self.allocated);
         self.shared_allocs
             .push((offset, aligned, participants.min(self.cores).max(1)));
         Some(offset)
@@ -109,11 +120,24 @@ impl Mpb {
         self.addr_of(linear).owner
     }
 
-    /// Frees everything (RCCE programs allocate once per run).
+    /// Frees everything (RCCE programs allocate once per run). The
+    /// high-water mark deliberately survives: it reports peak occupancy
+    /// over the whole simulation.
     pub fn reset(&mut self) {
         self.brk.iter_mut().for_each(|b| *b = 0);
         self.linear_brk = 0;
+        self.allocated = 0;
         self.shared_allocs.clear();
+    }
+
+    /// Bytes currently allocated across both allocators.
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Peak bytes ever allocated — the MPB occupancy high-water mark.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Latency in core cycles for `core` to access data owned by `owner`.
@@ -205,9 +229,8 @@ mod tests {
         let (mut mpb, mesh) = fixture();
         let mpb_lat = mpb.access(&mesh, 21, 20);
         let mc = mesh.mc_of(21);
-        let dram_lat = mesh.mc_round_trip(21, mc)
-            + cfg.dram_service_cycles
-            + cfg.shared_dram_overhead_cycles;
+        let dram_lat =
+            mesh.mc_round_trip(21, mc) + cfg.dram_service_cycles + cfg.shared_dram_overhead_cycles;
         assert!(
             mpb_lat < dram_lat,
             "mpb {mpb_lat} should beat dram {dram_lat}"

@@ -52,8 +52,7 @@ impl PowerModel {
         // Solve P = s + c·V²·f for the two endpoints.
         let (p_low, p_high) = (25.0, 125.0);
         let x_low = OperatingPoint::LOW.volts.powi(2) * f64::from(OperatingPoint::LOW.freq_mhz);
-        let x_high =
-            OperatingPoint::HIGH.volts.powi(2) * f64::from(OperatingPoint::HIGH.freq_mhz);
+        let x_high = OperatingPoint::HIGH.volts.powi(2) * f64::from(OperatingPoint::HIGH.freq_mhz);
         let c = (p_high - p_low) / (x_high - x_low);
         let s = p_low - c * x_low;
         PowerModel {

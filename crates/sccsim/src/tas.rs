@@ -106,7 +106,10 @@ mod tests {
         let t0 = tas.acquire(&mesh, 5, 0, 0);
         let released = tas.release(&mesh, 5, 0, t0 + 500);
         let t1 = tas.acquire(&mesh, 5, 1, 0);
-        assert!(t1 >= released, "waiter must observe release: {t1} vs {released}");
+        assert!(
+            t1 >= released,
+            "waiter must observe release: {t1} vs {released}"
+        );
         assert!(tas.contended_cycles()[5] > 0);
     }
 

@@ -1,0 +1,105 @@
+//! Median-of-N wall-clock timing — the Criterion replacement.
+//!
+//! Deliberately simple: N timed runs, report the median (robust against
+//! one-off scheduler hiccups), min and max. The `cargo bench` harnesses
+//! print these and fold them into the JSON run manifest; there is no
+//! statistical machinery because the simulator itself is deterministic —
+//! wall-clock noise is the only variance.
+
+use std::time::Instant;
+
+/// Result of one [`time_median`] measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingReport {
+    /// Label of the measured operation.
+    pub name: String,
+    /// Number of timed runs.
+    pub runs: usize,
+    /// Median wall time in nanoseconds.
+    pub median_nanos: u128,
+    /// Fastest run in nanoseconds.
+    pub min_nanos: u128,
+    /// Slowest run in nanoseconds.
+    pub max_nanos: u128,
+}
+
+impl TimingReport {
+    /// Median in milliseconds, for human-readable tables.
+    pub fn median_ms(&self) -> f64 {
+        self.median_nanos as f64 / 1e6
+    }
+}
+
+impl std::fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<32}{:>12.3} ms  (min {:.3}, max {:.3}, n={})",
+            self.name,
+            self.median_ms(),
+            self.min_nanos as f64 / 1e6,
+            self.max_nanos as f64 / 1e6,
+            self.runs
+        )
+    }
+}
+
+/// Times `body` over `runs` executions (plus one untimed warm-up) and
+/// returns the median/min/max wall times.
+///
+/// # Panics
+///
+/// Panics if `runs` is zero.
+pub fn time_median(name: &str, runs: usize, mut body: impl FnMut()) -> TimingReport {
+    assert!(runs > 0, "at least one run required");
+    body(); // warm-up: first-touch allocation, lazy statics, icache
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            body();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    TimingReport {
+        name: name.to_string(),
+        runs,
+        median_nanos: samples[samples.len() / 2],
+        min_nanos: samples[0],
+        max_nanos: samples[samples.len() - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_within_min_max() {
+        let r = time_median("spin", 5, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(r.min_nanos <= r.median_nanos);
+        assert!(r.median_nanos <= r.max_nanos);
+        assert_eq!(r.runs, 5);
+    }
+
+    #[test]
+    fn warmup_plus_runs_executions() {
+        let mut n = 0;
+        let _ = time_median("count", 3, || n += 1);
+        assert_eq!(n, 4, "one warm-up + three timed");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_panics() {
+        let _ = time_median("bad", 0, || {});
+    }
+
+    #[test]
+    fn display_renders_label() {
+        let r = time_median("label_here", 1, || {});
+        assert!(r.to_string().contains("label_here"));
+    }
+}

@@ -316,8 +316,7 @@ int main() {
         let out = translate_source(src).expect("translate");
         assert!(out.contains("int *counter;"), "{out}");
         assert!(
-            out.contains("(*counter) = (*counter) + 1")
-                || out.contains("*counter = *counter + 1"),
+            out.contains("(*counter) = (*counter) + 1") || out.contains("*counter = *counter + 1"),
             "{out}"
         );
         assert!(
@@ -478,7 +477,10 @@ int main() {
         )
         .unwrap();
         let out = t.to_source();
-        assert!(out.contains("for (foldID = myID; foldID < 8; foldID = foldID + 4)"), "{out}");
+        assert!(
+            out.contains("for (foldID = myID; foldID < 8; foldID = foldID + 4)"),
+            "{out}"
+        );
         assert!(out.contains("tf((void *)foldID);"), "{out}");
     }
 

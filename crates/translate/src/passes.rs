@@ -699,10 +699,7 @@ impl TransformPass for GuardSharedInitPass {
 
 /// Whether a statement stores through a shared pointer/array (an `Index`
 /// or `Deref` destination whose base variable is in the shared set).
-fn stmt_writes_shared_memory(
-    s: &Stmt,
-    shared: &std::collections::BTreeSet<String>,
-) -> bool {
+fn stmt_writes_shared_memory(s: &Stmt, shared: &std::collections::BTreeSet<String>) -> bool {
     let mut found = false;
     hsm_cir::visit::walk_exprs_in_stmt(s, &mut |e| {
         let dest = match &e.kind {
@@ -809,9 +806,7 @@ impl TransformPass for ThreadsToProcsPass {
                         // congruent to its own.
                         let trips = trip_count(init.as_ref(), cond.as_ref(), step.as_ref());
                         let fold = match trips {
-                            Some(t) if (t as usize) > ctx.options.cores => {
-                                Some(t as usize)
-                            }
+                            Some(t) if (t as usize) > ctx.options.cores => Some(t as usize),
                             _ => None,
                         };
                         if fold.is_some() {
@@ -833,7 +828,10 @@ impl TransformPass for ThreadsToProcsPass {
                             if stmt_contains_call(&inner_stmt, "pthread_create") {
                                 if let Some(call) = extract_create_call(&inner_stmt) {
                                     emitted_calls.push(build_worker_call(
-                                        &mut unit, &call, call_id_var, ivar.as_deref(),
+                                        &mut unit,
+                                        &call,
+                                        call_id_var,
+                                        ivar.as_deref(),
                                     ));
                                 }
                                 // The pthread_create statement itself (and
@@ -889,16 +887,14 @@ impl TransformPass for ThreadsToProcsPass {
                     _ => {
                         if let Some(call) = extract_create_call(&stmt) {
                             new_body.push(barrier_stmt(&mut unit));
-                            let worker_call =
-                                build_worker_call(&mut unit, &call, &core_var, None);
+                            let worker_call = build_worker_call(&mut unit, &call, &core_var, None);
                             // Guard thread-specific single launches.
                             if let Some(&k) = core_bound.get(&call.entry) {
                                 let StmtKind::Expr(Some(call_expr)) = worker_call.kind else {
                                     unreachable!("build_worker_call returns expr stmt");
                                 };
                                 let mut b = Builder::new(&mut unit);
-                                let guarded =
-                                    b.guarded_call(&core_var, k as i64, call_expr);
+                                let guarded = b.guarded_call(&core_var, k as i64, call_expr);
                                 new_body.push(guarded);
                             } else {
                                 new_body.push(worker_call);
@@ -923,9 +919,7 @@ struct CreateCall {
 fn for_induction_var(init: &Option<ForInit>) -> Option<String> {
     match init {
         Some(ForInit::Expr(e)) => match &e.kind {
-            ExprKind::Assign(AssignOp::Assign, lhs, _) => {
-                lhs.as_ident().map(str::to_string)
-            }
+            ExprKind::Assign(AssignOp::Assign, lhs, _) => lhs.as_ident().map(str::to_string),
             _ => None,
         },
         Some(ForInit::Decl(d)) => d.vars.first().map(|v| v.name.clone()),

@@ -149,9 +149,7 @@ pub fn subst_ident_expr(e: &mut Expr, from: &str, to: &str) {
         | ExprKind::PostIncDec(inner, _)
         | ExprKind::Cast(_, inner)
         | ExprKind::SizeofExpr(inner) => subst_ident_expr(inner, from, to),
-        ExprKind::Binary(_, l, r)
-        | ExprKind::Assign(_, l, r)
-        | ExprKind::Comma(l, r) => {
+        ExprKind::Binary(_, l, r) | ExprKind::Assign(_, l, r) | ExprKind::Comma(l, r) => {
             subst_ident_expr(l, from, to);
             subst_ident_expr(r, from, to);
         }

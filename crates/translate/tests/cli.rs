@@ -42,11 +42,7 @@ fn translates_to_stdout() {
 fn writes_output_file() {
     let input = write_temp("cli_outfile.c", EXAMPLE);
     let output = std::env::temp_dir().join("cli_outfile_rcce.c");
-    let out = hsm2rcce(&[
-        input.to_str().unwrap(),
-        "-o",
-        output.to_str().unwrap(),
-    ]);
+    let out = hsm2rcce(&[input.to_str().unwrap(), "-o", output.to_str().unwrap()]);
     assert!(out.status.success());
     let written = std::fs::read_to_string(&output).expect("output exists");
     assert!(written.contains("RCCE_barrier"), "{written}");

@@ -394,8 +394,7 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
                 let off = fc.alloc_mem(&p.ty);
                 fc.code.push(Instr::LocalMemAddr(off));
                 fc.code.push(Instr::LocalGet(i as u16));
-                fc.code
-                    .push(Instr::Store(MemKind::for_ctype(&p.ty), false));
+                fc.code.push(Instr::Store(MemKind::for_ctype(&p.ty), false));
                 fc.define(&p.name, Slot::Mem(off, p.ty.clone()));
             } else {
                 fc.define(&p.name, Slot::Reg(reg, p.ty.clone()));
@@ -546,9 +545,9 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
                 Ok(())
             }
             StmtKind::Switch(scrutinee, body) => self.switch(scrutinee, body),
-            StmtKind::Case(_) | StmtKind::Default => Err(CompileError::new(
-                "case/default label outside a switch",
-            )),
+            StmtKind::Case(_) | StmtKind::Default => {
+                Err(CompileError::new("case/default label outside a switch"))
+            }
             StmtKind::Return(e) => {
                 match e {
                     Some(e) => {
@@ -806,8 +805,12 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
                         return ret.clone();
                     }
                     match Intrinsic::from_name(name) {
-                        Some(Intrinsic::Sqrt | Intrinsic::Fabs | Intrinsic::Wtime
-                            | Intrinsic::RcceWtime) => return CType::Double,
+                        Some(
+                            Intrinsic::Sqrt
+                            | Intrinsic::Fabs
+                            | Intrinsic::Wtime
+                            | Intrinsic::RcceWtime,
+                        ) => return CType::Double,
                         Some(_) => return CType::Int,
                         None => {}
                     }
@@ -994,11 +997,7 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
         let elem = match &bt {
             CType::Pointer(t) => (**t).clone(),
             CType::Array(t, _) => (**t).clone(),
-            _ => {
-                return Err(CompileError::new(format!(
-                    "indexing non-pointer type {bt}"
-                )))
-            }
+            _ => return Err(CompileError::new(format!("indexing non-pointer type {bt}"))),
         };
         let it = self.expr(idx, true)?;
         self.convert(&it, &CType::Int);
@@ -1170,7 +1169,8 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
         if t.is_float() {
             self.code.push(Instr::PushF(1.0));
         } else if let CType::Pointer(inner) = t {
-            self.code.push(Instr::PushI(storage_size(inner).max(1) as i64));
+            self.code
+                .push(Instr::PushI(storage_size(inner).max(1) as i64));
         } else {
             self.code.push(Instr::PushI(1));
         }
@@ -1396,12 +1396,7 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
         Ok(t)
     }
 
-    fn call(
-        &mut self,
-        callee: &Expr,
-        args: &[Expr],
-        want: bool,
-    ) -> Result<CType, CompileError> {
+    fn call(&mut self, callee: &Expr, args: &[Expr], want: bool) -> Result<CType, CompileError> {
         let Some(name) = callee.as_ident() else {
             return Err(CompileError::new("indirect calls are not supported"));
         };
@@ -1469,7 +1464,9 @@ mod tests {
 
     #[test]
     fn globals_get_distinct_addresses_and_images() {
-        let p = compile_src("int a = 5; double b = 2.5; int c[3] = {1, 2, 3}; int main() { return 0; }");
+        let p = compile_src(
+            "int a = 5; double b = 2.5; int c[3] = {1, 2, 3}; int main() { return 0; }",
+        );
         let a = p.global("a").unwrap();
         let b = p.global("b").unwrap();
         let c = p.global("c").unwrap();
@@ -1517,7 +1514,10 @@ mod tests {
         let p = compile_src("int main() { int a[4]; a[2] = 7; return a[2]; }");
         let f = &p.funcs[0];
         assert!(f.frame_mem >= 16);
-        assert!(f.code.iter().any(|i| matches!(i, Instr::Store(MemKind::I32, false))));
+        assert!(f
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Store(MemKind::I32, false))));
     }
 
     #[test]
@@ -1538,7 +1538,9 @@ mod tests {
 
     #[test]
     fn mixed_arithmetic_promotes() {
-        let p = compile_src("int main() { double x = 4.0; int n = 2; double y = x / n; return (int)y; }");
+        let p = compile_src(
+            "int main() { double x = 4.0; int n = 2; double y = x / n; return (int)y; }",
+        );
         let code = &p.funcs[0].code;
         assert!(code.contains(&Instr::I2F), "{code:?}");
         assert!(code.contains(&Instr::F2I));
@@ -1564,10 +1566,7 @@ mod tests {
         let main_idx = p.func_index("main").unwrap() as usize;
         let tf_idx = p.func_index("tf").unwrap();
         let code = &p.funcs[main_idx].code;
-        assert!(
-            code.contains(&Instr::PushI(i64::from(tf_idx))),
-            "{code:?}"
-        );
+        assert!(code.contains(&Instr::PushI(i64::from(tf_idx))), "{code:?}");
         assert!(code
             .iter()
             .any(|i| matches!(i, Instr::CallIntrinsic(Intrinsic::PthreadCreate, 4))));
@@ -1593,7 +1592,9 @@ mod tests {
 
     #[test]
     fn loops_produce_backward_jumps() {
-        let p = compile_src("int main() { int s = 0; int i; for (i = 0; i < 10; i++) s += i; return s; }");
+        let p = compile_src(
+            "int main() { int s = 0; int i; for (i = 0; i < 10; i++) s += i; return s; }",
+        );
         let code = &p.funcs[0].code;
         let has_back_jump = code.iter().enumerate().any(|(at, i)| match i {
             Instr::Jump(t) => (*t as usize) < at,

@@ -231,7 +231,10 @@ impl Vm {
                 Instr::PushI(v) => self.stack.push(Value::I(v)),
                 Instr::PushF(v) => self.stack.push(Value::F(v)),
                 Instr::LocalGet(slot) => {
-                    let v = self.frames.last().expect("frame")
+                    let v = self
+                        .frames
+                        .last()
+                        .expect("frame")
                         .regs
                         .get(slot as usize)
                         .copied()
@@ -328,7 +331,11 @@ impl Vm {
                     let v = self.pop()?.as_i();
                     self.stack.push(Value::I(!v));
                 }
-                Instr::CmpLt | Instr::CmpLe | Instr::CmpGt | Instr::CmpGe | Instr::CmpEq
+                Instr::CmpLt
+                | Instr::CmpLe
+                | Instr::CmpGt
+                | Instr::CmpGe
+                | Instr::CmpEq
                 | Instr::CmpNe => {
                     let r = self.pop()?;
                     let l = self.pop()?;
@@ -511,11 +518,20 @@ mod tests {
         loop {
             match vm.run_until_event(&program).expect("vm") {
                 StepOutcome::Ran { cycles: c } => cycles += c,
-                StepOutcome::Load { addr, kind, cycles: c } => {
+                StepOutcome::Load {
+                    addr,
+                    kind,
+                    cycles: c,
+                } => {
                     cycles += c + 1;
                     vm.provide_load(mem.load(addr, kind));
                 }
-                StepOutcome::Store { addr, kind, value, cycles: c } => {
+                StepOutcome::Store {
+                    addr,
+                    kind,
+                    value,
+                    cycles: c,
+                } => {
                     cycles += c + 1;
                     mem.store(addr, kind, value);
                     vm.store_done();
@@ -545,7 +561,8 @@ mod tests {
 
     #[test]
     fn float_arithmetic() {
-        let (v, _) = run("int main() { double x = 4.0; double y = x / 8.0; return (int)(y * 100.0); }");
+        let (v, _) =
+            run("int main() { double x = 4.0; double y = x / 8.0; return (int)(y * 100.0); }");
         assert_eq!(v, Value::I(50));
     }
 
@@ -557,7 +574,8 @@ mod tests {
 
     #[test]
     fn locals_and_loops() {
-        let (v, _) = run("int main() { int s = 0; int i; for (i = 1; i <= 10; i++) s += i; return s; }");
+        let (v, _) =
+            run("int main() { int s = 0; int i; for (i = 1; i <= 10; i++) s += i; return s; }");
         assert_eq!(v, Value::I(55));
     }
 
@@ -607,8 +625,14 @@ mod tests {
 
     #[test]
     fn post_and_pre_increment_values() {
-        assert_eq!(run("int main() { int i = 5; int j = i++; return j * 100 + i; }").0, Value::I(506));
-        assert_eq!(run("int main() { int i = 5; int j = ++i; return j * 100 + i; }").0, Value::I(606));
+        assert_eq!(
+            run("int main() { int i = 5; int j = i++; return j * 100 + i; }").0,
+            Value::I(506)
+        );
+        assert_eq!(
+            run("int main() { int i = 5; int j = ++i; return j * 100 + i; }").0,
+            Value::I(606)
+        );
         // Memory-resident (array element) post-increment.
         assert_eq!(
             run("int a[2] = {3, 0}; int main() { a[1] = a[0]++; return a[1] * 10 + a[0]; }").0,
@@ -624,9 +648,18 @@ mod tests {
 
     #[test]
     fn ternary_and_logical() {
-        assert_eq!(run("int main() { int a = 5; return a > 3 ? 1 : 2; }").0, Value::I(1));
-        assert_eq!(run("int main() { int a = 0; return a && 1; }").0, Value::I(0));
-        assert_eq!(run("int main() { int a = 0; return a || 2; }").0, Value::I(1));
+        assert_eq!(
+            run("int main() { int a = 5; return a > 3 ? 1 : 2; }").0,
+            Value::I(1)
+        );
+        assert_eq!(
+            run("int main() { int a = 0; return a && 1; }").0,
+            Value::I(0)
+        );
+        assert_eq!(
+            run("int main() { int a = 0; return a || 2; }").0,
+            Value::I(1)
+        );
     }
 
     #[test]
@@ -645,8 +678,7 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_a_fault() {
-        let program =
-            compile(&parse("int main() { int z = 0; return 5 / z; }").unwrap()).unwrap();
+        let program = compile(&parse("int main() { int z = 0; return 5 / z; }").unwrap()).unwrap();
         let mut vm = Vm::new(&program, program.entry, vec![], STACKS_BASE);
         let err = loop {
             match vm.run_until_event(&program) {
@@ -660,8 +692,10 @@ mod tests {
 
     #[test]
     fn cycles_accumulate_and_loops_cost_more() {
-        let (_, short) = run("int main() { int s = 0; int i; for (i = 0; i < 10; i++) s += i; return s; }");
-        let (_, long) = run("int main() { int s = 0; int i; for (i = 0; i < 1000; i++) s += i; return s; }");
+        let (_, short) =
+            run("int main() { int s = 0; int i; for (i = 0; i < 10; i++) s += i; return s; }");
+        let (_, long) =
+            run("int main() { int s = 0; int i; for (i = 0; i < 1000; i++) s += i; return s; }");
         assert!(long > short * 20, "long {long} short {short}");
     }
 
@@ -675,7 +709,9 @@ mod tests {
             match vm.run_until_event(&program) {
                 Ok(StepOutcome::Finished { .. }) => panic!("should overflow"),
                 Ok(StepOutcome::Load { addr, kind, .. }) => vm.provide_load(mem.load(addr, kind)),
-                Ok(StepOutcome::Store { addr, kind, value, .. }) => {
+                Ok(StepOutcome::Store {
+                    addr, kind, value, ..
+                }) => {
                     mem.store(addr, kind, value);
                     vm.store_done();
                 }
@@ -720,9 +756,8 @@ mod tests {
 
     #[test]
     fn switch_without_default_skips_entirely() {
-        let (v, _) = run(
-            "int main() { int acc = 5; switch (42) { case 1: acc = 0; break; } return acc; }",
-        );
+        let (v, _) =
+            run("int main() { int acc = 5; switch (42) { case 1: acc = 0; break; } return acc; }");
         assert_eq!(v, Value::I(5));
     }
 

@@ -455,7 +455,6 @@ int main() {{
     )
 }
 
-
 /// The four Stream kernels (Algorithms 13–16 of the paper's appendix).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StreamKernel {
@@ -564,7 +563,6 @@ int main() {{
 "#
     )
 }
-
 
 // -------------------------------------------------------- extensions --
 
@@ -957,10 +955,7 @@ mod tests {
         // Diagonally dominant matrices: all pivots positive, so the
         // diagonal checksum is positive and partition-invariant.
         assert!(v > 0);
-        let p1 = Params {
-            threads: 1,
-            ..p
-        };
+        let p1 = Params { threads: 1, ..p };
         assert_eq!(ref_lu(&p1), v);
     }
 

@@ -46,13 +46,22 @@ int main() {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Parse into the C intermediate representation.
     let tu = hsm_cir::parse(EXAMPLE_4_1)?;
-    println!("parsed {} functions, {} globals\n",
-        tu.functions().count(), tu.global_decls().count());
+    println!(
+        "parsed {} functions, {} globals\n",
+        tu.functions().count(),
+        tu.global_decls().count()
+    );
 
     // 2. Stages 1-3: scope, inter-thread and points-to analysis.
     let analysis = hsm_analysis::ProgramAnalysis::analyze(&tu);
-    println!("Table 4.1 — per-variable facts:\n{}", analysis.render_table_4_1());
-    println!("Table 4.2 — sharing status by stage:\n{}", analysis.render_table_4_2());
+    println!(
+        "Table 4.1 — per-variable facts:\n{}",
+        analysis.render_table_4_1()
+    );
+    println!(
+        "Table 4.2 — sharing status by stage:\n{}",
+        analysis.render_table_4_2()
+    );
 
     // 3. Stages 4-5: partition shared data and translate to RCCE.
     let translated = hsm_translate::translate_source(EXAMPLE_4_1)?;
@@ -61,13 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Execute both versions on the simulated SCC (3 threads vs 3 cores).
     let config = SccConfig::table_6_1();
     let baseline = hsm_core::run_baseline(EXAMPLE_4_1, &config)?;
-    let rcce = hsm_core::run_translated(
-        EXAMPLE_4_1,
-        3,
-        hsm_core::Policy::SizeAscending,
-        &config,
-    )?;
-    println!("pthread (1 core, 3 threads): {} cycles", baseline.total_cycles);
+    let rcce = hsm_core::run_translated(EXAMPLE_4_1, 3, hsm_core::Policy::SizeAscending, &config)?;
+    println!(
+        "pthread (1 core, 3 threads): {} cycles",
+        baseline.total_cycles
+    );
     println!("   output: {:?}", baseline.output_sorted());
     println!("RCCE     (3 cores):          {} cycles", rcce.total_cycles);
     println!("   output: {:?}", rcce.output_sorted());

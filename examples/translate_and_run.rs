@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SccConfig::table_6_1();
     let bench = Bench::PiApprox;
 
-    println!("benchmark: {bench}, {} threads/cores, {} steps\n", params.threads, params.size);
+    println!(
+        "benchmark: {bench}, {} threads/cores, {} steps\n",
+        params.threads, params.size
+    );
 
     let baseline = run(bench, &params, Mode::PthreadBaseline, &config)?;
     println!(

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Diff a freshly generated run manifest against the checked-in golden.
+
+Usage: check_manifest.py BENCH_pipeline.json crates/bench/goldens/manifest_golden.json
+
+The full manifest covers more programs than the golden and includes
+host-dependent `host_wall_nanos` timings; this script restricts the fresh
+manifest to the golden's program set, strips every `host_*` key, and then
+requires exact structural equality. It is the CI half of the
+`manifest_golden` regression test: the Rust test pins `golden_manifest()`
+directly, this pins the `figures --json` binary's output path through the
+same goldens.
+"""
+
+import json
+import sys
+
+
+def strip_host_keys(node):
+    """Recursively drops dict keys starting with `host_` (host-dependent)."""
+    if isinstance(node, dict):
+        return {
+            k: strip_host_keys(v) for k, v in node.items() if not k.startswith("host_")
+        }
+    if isinstance(node, list):
+        return [strip_host_keys(v) for v in node]
+    return node
+
+
+def describe_diff(path, got, want, out):
+    """Appends human-readable leaf differences between two JSON trees."""
+    if type(got) is not type(want):
+        out.append(f"{path}: type {type(got).__name__} != {type(want).__name__}")
+        return
+    if isinstance(got, dict):
+        for k in sorted(set(got) | set(want)):
+            if k not in got:
+                out.append(f"{path}.{k}: missing from fresh manifest")
+            elif k not in want:
+                out.append(f"{path}.{k}: not in golden")
+            else:
+                describe_diff(f"{path}.{k}", got[k], want[k], out)
+    elif isinstance(got, list):
+        if len(got) != len(want):
+            out.append(f"{path}: length {len(got)} != {len(want)}")
+        for i, (g, w) in enumerate(zip(got, want)):
+            describe_diff(f"{path}[{i}]", g, w, out)
+    elif got != want:
+        out.append(f"{path}: {got!r} != {want!r}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} FRESH_MANIFEST GOLDEN_MANIFEST")
+    fresh_path, golden_path = sys.argv[1], sys.argv[2]
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(golden_path) as f:
+        golden = json.load(f)
+
+    golden_names = [p["name"] for p in golden["programs"]]
+    restricted = {
+        "schema_version": fresh["schema_version"],
+        "config": fresh["config"],
+        "programs": [p for p in fresh["programs"] if p["name"] in golden_names],
+    }
+    restricted = strip_host_keys(restricted)
+
+    fresh_names = [p["name"] for p in restricted["programs"]]
+    if fresh_names != golden_names:
+        sys.exit(
+            f"golden programs {golden_names} not covered: fresh manifest has {fresh_names}"
+        )
+
+    if restricted != golden:
+        diffs = []
+        describe_diff("$", restricted, golden, diffs)
+        listing = "\n".join(f"  {d}" for d in diffs[:40])
+        sys.exit(
+            f"{fresh_path} diverged from {golden_path}:\n{listing}\n"
+            "If the change is intentional, regenerate the golden with\n"
+            "  UPDATE_GOLDENS=1 cargo test -p hsm-bench --test manifest_golden"
+        )
+
+    print(f"{fresh_path} matches {golden_path} on {len(golden_names)} programs")
+
+
+if __name__ == "__main__":
+    main()

@@ -95,7 +95,9 @@ fn rendered_tables_are_complete() {
     let a = analyze();
     let t41 = a.render_table_4_1();
     let t42 = a.render_table_4_2();
-    for name in ["global", "ptr", "sum", "tLocal", "tid", "local", "tmp", "threads", "rc"] {
+    for name in [
+        "global", "ptr", "sum", "tLocal", "tid", "local", "tmp", "threads", "rc",
+    ] {
         assert!(t41.contains(name), "table 4.1 missing {name}");
         assert!(t42.contains(name), "table 4.2 missing {name}");
     }

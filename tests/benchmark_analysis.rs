@@ -83,8 +83,7 @@ fn shared_variables_are_thread_accessed_globals() {
         for v in analysis.shared_variables() {
             assert!(v.is_global, "{bench}: {} is not global", v.key.name);
             assert!(
-                v.used_in.contains(&"tf".to_string())
-                    || v.defined_in.contains(&"tf".to_string()),
+                v.used_in.contains(&"tf".to_string()) || v.defined_in.contains(&"tf".to_string()),
                 "{bench}: shared {} never touched by the worker",
                 v.key.name
             );

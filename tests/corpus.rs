@@ -13,18 +13,21 @@ fn corpus_dir() -> PathBuf {
 
 fn check_program(name: &str, cores: usize) {
     let path = corpus_dir().join(name);
-    let src = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
     let config = SccConfig::table_6_1();
 
-    let base = hsm_core::run_baseline(&src, &config)
-        .unwrap_or_else(|e| panic!("{name} baseline: {e}"));
+    let base =
+        hsm_core::run_baseline(&src, &config).unwrap_or_else(|e| panic!("{name} baseline: {e}"));
     let off = hsm_core::run_translated(&src, cores, hsm_core::Policy::OffChipOnly, &config)
         .unwrap_or_else(|e| panic!("{name} off-chip: {e}"));
     let hsm = hsm_core::run_translated(&src, cores, hsm_core::Policy::SizeAscending, &config)
         .unwrap_or_else(|e| panic!("{name} hsm: {e}"));
 
-    assert_eq!(base.exit_code, off.exit_code, "{name}: off-chip exit differs");
+    assert_eq!(
+        base.exit_code, off.exit_code,
+        "{name}: off-chip exit differs"
+    );
     assert_eq!(base.exit_code, hsm.exit_code, "{name}: hsm exit differs");
     assert!(
         outputs_equivalent(&base, &off),
@@ -82,5 +85,8 @@ fn whole_corpus_translates() {
         assert!(!out.contains("pthread"), "{}", path.display());
         count += 1;
     }
-    assert!(count >= 5, "corpus should have at least 5 programs, found {count}");
+    assert!(
+        count >= 5,
+        "corpus should have at least 5 programs, found {count}"
+    );
 }

@@ -38,7 +38,11 @@ fn fig_6_1_shape() {
         pi.offchip_speedup()
     );
     // Memory-bound still wins, but far below linear.
-    assert!(stream.offchip_speedup() > 1.0, "{:.2}", stream.offchip_speedup());
+    assert!(
+        stream.offchip_speedup() > 1.0,
+        "{:.2}",
+        stream.offchip_speedup()
+    );
     assert!(
         stream.offchip_speedup() < 0.75 * n as f64,
         "stream speedup {:.1} should stay well below linear",
@@ -134,8 +138,13 @@ fn count_primes_is_imbalanced_pi_is_not() {
         &config,
     )
     .expect("primes");
-    let pi = run(Bench::PiApprox, &params(Bench::PiApprox, 16), Mode::RcceHsm, &config)
-        .expect("pi");
+    let pi = run(
+        Bench::PiApprox,
+        &params(Bench::PiApprox, 16),
+        Mode::RcceHsm,
+        &config,
+    )
+    .expect("pi");
     assert!(
         primes.imbalance() > 1.2,
         "primes imbalance {:.2} should exceed 1.2",

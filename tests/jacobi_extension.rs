@@ -26,9 +26,8 @@ fn jacobi_baseline_matches_reference() {
 fn jacobi_translates_barriers_and_matches_reference() {
     let p = params();
     let src = jacobi_source(&p);
-    let translation =
-        hsm_core::translate_source(&src, p.threads, hsm_core::Policy::SizeAscending)
-            .expect("translation");
+    let translation = hsm_core::translate_source(&src, p.threads, hsm_core::Policy::SizeAscending)
+        .expect("translation");
     let out = translation.to_source();
     assert!(
         out.contains("RCCE_barrier(&RCCE_COMM_WORLD)"),

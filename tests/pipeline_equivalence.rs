@@ -43,10 +43,12 @@ fn check(bench: Bench, threads: usize) {
         off.output_sorted()
     );
 
-    let hsm = run(bench, &p, Mode::RcceHsm, &config)
-        .unwrap_or_else(|e| panic!("{bench} hsm: {e}"));
+    let hsm = run(bench, &p, Mode::RcceHsm, &config).unwrap_or_else(|e| panic!("{bench} hsm: {e}"));
     assert_eq!(hsm.exit_code, expected, "{bench} hsm exit");
-    assert!(outputs_equivalent(&base, &hsm), "{bench} hsm output diverged");
+    assert!(
+        outputs_equivalent(&base, &hsm),
+        "{bench} hsm output diverged"
+    );
 }
 
 #[test]

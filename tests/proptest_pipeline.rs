@@ -1,4 +1,4 @@
-//! Cross-crate property tests:
+//! Cross-crate property tests (testkit-driven):
 //!
 //! * randomly generated integer-expression programs compute the same value
 //!   in the VM as a Rust reference evaluator (compiler/VM correctness);
@@ -7,9 +7,12 @@
 //!   invariants);
 //! * randomly generated pthread programs translate to parseable RCCE
 //!   source with no pthread vestiges.
+//!
+//! Regressions found by the old proptest suite are pinned as named test
+//! cases at the bottom instead of a `.proptest-regressions` seed file.
 
 use hsm_partition::{partition, MemorySpec, Placement, Policy, SharedVar};
-use proptest::prelude::*;
+use testkit::{check, SplitMix64};
 
 // ------------------------------------------------- expression semantics --
 
@@ -34,11 +37,23 @@ impl E {
             E::Add(a, b) => format!("({} + {})", a.render(), b.render()),
             E::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
             E::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
-            E::Div(a, b) => format!("({} / (({}) == 0 ? 1 : ({})))", a.render(), b.render(), b.render()),
-            E::Rem(a, b) => format!("({} % (({}) == 0 ? 1 : ({})))", a.render(), b.render(), b.render()),
+            E::Div(a, b) => format!(
+                "({} / (({}) == 0 ? 1 : ({})))",
+                a.render(),
+                b.render(),
+                b.render()
+            ),
+            E::Rem(a, b) => format!(
+                "({} % (({}) == 0 ? 1 : ({})))",
+                a.render(),
+                b.render(),
+                b.render()
+            ),
             // The space prevents `-` + `-5` lexing as `--`.
             E::Neg(a) => format!("(- {})", a.render()),
-            E::Ternary(c, t, f) => format!("(({}) ? ({}) : ({}))", c.render(), t.render(), f.render()),
+            E::Ternary(c, t, f) => {
+                format!("(({}) ? ({}) : ({}))", c.render(), t.render(), f.render())
+            }
         }
     }
 
@@ -68,22 +83,43 @@ impl E {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = (-50i32..50).prop_map(E::Lit);
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| E::Ternary(Box::new(c), Box::new(t), Box::new(f))),
-        ]
-    })
+/// Random expression tree, depth-bounded like the old
+/// `prop_recursive(4, ..)` strategy; biased towards leaves as depth grows.
+fn gen_expr(rng: &mut SplitMix64, depth: usize) -> E {
+    if depth == 0 || rng.gen_range_usize(0, 4) == 0 {
+        return E::Lit(rng.gen_range_i32(-50, 50));
+    }
+    let d = depth - 1;
+    match rng.gen_range_usize(0, 7) {
+        0 => E::Add(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+        1 => E::Sub(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+        2 => E::Mul(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+        3 => E::Div(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+        4 => E::Rem(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+        5 => E::Neg(Box::new(gen_expr(rng, d))),
+        _ => E::Ternary(
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+        ),
+    }
 }
 
+/// Runs an integer expression through parse → compile → VM and checks the
+/// printed result against the Rust reference evaluator.
+fn assert_vm_matches(expr: &E) {
+    let expected = expr.eval();
+    // Exit codes are i64 in the VM; compute via a long to avoid C int
+    // truncation differences.
+    let src = format!(
+        "int main() {{ long result = {}; printf(\"%ld\\n\", result); return 0; }}",
+        expr.render()
+    );
+    let program = hsm_vm::compile(&hsm_cir::parse(&src).expect("parse")).expect("compile");
+    let run = hsm_exec::run_pthread(&program, &scc_sim::SccConfig::table_6_1()).expect("run");
+    let printed: i64 = run.output_text().trim().parse().expect("numeric output");
+    assert_eq!(printed, expected, "source: {src}");
+}
 
 // -------------------------------------------------- float semantics --
 
@@ -124,66 +160,65 @@ impl F {
     }
 }
 
-fn arb_fexpr() -> impl Strategy<Value = F> {
-    let leaf = prop_oneof![
-        (-8.0f64..8.0).prop_map(|v| F::Lit((v * 4.0).round() / 4.0)),
-        (-20i32..20).prop_map(F::FromInt),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Div(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_fexpr(rng: &mut SplitMix64, depth: usize) -> F {
+    if depth == 0 || rng.gen_range_usize(0, 3) == 0 {
+        return if rng.gen_bool() {
+            // Quarter-steps render exactly and stay finite under the
+            // bounded arithmetic below.
+            F::Lit((rng.gen_range_f64(-8.0, 8.0) * 4.0).round() / 4.0)
+        } else {
+            F::FromInt(rng.gen_range_i32(-20, 20))
+        };
+    }
+    let d = depth - 1;
+    match rng.gen_range_usize(0, 4) {
+        0 => F::Add(Box::new(gen_fexpr(rng, d)), Box::new(gen_fexpr(rng, d))),
+        1 => F::Sub(Box::new(gen_fexpr(rng, d)), Box::new(gen_fexpr(rng, d))),
+        2 => F::Mul(Box::new(gen_fexpr(rng, d)), Box::new(gen_fexpr(rng, d))),
+        _ => F::Div(Box::new(gen_fexpr(rng, d)), Box::new(gen_fexpr(rng, d))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+// ------------------------------------------------------- properties --
 
-    /// The VM evaluates arbitrary integer expressions exactly like Rust
-    /// (the benchmarks' correctness rests on this).
-    #[test]
-    fn vm_matches_reference_arithmetic(expr in arb_expr()) {
-        let expected = expr.eval();
-        // Exit codes are i64 in the VM; compute via a long to avoid C int
-        // truncation differences.
-        let src = format!(
-            "int main() {{ long result = {}; printf(\"%ld\\n\", result); return 0; }}",
-            expr.render()
-        );
-        let program = hsm_vm::compile(&hsm_cir::parse(&src).expect("parse"))
-            .expect("compile");
-        let run = hsm_exec::run_pthread(&program, &scc_sim::SccConfig::table_6_1())
-            .expect("run");
-        let printed: i64 = run.output_text().trim().parse().expect("numeric output");
-        prop_assert_eq!(printed, expected, "source: {}", src);
-    }
+/// The VM evaluates arbitrary integer expressions exactly like Rust (the
+/// benchmarks' correctness rests on this).
+#[test]
+fn vm_matches_reference_arithmetic() {
+    check("vm_matches_reference_arithmetic", 128, |rng| {
+        let expr = gen_expr(rng, 4);
+        assert_vm_matches(&expr);
+    });
+}
 
-    /// Algorithm 3 never overspends the on-chip budget, and when it
-    /// reports free space no off-chip variable would have fit.
-    #[test]
-    fn partitioner_invariants(
-        sizes in proptest::collection::vec(1usize..5_000, 1..24),
-        cap in 0usize..16_384,
-    ) {
+/// Algorithm 3 never overspends the on-chip budget, and when it reports
+/// free space no off-chip variable would have fit.
+#[test]
+fn partitioner_invariants() {
+    check("partitioner_invariants", 256, |rng| {
+        let n = rng.gen_range_usize(1, 24);
+        let sizes: Vec<usize> = (0..n).map(|_| rng.gen_range_usize(1, 5_000)).collect();
+        let cap = rng.gen_range_usize(0, 16_384);
         let vars: Vec<SharedVar> = sizes
             .iter()
             .enumerate()
             .map(|(i, &s)| SharedVar::new(format!("v{i}"), s, 1))
             .collect();
         let spec = MemorySpec::with_on_chip(cap);
-        for policy in [Policy::SizeAscending, Policy::SizeDescending, Policy::FrequencyDensity] {
+        for policy in [
+            Policy::SizeAscending,
+            Policy::SizeDescending,
+            Policy::FrequencyDensity,
+        ] {
             let plan = partition(&vars, &spec, policy);
-            prop_assert!(plan.on_chip_used <= cap, "{policy:?} overspent");
+            assert!(plan.on_chip_used <= cap, "{policy:?} overspent");
             let used: usize = plan
                 .placements
                 .iter()
                 .filter(|p| p.placement == Placement::OnChip)
                 .map(|p| p.var.mem_size)
                 .sum();
-            prop_assert_eq!(used, plan.on_chip_used, "{:?} accounting", policy);
+            assert_eq!(used, plan.on_chip_used, "{policy:?} accounting");
             // No off-chip variable fits in the remaining space *if the
             // policy is greedy ascending* (the smallest spilled variable
             // must not fit).
@@ -195,7 +230,7 @@ proptest! {
                     .map(|p| p.var.mem_size)
                     .min();
                 if let Some(s) = smallest_spilled {
-                    prop_assert!(
+                    assert!(
                         s > plan.on_chip_free(),
                         "variable of {s} B left off-chip with {} B free",
                         plan.on_chip_free()
@@ -203,16 +238,17 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    /// Translating a partition-shaped pthread program always yields
-    /// parseable RCCE C with no pthread identifiers, for arbitrary thread
-    /// counts and array lengths.
-    #[test]
-    fn translation_total_on_generated_programs(
-        threads in 1usize..16,
-        len in 1usize..64,
-    ) {
+/// Translating a partition-shaped pthread program always yields parseable
+/// RCCE C with no pthread identifiers, for arbitrary thread counts and
+/// array lengths.
+#[test]
+fn translation_total_on_generated_programs() {
+    check("translation_total_on_generated_programs", 48, |rng| {
+        let threads = rng.gen_range_usize(1, 16);
+        let len = rng.gen_range_usize(1, 64);
         let src = format!(
             r#"
 #include <pthread.h>
@@ -232,52 +268,57 @@ int main() {{
 "#
         );
         let out = hsm_translate::translate_source(&src).expect("translate");
-        prop_assert!(!out.contains("pthread"), "{out}");
+        assert!(!out.contains("pthread"), "{out}");
         hsm_cir::parse(&out).expect("reparse");
-    }
+    });
+}
 
-    /// The VM's double arithmetic is bitwise-identical to Rust's (both
-    /// are IEEE 754, same evaluation order) — the foundation of the
-    /// benchmarks' exit-code equivalence checks.
-    #[test]
-    fn vm_matches_reference_float_arithmetic(expr in arb_fexpr()) {
+/// The VM's double arithmetic is bitwise-identical to Rust's (both are
+/// IEEE 754, same evaluation order) — the foundation of the benchmarks'
+/// exit-code equivalence checks.
+#[test]
+fn vm_matches_reference_float_arithmetic() {
+    check("vm_matches_reference_float_arithmetic", 128, |rng| {
+        let expr = gen_fexpr(rng, 3);
         let expected = expr.eval();
-        prop_assume!(expected.is_finite());
+        if !expected.is_finite() {
+            return;
+        }
         let src = format!(
             "int main() {{ double r = {}; printf(\"%.17e\\n\", r); return 0; }}",
             expr.render()
         );
-        let program = hsm_vm::compile(&hsm_cir::parse(&src).expect("parse"))
-            .expect("compile");
-        let run = hsm_exec::run_pthread(&program, &scc_sim::SccConfig::table_6_1())
-            .expect("run");
+        let program = hsm_vm::compile(&hsm_cir::parse(&src).expect("parse")).expect("compile");
+        let run = hsm_exec::run_pthread(&program, &scc_sim::SccConfig::table_6_1()).expect("run");
         let printed: f64 = run.output_text().trim().parse().expect("float output");
-        prop_assert!(
+        assert!(
             printed == expected || (printed - expected).abs() < 1e-12 * expected.abs().max(1.0),
-            "vm {printed:?} vs rust {expected:?} for {}",
-            src
+            "vm {printed:?} vs rust {expected:?} for {src}"
         );
-    }
+    });
+}
 
-    /// End-to-end translation equivalence fuzzing: random worker bodies
-    /// (assembled from data-parallel statement templates over each
-    /// thread's own slice) must produce the same exit code as a pthread
-    /// baseline and as a translated RCCE program. This is the pipeline's
-    /// strongest property: parser, analysis, partitioner, translator,
-    /// bytecode compiler and both execution modes all agree.
-    #[test]
-    fn translated_programs_compute_identically(
-        ops in proptest::collection::vec(0usize..6, 1..8),
-        threads in 2usize..6,
-    ) {
-        let templates = [
-            "data[j] = data[j] + id;",
-            "data[j] = data[j] * 2;",
-            "data[j] = data[j] + aux[j];",
-            "aux[j] = data[j] - 1;",
-            "if (data[j] % 2 == 0) data[j] = data[j] + 3;",
-            "data[j] = data[j] + j % 5;",
-        ];
+/// End-to-end translation equivalence fuzzing: random worker bodies
+/// (assembled from data-parallel statement templates over each thread's
+/// own slice) must produce the same exit code as a pthread baseline and as
+/// a translated RCCE program. This is the pipeline's strongest property:
+/// parser, analysis, partitioner, translator, bytecode compiler and both
+/// execution modes all agree.
+#[test]
+fn translated_programs_compute_identically() {
+    let templates = [
+        "data[j] = data[j] + id;",
+        "data[j] = data[j] * 2;",
+        "data[j] = data[j] + aux[j];",
+        "aux[j] = data[j] - 1;",
+        "if (data[j] % 2 == 0) data[j] = data[j] + 3;",
+        "data[j] = data[j] + j % 5;",
+    ];
+    check("translated_programs_compute_identically", 32, |rng| {
+        let ops: Vec<usize> = (0..rng.gen_range_usize(1, 8))
+            .map(|_| rng.gen_range_usize(0, templates.len()))
+            .collect();
+        let threads = rng.gen_range_usize(2, 6);
         let body: String = ops
             .iter()
             .map(|&i| templates[i])
@@ -319,7 +360,28 @@ int main() {{
             .unwrap_or_else(|e| panic!("off-chip: {e}\n{src}"));
         let hsm = hsm_core::run_translated(&src, threads, hsm_core::Policy::SizeAscending, &config)
             .unwrap_or_else(|e| panic!("hsm: {e}\n{src}"));
-        prop_assert_eq!(base.exit_code, off.exit_code, "off-chip diverged for\n{}", src);
-        prop_assert_eq!(base.exit_code, hsm.exit_code, "hsm diverged for\n{}", src);
-    }
+        assert_eq!(
+            base.exit_code, off.exit_code,
+            "off-chip diverged for\n{src}"
+        );
+        assert_eq!(base.exit_code, hsm.exit_code, "hsm diverged for\n{src}");
+    });
+}
+
+// ------------------------------------------------- pinned regressions --
+
+/// Pinned from the retired `.proptest-regressions` file: proptest once
+/// shrank a failing arithmetic case to `(0 - (- -1)) % 0` — a remainder
+/// whose divisor is literal zero, exercising the `== 0 ? 1 : ...` guard in
+/// both the rendered C and the reference evaluator.
+#[test]
+fn regression_rem_by_literal_zero() {
+    let expr = E::Rem(
+        Box::new(E::Sub(
+            Box::new(E::Lit(0)),
+            Box::new(E::Neg(Box::new(E::Lit(-1)))),
+        )),
+        Box::new(E::Lit(0)),
+    );
+    assert_vm_matches(&expr);
 }
