@@ -1,0 +1,28 @@
+/* ADVERSARIAL: a pointer to main's stack local escapes into a thread.
+ *
+ * Stage 3's points-to promotion only follows stores through pointers that
+ * are themselves shared, so the address of `local` smuggled through
+ * pthread_create's argument keeps its *private* classification — yet the
+ * child thread dereferences it. The sharing-soundness oracle must flag
+ * this as an unsoundness violation (a non-owner unit touching
+ * private-classified data). The accesses themselves are ordered by the
+ * create/join edges, so no data race is reported: the program is
+ * race-free but still untranslatable.
+ */
+#include <stdio.h>
+#include <pthread.h>
+
+void *tf(void *arg) {
+    int *p = (int *)arg;
+    *p = *p + 41;
+    return arg;
+}
+
+int main() {
+    pthread_t t;
+    int local = 1;
+    pthread_create(&t, NULL, tf, (void *)&local);
+    pthread_join(t, NULL);
+    printf("local %d\n", local);
+    return local;
+}

@@ -1,0 +1,27 @@
+/* ADVERSARIAL: two threads increment a shared counter with no lock.
+ *
+ * Stage 2 correctly classifies `counter` as shared (so there is no
+ * classification unsoundness), but the increments are read-modify-write
+ * with no mutex and no ordering between the threads: a textbook data
+ * race. The sharing-soundness oracle must flag it as such. main's final
+ * read is ordered by the joins and is not part of the race.
+ */
+#include <stdio.h>
+#include <pthread.h>
+
+int counter;
+
+void *tf(void *tid) {
+    int i;
+    for (i = 0; i < 100; i++) counter = counter + 1;
+    return tid;
+}
+
+int main() {
+    pthread_t t[2];
+    int i;
+    for (i = 0; i < 2; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 2; i++) pthread_join(t[i], NULL);
+    printf("counter %d\n", counter);
+    return counter;
+}

@@ -22,10 +22,8 @@ int main() {
     int i;
     pthread_mutex_init(&lock, NULL);
     for (i = 0; i < 4; i++) pthread_create(&t[i], NULL, tf, (void *)i);
-    for (i = 0; i < 4; i++) {
-        pthread_join(t[i], NULL);
-        printf("bucket %d: %d\n", i, histogram[i]);
-    }
+    for (i = 0; i < 4; i++) pthread_join(t[i], NULL);
+    for (i = 0; i < 4; i++) printf("bucket %d: %d\n", i, histogram[i]);
     pthread_mutex_destroy(&lock);
     return histogram[0] + histogram[1] + histogram[2] + histogram[3];
 }

@@ -41,6 +41,7 @@
 pub mod access;
 pub mod cfg;
 pub mod interthread;
+pub mod manifest;
 pub mod points_to;
 pub mod report;
 pub mod scope;
@@ -54,6 +55,7 @@ use std::collections::BTreeMap;
 
 pub use access::{AccessCounts, AccessMap, CountMode, VarKey};
 pub use interthread::{InterThreadAnalysis, ThreadPresence};
+pub use manifest::{ClassificationManifest, RegionVerdict, VarVerdict};
 pub use points_to::{PointsToAnalysis, PointsToFact, Propagation};
 pub use scope::{ScopeAnalysis, VariableInfo};
 pub use threads::{ThreadLaunch, ThreadModel};

@@ -17,10 +17,15 @@
 //! figures dvfs             # frequency sweep (memory wall)
 //! figures ext.jacobi       # barrier-heavy stencil extension
 //! figures --json           # write the BENCH_pipeline.json run manifest
+//! figures --check-sharing  # run the corpus under the soundness oracle
 //! ```
 //!
 //! `--json` composes with the table selectors: `figures fig6.1 --json`
-//! prints Figure 6.1 and writes the manifest.
+//! prints Figure 6.1 and writes the manifest. `--check-sharing` runs every
+//! corpus program (including `corpus/adversarial/`) under the
+//! sharing-soundness oracle, prints the verdict table, folds the `sharing`
+//! section into the manifest when `--json` is also given, and exits
+//! non-zero if any program misses its expectation.
 
 use std::env;
 use std::process::ExitCode;
@@ -31,20 +36,46 @@ const MANIFEST_FILE: &str = "BENCH_pipeline.json";
 fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
     let emit_json = args.iter().any(|a| a == "--json");
-    args.retain(|a| a != "--json");
-    let all = args.is_empty() && !emit_json;
+    let check_sharing = args.iter().any(|a| a == "--check-sharing");
+    args.retain(|a| a != "--json" && a != "--check-sharing");
+    let all = args.is_empty() && !emit_json && !check_sharing;
     let want = |name: &str| all || args.iter().any(|a| a == name);
     let mut failed = false;
 
-    if emit_json {
-        match hsm_bench::manifest::full_manifest(Default::default()) {
-            Ok(m) => match std::fs::write(MANIFEST_FILE, m.render()) {
-                Ok(()) => println!("wrote {MANIFEST_FILE}"),
-                Err(e) => {
-                    eprintln!("writing {MANIFEST_FILE} failed: {e}");
+    let mut sharing_section = None;
+    if check_sharing {
+        match hsm_bench::sharing::sharing_manifest() {
+            Ok(sharing) => {
+                print_sharing(&sharing);
+                if !hsm_bench::sharing::all_pass(&sharing) {
+                    eprintln!("sharing check FAILED: a program missed its expectation");
                     failed = true;
                 }
-            },
+                sharing_section = Some(sharing);
+            }
+            Err(e) => {
+                eprintln!("sharing check failed to run: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if emit_json {
+        match hsm_bench::manifest::full_manifest(Default::default()) {
+            Ok(mut m) => {
+                if let (Some(sharing), hsm_bench::json::Json::Obj(pairs)) =
+                    (sharing_section.take(), &mut m)
+                {
+                    pairs.push(("sharing".to_string(), sharing));
+                }
+                match std::fs::write(MANIFEST_FILE, m.render()) {
+                    Ok(()) => println!("wrote {MANIFEST_FILE}"),
+                    Err(e) => {
+                        eprintln!("writing {MANIFEST_FILE} failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
             Err(e) => {
                 eprintln!("manifest generation failed: {e}");
                 failed = true;
@@ -170,4 +201,53 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Prints the sharing-oracle verdict table for `--check-sharing`.
+fn print_sharing(sharing: &hsm_bench::json::Json) {
+    use hsm_bench::json::Json;
+    println!("Sharing-soundness oracle — corpus sweep\n");
+    println!(
+        "{:<30}{:>14}{:>14}{:>8}",
+        "Program", "Expected", "Observed", "Pass"
+    );
+    println!("{}", "-".repeat(66));
+    let Some(Json::Arr(entries)) = sharing.get("programs") else {
+        return;
+    };
+    for entry in entries {
+        let name = match entry.get("name") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => "?".to_string(),
+        };
+        let expected = match entry.get("expected") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => "?".to_string(),
+        };
+        let observed = match entry.get("violations") {
+            Some(Json::Arr(vs)) if vs.is_empty() => "clean".to_string(),
+            Some(Json::Arr(vs)) => {
+                let mut classes: Vec<String> = vs
+                    .iter()
+                    .filter_map(|v| match v.get("class") {
+                        Some(Json::Str(c)) => Some(c.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                classes.sort();
+                classes.dedup();
+                classes.join("+")
+            }
+            _ => "?".to_string(),
+        };
+        let pass = entry.get("pass") == Some(&Json::Bool(true));
+        println!(
+            "{:<30}{:>14}{:>14}{:>8}",
+            name,
+            expected,
+            observed,
+            if pass { "ok" } else { "FAIL" }
+        );
+    }
+    println!();
 }

@@ -10,6 +10,7 @@
 
 pub mod json;
 pub mod manifest;
+pub mod sharing;
 
 use hsm_core::experiment::{self, BenchResult, Mode};
 use hsm_core::PipelineError;

@@ -53,7 +53,7 @@ impl Default for ManifestOptions {
 }
 
 /// Absolute path of a corpus program.
-fn corpus_path(name: &str) -> PathBuf {
+pub(crate) fn corpus_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../corpus")
         .join(format!("{name}.c"))

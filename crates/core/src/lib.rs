@@ -229,6 +229,86 @@ pub fn run_translated_metered(
     Ok((hsm_exec::run_rcce(&program, cores, config)?, metrics))
 }
 
+/// The outcome of one oracle-checked run: the classification the static
+/// analyses produced and what the dynamic sharing-soundness oracle saw.
+#[derive(Debug)]
+pub struct SharingCheck {
+    /// The per-variable verdicts the run was checked against (empty for
+    /// RCCE-mode pure race detection).
+    pub manifest: hsm_analysis::ClassificationManifest,
+    /// The oracle's violations and stream counts.
+    pub report: hsm_exec::OracleReport,
+    /// The program's ordinary run result (exit code, output, cycles).
+    pub result: RunResult,
+}
+
+/// Runs pthread C source in baseline mode under the sharing-soundness
+/// oracle, validating the Stage 1–3 classification (and the Stage 4
+/// placement annotations) against the ground-truth thread semantics.
+///
+/// The full static pipeline runs first — analysis builds the
+/// [`ClassificationManifest`](hsm_analysis::ClassificationManifest),
+/// partitioning annotates each shared variable's memory region — then the
+/// unmodified pthread program executes with every memory access and
+/// synchronization event streamed into an
+/// [`Oracle`](hsm_exec::Oracle) in pthread mode.
+///
+/// # Errors
+///
+/// Propagates parse, compile and execution failures.
+pub fn check_sharing(src: &str, config: &SccConfig) -> Result<SharingCheck, PipelineError> {
+    let tu = hsm_cir::parse(src)?;
+    let analysis = hsm_analysis::ProgramAnalysis::analyze(&tu);
+    let mut manifest = hsm_analysis::ClassificationManifest::from_analysis(&analysis);
+    let shared = hsm_partition::shared_vars_from_analysis(&analysis);
+    let spec = hsm_partition::MemorySpec::scc(48);
+    let plan = hsm_partition::partition(&shared, &spec, Policy::SizeAscending);
+    hsm_partition::annotate_manifest(&plan, &mut manifest);
+    let program = hsm_vm::compile(&tu)?;
+    let mut oracle = hsm_exec::Oracle::new(
+        &program,
+        manifest.clone(),
+        hsm_exec::OracleMode::Pthread,
+        config.line_bytes,
+    );
+    let result = hsm_exec::run_pthread_traced(&program, config, &mut oracle)?;
+    Ok(SharingCheck {
+        manifest,
+        report: oracle.finish(),
+        result,
+    })
+}
+
+/// Translates pthread C source and runs the RCCE result on `cores` cores
+/// under the oracle in RCCE mode: pure happens-before race detection over
+/// the shared regions, validating the synchronization the translator
+/// inserted (a translated program that races was translated wrongly).
+///
+/// # Errors
+///
+/// Propagates parse, translation, compile and execution failures.
+pub fn check_sharing_rcce(
+    src: &str,
+    cores: usize,
+    policy: Policy,
+    config: &SccConfig,
+) -> Result<SharingCheck, PipelineError> {
+    let translation = translate_source(src, cores, policy)?;
+    let program = hsm_vm::compile(&translation.unit)?;
+    let mut oracle = hsm_exec::Oracle::new(
+        &program,
+        hsm_analysis::ClassificationManifest::empty(),
+        hsm_exec::OracleMode::Rcce,
+        config.line_bytes,
+    );
+    let result = hsm_exec::run_rcce_traced(&program, cores, config, &mut oracle)?;
+    Ok(SharingCheck {
+        manifest: hsm_analysis::ClassificationManifest::empty(),
+        report: oracle.finish(),
+        result,
+    })
+}
+
 /// Experiment drivers for every table and figure in the evaluation.
 pub mod experiment {
     use super::*;
@@ -498,6 +578,95 @@ mod tests {
         assert_eq!(plain.total_cycles, metered.total_cycles);
         assert_eq!(plain.exit_code, metered.exit_code);
         assert_eq!(m.stages.len(), 5);
+    }
+
+    #[test]
+    fn sharing_check_is_clean_on_disciplined_source() {
+        let src = r#"
+int sum[4];
+void *tf(void *tid) { sum[(int)tid] = (int)tid * 2; return tid; }
+int main() {
+    pthread_t t[4];
+    int i;
+    for (i = 0; i < 4; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 4; i++) pthread_join(t[i], NULL);
+    return sum[0] + sum[1] + sum[2] + sum[3];
+}
+"#;
+        let check = check_sharing(src, &cfg()).expect("pipeline");
+        assert!(check.report.is_clean(), "{:?}", check.report.violations);
+        assert_eq!(check.result.exit_code, 12);
+        assert!(check.report.data_accesses > 0);
+        assert!(check.report.sync_events > 0, "create/join edges observed");
+        let (shared, _, _) = check.manifest.counts();
+        assert!(shared > 0, "sum must be classified shared");
+    }
+
+    #[test]
+    fn sharing_check_flags_escaping_stack_pointer() {
+        let src = r#"
+void *tf(void *arg) { int *p = (int *)arg; *p = *p + 41; return arg; }
+int main() {
+    pthread_t t;
+    int local = 1;
+    pthread_create(&t, NULL, tf, (void *)&local);
+    pthread_join(t, NULL);
+    return local;
+}
+"#;
+        let check = check_sharing(src, &cfg()).expect("pipeline");
+        let classes = check.report.classes();
+        assert_eq!(
+            classes,
+            vec![hsm_exec::ViolationClass::Unsoundness],
+            "cross-owner touch of a private local, ordered by create/join: {:?}",
+            check.report.violations
+        );
+        let v = &check.report.violations[0];
+        assert_eq!(v.variable.as_deref(), Some("local"));
+        assert_eq!(v.unit, 1, "the child thread is the trespasser");
+        assert_eq!(check.result.exit_code, 42, "the race-free bug still runs");
+    }
+
+    #[test]
+    fn sharing_check_flags_unlocked_counter() {
+        let src = r#"
+int counter;
+void *tf(void *tid) {
+    int i;
+    for (i = 0; i < 50; i++) counter = counter + 1;
+    return tid;
+}
+int main() {
+    pthread_t t[2];
+    int i;
+    for (i = 0; i < 2; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 2; i++) pthread_join(t[i], NULL);
+    return counter;
+}
+"#;
+        let check = check_sharing(src, &cfg()).expect("pipeline");
+        let classes = check.report.classes();
+        assert_eq!(
+            classes,
+            vec![hsm_exec::ViolationClass::DataRace],
+            "shared verdict is correct, the omission is the lock: {:?}",
+            check.report.violations
+        );
+        assert!(check
+            .report
+            .violations
+            .iter()
+            .all(|v| v.variable.as_deref() == Some("counter")));
+    }
+
+    #[test]
+    fn rcce_sharing_check_validates_translated_sync() {
+        let p = tiny(Bench::PiApprox, 4);
+        let src = hsm_workloads::source(Bench::PiApprox, &p);
+        let check = check_sharing_rcce(&src, 4, Policy::SizeAscending, &cfg()).expect("pipeline");
+        assert!(check.report.is_clean(), "{:?}", check.report.violations);
+        assert!(check.report.sync_events > 0, "barriers observed");
     }
 
     #[test]

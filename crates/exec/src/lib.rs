@@ -42,15 +42,17 @@
 #![warn(missing_docs)]
 
 pub mod machine;
+pub mod oracle;
 pub mod printf;
 mod pthread;
 mod rcce;
 pub mod trace;
 
 pub use machine::{DataSpaces, ExecError, OutputLine, RunResult};
+pub use oracle::{Oracle, OracleMode, OracleReport, Violation, ViolationClass};
 pub use pthread::{run_pthread, run_pthread_traced};
 pub use rcce::{run_rcce, run_rcce_traced};
-pub use trace::{NullSink, RingTrace, TraceEvent, TraceSink};
+pub use trace::{NullSink, RingTrace, SyncEvent, TraceEvent, TraceSink};
 
 /// Fixed syscall overheads in core cycles (single place to tune).
 pub mod syscall_cost {

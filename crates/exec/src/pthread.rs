@@ -9,7 +9,7 @@
 use crate::machine::{DataSpaces, ExecError, OutputLine, RunResult, WtimeTracker};
 use crate::rcce::format_printf;
 use crate::syscall_cost;
-use crate::trace::{NullSink, TraceEvent, TraceSink};
+use crate::trace::{NullSink, SyncEvent, TraceEvent, TraceSink};
 use hsm_vm::compile::{Program, HEAP_BASE, STACKS_BASE, STACK_SIZE};
 use hsm_vm::{Intrinsic, StepOutcome, Value, Vm};
 use scc_sim::{MemorySystem, SccConfig};
@@ -71,6 +71,8 @@ pub fn run_pthread_traced<S: TraceSink>(
     // pthread barriers keyed by the barrier object's address:
     // (required count, currently waiting thread ids).
     let mut barriers: HashMap<u64, (usize, Vec<usize>)> = HashMap::new();
+    // Monotone counter naming barrier episodes in the sync-event stream.
+    let mut barrier_epoch: u64 = 0;
 
     let mut clock: u64 = 0;
     let mut current: usize = 0;
@@ -141,6 +143,7 @@ pub fn run_pthread_traced<S: TraceSink>(
                 let lat = chip.access(0, addr, false, clock);
                 sink.record(TraceEvent {
                     core: 0,
+                    unit: current,
                     cycle: clock,
                     addr,
                     region: MemorySystem::region_of(addr),
@@ -163,6 +166,7 @@ pub fn run_pthread_traced<S: TraceSink>(
                 let lat = chip.access(0, addr, true, clock);
                 sink.record(TraceEvent {
                     core: 0,
+                    unit: current,
                     cycle: clock,
                     addr,
                     region: MemorySystem::region_of(addr),
@@ -202,6 +206,12 @@ pub fn run_pthread_traced<S: TraceSink>(
                             busy_cycles: 0,
                         });
                         ready.push_back(tid);
+                        sink.sync(SyncEvent::ThreadStart {
+                            parent: current,
+                            unit: tid,
+                            func: func as u32,
+                            cycle: clock,
+                        });
                         // Store the thread id into the pthread_t handle.
                         spaces.store(0, handle_addr, hsm_vm::MemKind::I64, Value::I(tid as i64));
                         threads[current].vm.syscall_return(Value::I(0));
@@ -216,6 +226,11 @@ pub fn run_pthread_traced<S: TraceSink>(
                         }
                         let target = target as usize;
                         if matches!(threads[target].state, ThreadState::Done { .. }) {
+                            sink.sync(SyncEvent::ThreadJoin {
+                                unit: current,
+                                target,
+                                cycle: clock,
+                            });
                             threads[current].vm.syscall_return(Value::I(0));
                         } else {
                             threads[current].state = ThreadState::WaitingJoin { target };
@@ -223,7 +238,15 @@ pub fn run_pthread_traced<S: TraceSink>(
                         }
                     }
                     Intrinsic::PthreadExit => {
-                        finish_thread(current, 0, &mut threads, &mut joiners, &mut ready);
+                        finish_thread(
+                            current,
+                            0,
+                            &mut threads,
+                            &mut joiners,
+                            &mut ready,
+                            clock,
+                            sink,
+                        );
                     }
                     Intrinsic::PthreadSelf => {
                         threads[current].vm.syscall_return(Value::I(current as i64));
@@ -257,8 +280,22 @@ pub fn run_pthread_traced<S: TraceSink>(
                             // Release everyone; the last arriver returns
                             // PTHREAD_BARRIER_SERIAL_THREAD (-1), others 0.
                             let released = std::mem::take(waiting);
+                            let epoch = barrier_epoch;
+                            barrier_epoch += 1;
+                            for tid in &released {
+                                sink.sync(SyncEvent::BarrierArrive {
+                                    unit: *tid,
+                                    epoch,
+                                    cycle: clock,
+                                });
+                            }
                             for (i, tid) in released.iter().enumerate() {
                                 let rv = if i + 1 == released.len() { -1 } else { 0 };
+                                sink.sync(SyncEvent::BarrierRelease {
+                                    unit: *tid,
+                                    epoch,
+                                    cycle: clock,
+                                });
                                 threads[*tid].vm.syscall_return(Value::I(rv));
                                 if *tid != current {
                                     threads[*tid].state = ThreadState::Ready;
@@ -282,6 +319,11 @@ pub fn run_pthread_traced<S: TraceSink>(
                             threads[current].state = ThreadState::WaitingMutex { key };
                         } else {
                             mutex_owner.insert(key, current);
+                            sink.sync(SyncEvent::LockAcquire {
+                                unit: current,
+                                lock: key,
+                                cycle: clock,
+                            });
                             threads[current].vm.syscall_return(Value::I(0));
                         }
                     }
@@ -294,10 +336,20 @@ pub fn run_pthread_traced<S: TraceSink>(
                             ));
                         }
                         mutex_owner.remove(&key);
+                        sink.sync(SyncEvent::LockRelease {
+                            unit: current,
+                            lock: key,
+                            cycle: clock,
+                        });
                         if let Some(waiter) =
                             mutex_waiters.get_mut(&key).and_then(|q| q.pop_front())
                         {
                             mutex_owner.insert(key, waiter);
+                            sink.sync(SyncEvent::LockAcquire {
+                                unit: waiter,
+                                lock: key,
+                                cycle: clock,
+                            });
                             threads[waiter].state = ThreadState::Ready;
                             threads[waiter].vm.syscall_return(Value::I(0));
                             ready.push_back(waiter);
@@ -329,7 +381,7 @@ pub fn run_pthread_traced<S: TraceSink>(
                     }
                     Intrinsic::Exit => {
                         let code = args.first().copied().unwrap_or(Value::I(0)).as_i();
-                        finish_thread(0, code, &mut threads, &mut joiners, &mut ready);
+                        finish_thread(0, code, &mut threads, &mut joiners, &mut ready, clock, sink);
                         break;
                     }
                     Intrinsic::Sqrt | Intrinsic::Fabs => {
@@ -343,7 +395,15 @@ pub fn run_pthread_traced<S: TraceSink>(
                 }
             }
             StepOutcome::Finished { exit } => {
-                finish_thread(current, exit.as_i(), &mut threads, &mut joiners, &mut ready);
+                finish_thread(
+                    current,
+                    exit.as_i(),
+                    &mut threads,
+                    &mut joiners,
+                    &mut ready,
+                    clock,
+                    sink,
+                );
                 if current == 0 {
                     // main returning ends the process.
                     break;
@@ -370,16 +430,24 @@ pub fn run_pthread_traced<S: TraceSink>(
     })
 }
 
-fn finish_thread(
+#[allow(clippy::too_many_arguments)]
+fn finish_thread<S: TraceSink>(
     tid: usize,
     exit: i64,
     threads: &mut [Thread],
     joiners: &mut HashMap<usize, Vec<usize>>,
     ready: &mut VecDeque<usize>,
+    clock: u64,
+    sink: &mut S,
 ) {
     threads[tid].state = ThreadState::Done { exit };
     if let Some(waiting) = joiners.remove(&tid) {
         for w in waiting {
+            sink.sync(SyncEvent::ThreadJoin {
+                unit: w,
+                target: tid,
+                cycle: clock,
+            });
             threads[w].state = ThreadState::Ready;
             threads[w].vm.syscall_return(Value::I(0));
             ready.push_back(w);

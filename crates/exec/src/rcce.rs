@@ -5,7 +5,7 @@
 use crate::machine::{DataSpaces, ExecError, OutputLine, RunResult, WtimeTracker};
 use crate::printf;
 use crate::syscall_cost;
-use crate::trace::{NullSink, TraceEvent, TraceSink};
+use crate::trace::{NullSink, SyncEvent, TraceEvent, TraceSink};
 use hsm_vm::compile::{Program, HEAP_BASE, STACKS_BASE, STACK_SIZE};
 use hsm_vm::{Intrinsic, StepOutcome, Value, Vm};
 use rcce_rt::RcceRuntime;
@@ -126,6 +126,11 @@ pub fn run_rcce_traced<S: TraceSink>(
     // slice, as in the real library). Allocation is symmetric like the
     // heap: the k-th RCCE_flag_alloc on every core names the same flag.
     let mut flags: Vec<Vec<i64>> = Vec::new();
+    // Last core that wrote each flag copy, for the sync-event stream: a
+    // satisfied RCCE_wait_until is a hand-off from that writer.
+    let mut flag_writer: Vec<Vec<Option<usize>>> = Vec::new();
+    // Monotone counter naming barrier episodes in the sync-event stream.
+    let mut barrier_epoch: u64 = 0;
 
     // Lock state (test-and-set registers, managed at event level so
     // waiters block instead of spinning the DES).
@@ -166,6 +171,7 @@ pub fn run_rcce_traced<S: TraceSink>(
                 let lat = chip.access(core, addr, false, cs[core].clock);
                 sink.record(TraceEvent {
                     core,
+                    unit: core,
                     cycle: cs[core].clock,
                     addr,
                     region: MemorySystem::region_of(addr),
@@ -186,6 +192,7 @@ pub fn run_rcce_traced<S: TraceSink>(
                 let lat = chip.access(core, addr, true, cs[core].clock);
                 sink.record(TraceEvent {
                     core,
+                    unit: core,
                     cycle: cs[core].clock,
                     addr,
                     region: MemorySystem::region_of(addr),
@@ -212,11 +219,13 @@ pub fn run_rcce_traced<S: TraceSink>(
                     &mut spaces,
                     &mut alloc_log,
                     &mut flags,
+                    &mut flag_writer,
                     &mut lock_owner,
                     &mut lock_waiters,
                     &mut output,
                     &mut wtimes,
                     cores,
+                    sink,
                 )?;
             }
             StepOutcome::Finished { exit } => {
@@ -225,7 +234,7 @@ pub fn run_rcce_traced<S: TraceSink>(
         }
 
         // Barrier release check: all live cores waiting?
-        try_release_barrier(&mut cs, &rt, &chip)?;
+        try_release_barrier(&mut cs, &rt, &chip, &mut barrier_epoch, sink)?;
     }
 
     let total = cs.iter().map(|c| c.clock).max().unwrap_or(0);
@@ -256,10 +265,12 @@ pub fn run_rcce_traced<S: TraceSink>(
     })
 }
 
-fn try_release_barrier(
+fn try_release_barrier<S: TraceSink>(
     cs: &mut [Core],
     rt: &RcceRuntime,
     chip: &MemorySystem,
+    barrier_epoch: &mut u64,
+    sink: &mut S,
 ) -> Result<(), ExecError> {
     let total = cs.len();
     let in_barrier = cs
@@ -293,8 +304,24 @@ fn try_release_barrier(
         .max()
         .expect("at least one in barrier");
     let release = latest + rt.barrier_cost(chip);
-    for c in cs.iter_mut() {
+    let epoch = *barrier_epoch;
+    *barrier_epoch += 1;
+    for (i, c) in cs.iter().enumerate() {
+        if let CoreState::InBarrier { arrived_at } = c.state {
+            sink.sync(SyncEvent::BarrierArrive {
+                unit: i,
+                epoch,
+                cycle: arrived_at,
+            });
+        }
+    }
+    for (i, c) in cs.iter_mut().enumerate() {
         if matches!(c.state, CoreState::InBarrier { .. }) {
+            sink.sync(SyncEvent::BarrierRelease {
+                unit: i,
+                epoch,
+                cycle: release,
+            });
             c.clock = release;
             c.state = CoreState::Running;
             c.vm.syscall_return(Value::I(0));
@@ -304,7 +331,7 @@ fn try_release_barrier(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn handle_syscall(
+fn handle_syscall<S: TraceSink>(
     core: usize,
     intr: Intrinsic,
     args: &[Value],
@@ -314,11 +341,13 @@ fn handle_syscall(
     spaces: &mut DataSpaces,
     alloc_log: &mut Vec<u64>,
     flags: &mut Vec<Vec<i64>>,
+    flag_writer: &mut Vec<Vec<Option<usize>>>,
     lock_owner: &mut [Option<usize>],
     lock_waiters: &mut [VecDeque<usize>],
     output: &mut Vec<OutputLine>,
     wtimes: &mut WtimeTracker,
     cores: usize,
+    sink: &mut S,
 ) -> Result<(), ExecError> {
     let ret = match intr {
         Intrinsic::RcceInit => {
@@ -367,6 +396,11 @@ fn handle_syscall(
             cs[core].clock += trip;
             if lock_owner[id].is_none() {
                 lock_owner[id] = Some(core);
+                sink.sync(SyncEvent::LockAcquire {
+                    unit: core,
+                    lock: id as u64,
+                    cycle: cs[core].clock,
+                });
                 Value::I(0)
             } else {
                 lock_waiters[id].push_back(core);
@@ -385,11 +419,21 @@ fn handle_syscall(
                 )));
             }
             lock_owner[id] = None;
+            sink.sync(SyncEvent::LockRelease {
+                unit: core,
+                lock: id as u64,
+                cycle: cs[core].clock,
+            });
             if let Some(waiter) = lock_waiters[id].pop_front() {
                 lock_owner[id] = Some(waiter);
                 let grant = cs[core].clock.max(cs[waiter].clock)
                     + chip.mesh.mpb_round_trip(waiter, id).max(2);
                 cs[waiter].clock = grant;
+                sink.sync(SyncEvent::LockAcquire {
+                    unit: waiter,
+                    lock: id as u64,
+                    cycle: grant,
+                });
                 cs[waiter].state = CoreState::Running;
                 cs[waiter].vm.syscall_return(Value::I(0));
             }
@@ -437,6 +481,7 @@ fn handle_syscall(
             cs[core].flag_seq += 1;
             if seq >= flags.len() {
                 flags.push(vec![0; cores]);
+                flag_writer.push(vec![None; cores]);
             }
             if let Some(handle) = args.first() {
                 spaces.store(
@@ -456,10 +501,18 @@ fn handle_syscall(
             cs[core].clock +=
                 chip.mesh.mpb_round_trip(core, ue).max(2) + chip.config.mpb_access_cycles;
             flags[id][ue] = value;
+            flag_writer[id][ue] = Some(core);
             // Wake a waiter spinning on this copy.
             if cs[ue].state == (CoreState::WaitingFlag { flag: id, value }) {
                 let wake = cs[core].clock.max(cs[ue].clock) + chip.config.mpb_access_cycles;
                 cs[ue].clock = wake;
+                if ue != core {
+                    sink.sync(SyncEvent::Message {
+                        from: core,
+                        to: ue,
+                        cycle: wake,
+                    });
+                }
                 cs[ue].state = CoreState::Running;
                 cs[ue].vm.syscall_return(Value::I(0));
             }
@@ -472,6 +525,16 @@ fn handle_syscall(
             cs[core].clock +=
                 chip.mesh.mpb_round_trip(core, ue).max(2) + chip.config.mpb_access_cycles;
             let v = flags[id][ue];
+            // Observing a remote write through a flag read is a hand-off.
+            if let Some(writer) = flag_writer[id][ue] {
+                if writer != core {
+                    sink.sync(SyncEvent::Message {
+                        from: writer,
+                        to: core,
+                        cycle: cs[core].clock,
+                    });
+                }
+            }
             if let Some(out) = args.get(1) {
                 if out.as_i() != 0 {
                     spaces.store(core, out.as_addr(), hsm_vm::MemKind::I64, Value::I(v));
@@ -485,6 +548,17 @@ fn handle_syscall(
             let value = args.get(1).copied().unwrap_or(Value::I(0)).as_i();
             cs[core].clock += chip.config.mpb_access_cycles;
             if flags[id][core] == value {
+                // Already satisfied: the last writer of this copy handed
+                // off to us without blocking.
+                if let Some(writer) = flag_writer[id][core] {
+                    if writer != core {
+                        sink.sync(SyncEvent::Message {
+                            from: writer,
+                            to: core,
+                            cycle: cs[core].clock,
+                        });
+                    }
+                }
                 Value::I(0)
             } else {
                 cs[core].state = CoreState::WaitingFlag { flag: id, value };
@@ -504,7 +578,7 @@ fn handle_syscall(
             {
                 if src == core {
                     let n = size.min(rsize);
-                    transfer(core, buf, dst, rbuf, n, cs, chip, rt, spaces);
+                    transfer(core, buf, dst, rbuf, n, cs, chip, rt, spaces, sink);
                     cs[dst].state = CoreState::Running;
                     cs[dst].vm.syscall_return(Value::I(0));
                     Value::I(0)
@@ -530,7 +604,7 @@ fn handle_syscall(
             {
                 if dst == core {
                     let n = size.min(ssize);
-                    transfer(src, sbuf, core, buf, n, cs, chip, rt, spaces);
+                    transfer(src, sbuf, core, buf, n, cs, chip, rt, spaces, sink);
                     cs[src].state = CoreState::Running;
                     cs[src].vm.syscall_return(Value::I(0));
                     Value::I(0)
@@ -589,7 +663,7 @@ fn flag_id(
 /// payload moves sender -> MPB -> receiver, both cores resuming at the
 /// completion time.
 #[allow(clippy::too_many_arguments)]
-fn transfer(
+fn transfer<S: TraceSink>(
     src: usize,
     src_buf: u64,
     dst: usize,
@@ -599,6 +673,7 @@ fn transfer(
     chip: &mut MemorySystem,
     rt: &RcceRuntime,
     spaces: &mut DataSpaces,
+    sink: &mut S,
 ) {
     spaces.copy_cross(src, src_buf, dst, dst_buf, bytes);
     let meet = cs[src].clock.max(cs[dst].clock);
@@ -606,6 +681,17 @@ fn transfer(
     let done = meet + cost;
     cs[src].clock = done;
     cs[dst].clock = done;
+    // The rendezvous orders both sides against each other.
+    sink.sync(SyncEvent::Message {
+        from: src,
+        to: dst,
+        cycle: done,
+    });
+    sink.sync(SyncEvent::Message {
+        from: dst,
+        to: src,
+        cycle: done,
+    });
 }
 
 /// Formats a printf syscall, resolving the format string and any `%s`

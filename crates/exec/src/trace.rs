@@ -18,6 +18,7 @@
 //! for cycle in 0..3 {
 //!     ring.record(TraceEvent {
 //!         core: 0,
+//!         unit: 0,
 //!         cycle,
 //!         addr: 0x1000,
 //!         region: Region::Private,
@@ -29,6 +30,14 @@
 //! assert_eq!(ring.dropped(), 1);
 //! assert_eq!(ring.events()[0].cycle, 1, "oldest surviving event");
 //! ```
+//!
+//! Alongside the access stream, the engines report synchronization
+//! operations as [`SyncEvent`]s through [`TraceSink::sync`]. These carry
+//! the happens-before structure of a run (thread create/join, lock
+//! hand-offs, barrier epochs, message rendezvous) and are what lets the
+//! sharing-soundness oracle in [`crate::oracle`] distinguish an ordered
+//! access from a data race. The default implementation is a no-op, so
+//! existing sinks and the untraced path are unaffected.
 
 use scc_sim::Region;
 
@@ -37,6 +46,9 @@ use scc_sim::Region;
 pub struct TraceEvent {
     /// Issuing core (RCCE mode) or 0 (pthread mode runs on core 0).
     pub core: usize,
+    /// Issuing logical execution unit: the pthread thread id in pthread
+    /// mode (all threads share core 0), the core id in RCCE mode.
+    pub unit: usize,
     /// The issuing core's local clock when the access started.
     pub cycle: u64,
     /// Simulated address.
@@ -49,13 +61,97 @@ pub struct TraceEvent {
     pub write: bool,
 }
 
-/// A consumer of [`TraceEvent`]s.
+/// One synchronization operation observed by the execution engine.
+///
+/// Each variant is a happens-before edge (or half of one): everything the
+/// source unit did before the event is ordered before everything the
+/// destination unit does after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncEvent {
+    /// `parent` spawned `unit`, whose entry function is `func` (an index
+    /// into the compiled program's function table).
+    ThreadStart {
+        /// The spawning unit.
+        parent: usize,
+        /// The new unit.
+        unit: usize,
+        /// Entry function index of the new unit.
+        func: u32,
+        /// Parent-side clock at the spawn.
+        cycle: u64,
+    },
+    /// `unit` observed the termination of `target` (pthread_join).
+    ThreadJoin {
+        /// The joining unit.
+        unit: usize,
+        /// The unit that finished.
+        target: usize,
+        /// Joiner-side clock when the join completed.
+        cycle: u64,
+    },
+    /// `unit` acquired lock `lock` (mutex or RCCE test-and-set).
+    LockAcquire {
+        /// The acquiring unit.
+        unit: usize,
+        /// Lock identity: address (pthread mutex) or lock id (RCCE).
+        lock: u64,
+        /// Clock at the acquisition.
+        cycle: u64,
+    },
+    /// `unit` released lock `lock`.
+    LockRelease {
+        /// The releasing unit.
+        unit: usize,
+        /// Lock identity: address (pthread mutex) or lock id (RCCE).
+        lock: u64,
+        /// Clock at the release.
+        cycle: u64,
+    },
+    /// `unit` arrived at barrier epoch `epoch`. Emitted for every
+    /// participant when the barrier opens, before any
+    /// [`SyncEvent::BarrierRelease`] of the same epoch.
+    BarrierArrive {
+        /// The arriving unit.
+        unit: usize,
+        /// Monotone barrier-episode counter.
+        epoch: u64,
+        /// Clock at the arrival.
+        cycle: u64,
+    },
+    /// `unit` left barrier epoch `epoch`: ordered after every arrival of
+    /// that epoch.
+    BarrierRelease {
+        /// The released unit.
+        unit: usize,
+        /// Monotone barrier-episode counter.
+        epoch: u64,
+        /// Clock at the release.
+        cycle: u64,
+    },
+    /// A point-to-point hand-off from `from` to `to` (message rendezvous
+    /// or an observed flag write).
+    Message {
+        /// The sending unit.
+        from: usize,
+        /// The receiving unit.
+        to: usize,
+        /// Receiver-side clock at the hand-off.
+        cycle: u64,
+    },
+}
+
+/// A consumer of [`TraceEvent`]s and [`SyncEvent`]s.
 ///
 /// The run loops are monomorphized over the sink type, so a no-op
 /// implementation costs nothing.
 pub trait TraceSink {
-    /// Observes one event.
+    /// Observes one memory access.
     fn record(&mut self, event: TraceEvent);
+
+    /// Observes one synchronization operation. Defaults to a no-op so
+    /// access-only sinks need not care.
+    #[inline(always)]
+    fn sync(&mut self, _event: SyncEvent) {}
 }
 
 /// The default sink: discards everything, compiles to nothing.
@@ -137,6 +233,7 @@ mod tests {
     fn ev(cycle: u64) -> TraceEvent {
         TraceEvent {
             core: 1,
+            unit: 1,
             cycle,
             addr: 0x8000_0000,
             region: Region::SharedDram,

@@ -379,12 +379,64 @@ pub fn shared_vars_from_analysis(analysis: &hsm_analysis::ProgramAnalysis) -> Ve
         .collect()
 }
 
+/// Copies a plan's placement decisions into a classification manifest's
+/// region column (the Stage 4 step of building the oracle's input).
+/// Variables absent from the plan keep their default region.
+pub fn annotate_manifest(
+    plan: &PartitionPlan,
+    manifest: &mut hsm_analysis::ClassificationManifest,
+) {
+    use hsm_analysis::RegionVerdict;
+    for p in &plan.placements {
+        let region = match p.placement {
+            Placement::OnChip => RegionVerdict::SharedOnChip,
+            Placement::OffChip => RegionVerdict::SharedOffChip,
+            Placement::Split { .. } => RegionVerdict::SharedSplit,
+        };
+        manifest.set_region(&p.var.name, region);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn v(name: &str, size: usize, w: u64) -> SharedVar {
         SharedVar::new(name, size, w)
+    }
+
+    #[test]
+    fn annotate_manifest_copies_placements() {
+        use hsm_analysis::RegionVerdict;
+        let tu = hsm_cir::parse(
+            r#"
+int big[4096];
+int small;
+void *tf(void *x) { big[0] = small; return x; }
+int main() {
+    pthread_t t;
+    small = 1;
+    pthread_create(&t, NULL, tf, NULL);
+    pthread_join(t, NULL);
+    return 0;
+}
+"#,
+        )
+        .unwrap();
+        let analysis = hsm_analysis::ProgramAnalysis::analyze(&tu);
+        let vars = shared_vars_from_analysis(&analysis);
+        let plan = partition(&vars, &MemorySpec::with_on_chip(64), Policy::SizeAscending);
+        let mut manifest = hsm_analysis::ClassificationManifest::from_analysis(&analysis);
+        annotate_manifest(&plan, &mut manifest);
+        assert_eq!(
+            manifest.entry("small", None).unwrap().region,
+            RegionVerdict::SharedOnChip,
+            "fits in the 64-byte on-chip budget"
+        );
+        // The big array exceeds on-chip capacity: off-chip or split.
+        let big = manifest.entry("big", None).unwrap().region;
+        assert_ne!(big, RegionVerdict::Private);
+        assert_ne!(big, RegionVerdict::SharedOnChip);
     }
 
     #[test]

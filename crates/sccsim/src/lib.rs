@@ -53,4 +53,4 @@ pub use config::SccConfig;
 pub use memory::{MemStats, MemorySystem, Region};
 pub use mesh::{Mesh, Tile};
 pub use power::{OperatingPoint, PowerModel};
-pub use stats::{CoreStats, LatencyHistogram, StatsMatrix, REGION_COUNT};
+pub use stats::{line_index, CoreStats, LatencyHistogram, StatsMatrix, REGION_COUNT};

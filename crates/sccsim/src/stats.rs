@@ -40,6 +40,20 @@ impl Region {
             Region::Mpb => "mpb",
         }
     }
+
+    /// Whether accesses to this region go through the (non-coherent)
+    /// private cache hierarchy. Only cacheable regions can serve stale
+    /// lines; shared DRAM and the MPB bypass the caches entirely.
+    pub fn is_cacheable(self) -> bool {
+        matches!(self, Region::Private)
+    }
+}
+
+/// The cache-line index of `addr` for `line_bytes`-byte lines. Tools that
+/// keep per-line metadata (the sharing-soundness oracle's last-writer
+/// table) use this so their notion of a line matches the simulator's.
+pub fn line_index(addr: u64, line_bytes: usize) -> u64 {
+    addr / (line_bytes.max(1) as u64)
 }
 
 /// A log2-bucketed latency histogram.

@@ -510,6 +510,10 @@ int main() {
         let out = t.to_source();
         assert!(!out.contains("foldID"), "{out}");
         assert!(out.contains("tf((void *)myID);"), "{out}");
+        // The four surplus cores must not run the worker: their myID would
+        // index past `data` and trample whatever lands after it in shared
+        // memory. The worker call is wrapped in an idle-core guard.
+        assert!(out.contains("if (myID < 4)"), "{out}");
     }
 
     #[test]

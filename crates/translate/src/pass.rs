@@ -35,6 +35,11 @@ pub struct PassContext<'a> {
     /// the total thread count being folded onto the cores (§7.2's
     /// many-to-one mapping); `None` for the 1:1 case.
     pub fold_total: Option<usize>,
+    /// When the source launches *fewer* threads than the target has cores,
+    /// the thread count guarding the worker region (`if (myID < total)`),
+    /// so idle cores skip worker calls and hoisted per-thread statements;
+    /// `None` when every core has work.
+    pub guard_total: Option<usize>,
 }
 
 impl<'a> PassContext<'a> {
@@ -54,6 +59,7 @@ impl<'a> PassContext<'a> {
             mutex_ids: BTreeMap::new(),
             core_id_var: "myID".to_string(),
             fold_total: None,
+            guard_total: None,
         }
     }
 }

@@ -812,6 +812,18 @@ impl TransformPass for ThreadsToProcsPass {
                         if fold.is_some() {
                             ctx.fold_total = fold;
                         }
+                        // The dual of folding: with more cores than
+                        // threads, the surplus cores must not run the
+                        // worker at all (they would compute out-of-range
+                        // thread ids and trample shared data). Guard the
+                        // worker region with `if (myID < total)`.
+                        let guard = match trips {
+                            Some(t) if (t as usize) < ctx.options.cores => Some(t as usize),
+                            _ => None,
+                        };
+                        if guard.is_some() {
+                            ctx.guard_total = guard;
+                        }
                         let mut emitted_calls = Vec::new();
                         let mut hoisted = Vec::new();
                         let inner: Vec<Stmt> = match loop_body.kind {
@@ -861,6 +873,16 @@ impl TransformPass for ThreadsToProcsPass {
                                     ctx.options.cores,
                                     hoisted,
                                 )];
+                            }
+                        } else if let Some(total) = guard {
+                            if !emitted_calls.is_empty() {
+                                let mut b = Builder::new(&mut unit);
+                                emitted_calls =
+                                    vec![b.lt_guard(&core_var, total as i64, emitted_calls)];
+                            }
+                            if !hoisted.is_empty() {
+                                let mut b = Builder::new(&mut unit);
+                                hoisted = vec![b.lt_guard(&core_var, total as i64, hoisted)];
                             }
                         }
                         let _ = (cond, step);
@@ -1081,6 +1103,12 @@ impl TransformPass for JoinsPass {
                                 ctx.options.cores,
                                 hoisted,
                             ));
+                        } else if let (Some(total), false) = (ctx.guard_total, hoisted.is_empty()) {
+                            // Idle cores beyond the thread count must also
+                            // skip the per-thread epilogue (e.g. a printf
+                            // indexed by myID would read out of bounds).
+                            let mut b = Builder::new(&mut unit);
+                            new_body.push(b.lt_guard(&core_var, total as i64, hoisted));
                         } else {
                             new_body.extend(hoisted);
                         }

@@ -137,6 +137,26 @@ impl<'a> Builder<'a> {
             span: Span::default(),
         }
     }
+
+    /// `if (var < upper) { body }` — the idle-core guard used when the
+    /// target has more cores than the source has threads.
+    pub fn lt_guard(&mut self, var: &str, upper: i64, body: Vec<Stmt>) -> Stmt {
+        let lhs = self.ident(var);
+        let rhs = self.int(upper);
+        let cond = self.binary(BinaryOp::Lt, lhs, rhs);
+        let bid = self.id();
+        let block = Stmt {
+            id: bid,
+            kind: StmtKind::Block(body),
+            span: Span::default(),
+        };
+        let sid = self.id();
+        Stmt {
+            id: sid,
+            kind: StmtKind::If(cond, Box::new(block), None),
+            span: Span::default(),
+        }
+    }
 }
 
 /// Replaces every occurrence of identifier `from` with identifier `to` in

@@ -54,6 +54,19 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// One memory-resident local of a compiled function: a named slice of the
+/// frame's memory area. Register-allocated scalars have no entry — they
+/// never touch simulated memory and are invisible to address-level tools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameVar {
+    /// Source name.
+    pub name: String,
+    /// Byte offset from the frame's memory base.
+    pub offset: u32,
+    /// Storage size in bytes.
+    pub size: u32,
+}
+
 /// A compiled function.
 #[derive(Debug, Clone)]
 pub struct Function {
@@ -69,6 +82,20 @@ pub struct Function {
     pub frame_mem: u32,
     /// Declared return type.
     pub ret: CType,
+    /// Layout of the memory-resident locals within `frame_mem`, in
+    /// allocation order (re-declarations in nested blocks append again).
+    pub frame_vars: Vec<FrameVar>,
+}
+
+impl Function {
+    /// The frame variable whose storage covers byte `offset` of the frame
+    /// memory area (last match wins, mirroring lexical shadowing).
+    pub fn frame_var_at(&self, offset: u32) -> Option<&FrameVar> {
+        self.frame_vars
+            .iter()
+            .rev()
+            .find(|v| offset >= v.offset && offset < v.offset + v.size)
+    }
 }
 
 /// A compiled global variable.
@@ -336,6 +363,7 @@ struct FnCompiler<'a, 'b> {
     /// Break/continue scopes: loops accept both, switches only break.
     loops: Vec<BreakScope>,
     ret_ty: CType,
+    frame_vars: Vec<FrameVar>,
 }
 
 /// A break/continue target scope.
@@ -383,6 +411,7 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
             addr_taken,
             loops: Vec::new(),
             ret_ty: f.ret.clone(),
+            frame_vars: Vec::new(),
         };
 
         // Parameters: register slots; address-taken ones get a memory
@@ -392,6 +421,7 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
             fc.n_regs += 1;
             if fc.addr_taken.contains(&p.name) || p.ty.is_array() {
                 let off = fc.alloc_mem(&p.ty);
+                fc.record_frame_var(&p.name, off, &p.ty);
                 fc.code.push(Instr::LocalMemAddr(off));
                 fc.code.push(Instr::LocalGet(i as u16));
                 fc.code.push(Instr::Store(MemKind::for_ctype(&p.ty), false));
@@ -413,7 +443,16 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
             n_params: f.params.len() as u8,
             frame_mem: fc.mem_off,
             ret: f.ret.clone(),
+            frame_vars: fc.frame_vars,
         })
+    }
+
+    fn record_frame_var(&mut self, name: &str, offset: u32, ty: &CType) {
+        self.frame_vars.push(FrameVar {
+            name: name.to_string(),
+            offset,
+            size: storage_size(ty).max(1) as u32,
+        });
     }
 
     fn define(&mut self, name: &str, slot: Slot) {
@@ -668,6 +707,7 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
             let memory_resident = v.ty.is_array() || self.addr_taken.contains(&v.name);
             if memory_resident {
                 let off = self.alloc_mem(&v.ty);
+                self.record_frame_var(&v.name, off, &v.ty);
                 self.define(&v.name, Slot::Mem(off, v.ty.clone()));
                 match (&v.init, &v.ty) {
                     (Some(init), CType::Array(elem, len)) => {
@@ -1518,6 +1558,32 @@ mod tests {
             .code
             .iter()
             .any(|i| matches!(i, Instr::Store(MemKind::I32, false))));
+    }
+
+    #[test]
+    fn frame_vars_cover_memory_resident_locals() {
+        let p = compile_src(
+            "int main() { int a[4]; int tmp = 1; int *q = &tmp; a[0] = *q; return a[0]; }",
+        );
+        let f = &p.funcs[0];
+        let names: Vec<&str> = f.frame_vars.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "tmp"], "q stays in a register");
+        assert_eq!(f.frame_var_at(0).unwrap().name, "a");
+        assert_eq!(f.frame_var_at(12).unwrap().name, "a", "a[3] inside array");
+        let tmp = f.frame_vars.iter().find(|v| v.name == "tmp").unwrap();
+        assert_eq!(f.frame_var_at(tmp.offset).unwrap().name, "tmp");
+        assert!(f.frame_var_at(f.frame_mem).is_none(), "past the frame");
+    }
+
+    #[test]
+    fn frame_vars_include_address_taken_params() {
+        let p = compile_src(
+            "int deref(int x) { int *p = &x; return *p; } int main() { return deref(3); }",
+        );
+        let f = p.funcs.iter().find(|f| f.name == "deref").unwrap();
+        assert_eq!(f.frame_vars.len(), 1);
+        assert_eq!(f.frame_vars[0].name, "x");
+        assert_eq!(f.frame_vars[0].size, 4);
     }
 
     #[test]
