@@ -25,18 +25,53 @@
 //! corpus program (including `corpus/adversarial/`) under the
 //! sharing-soundness oracle, prints the verdict table, folds the `sharing`
 //! section into the manifest when `--json` is also given, and exits
-//! non-zero if any program misses its expectation.
+//! non-zero if any program misses its expectation. Both sweeps fan out
+//! over `--workers N` threads (default: one per host core); any worker
+//! count produces the same manifest modulo `host_*` timing fields.
+//!
+//! If manifest generation fails, the manifest file is still written, as an
+//! error document naming the failing pipeline stage:
+//! `{"schema_version": 2, "error": {"stage": "parse", "message": …}}`.
 
+use hsm_bench::json::Json;
 use std::env;
 use std::process::ExitCode;
 
 /// Output file of `--json`.
 const MANIFEST_FILE: &str = "BENCH_pipeline.json";
 
+/// The error document `--json` writes when the sweep fails: the failing
+/// stage name (from `PipelineError::stage`) plus the rendered error chain.
+fn error_manifest(e: &hsm_core::PipelineError) -> Json {
+    Json::obj(vec![
+        (
+            "schema_version",
+            Json::UInt(hsm_bench::manifest::MANIFEST_SCHEMA_VERSION),
+        ),
+        (
+            "error",
+            Json::obj(vec![
+                ("stage", Json::str(e.stage())),
+                ("message", Json::Str(e.to_string())),
+            ]),
+        ),
+    ])
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
     let emit_json = args.iter().any(|a| a == "--json");
     let check_sharing = args.iter().any(|a| a == "--check-sharing");
+    let mut workers = 0usize;
+    if let Some(i) = args.iter().position(|a| a == "--workers") {
+        let value = args.get(i + 1).and_then(|v| v.parse().ok());
+        let Some(value) = value else {
+            eprintln!("figures: --workers needs a number");
+            return ExitCode::FAILURE;
+        };
+        workers = value;
+        args.drain(i..=i + 1);
+    }
     args.retain(|a| a != "--json" && a != "--check-sharing");
     let all = args.is_empty() && !emit_json && !check_sharing;
     let want = |name: &str| all || args.iter().any(|a| a == name);
@@ -44,7 +79,7 @@ fn main() -> ExitCode {
 
     let mut sharing_section = None;
     if check_sharing {
-        match hsm_bench::sharing::sharing_manifest() {
+        match hsm_bench::sharing::sharing_manifest_with(workers) {
             Ok(sharing) => {
                 print_sharing(&sharing);
                 if !hsm_bench::sharing::all_pass(&sharing) {
@@ -61,23 +96,27 @@ fn main() -> ExitCode {
     }
 
     if emit_json {
-        match hsm_bench::manifest::full_manifest(Default::default()) {
+        let opts = hsm_bench::manifest::ManifestOptions {
+            workers,
+            ..Default::default()
+        };
+        let manifest = match hsm_bench::manifest::full_manifest(opts) {
             Ok(mut m) => {
-                if let (Some(sharing), hsm_bench::json::Json::Obj(pairs)) =
-                    (sharing_section.take(), &mut m)
-                {
+                if let (Some(sharing), Json::Obj(pairs)) = (sharing_section.take(), &mut m) {
                     pairs.push(("sharing".to_string(), sharing));
                 }
-                match std::fs::write(MANIFEST_FILE, m.render()) {
-                    Ok(()) => println!("wrote {MANIFEST_FILE}"),
-                    Err(e) => {
-                        eprintln!("writing {MANIFEST_FILE} failed: {e}");
-                        failed = true;
-                    }
-                }
+                m
             }
             Err(e) => {
                 eprintln!("manifest generation failed: {e}");
+                failed = true;
+                error_manifest(&e)
+            }
+        };
+        match std::fs::write(MANIFEST_FILE, manifest.render()) {
+            Ok(()) => println!("wrote {MANIFEST_FILE}"),
+            Err(e) => {
+                eprintln!("writing {MANIFEST_FILE} failed: {e}");
                 failed = true;
             }
         }

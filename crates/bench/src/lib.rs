@@ -12,8 +12,8 @@ pub mod json;
 pub mod manifest;
 pub mod sharing;
 
-use hsm_core::experiment::{self, BenchResult, Mode};
-use hsm_core::PipelineError;
+use hsm_core::experiment::{self, BenchResult, Mode, SweepMatrix};
+use hsm_core::{Pipeline, PipelineError, Policy};
 use hsm_workloads::Bench;
 use scc_sim::SccConfig;
 use std::fmt::Write as _;
@@ -61,18 +61,50 @@ pub fn analysis_tables() -> (String, String) {
     (analysis.render_table_4_1(), analysis.render_table_4_2())
 }
 
-/// Runs the full Figure 6.1 / 6.2 grid: every benchmark, all three modes.
+/// Runs the full Figure 6.1 / 6.2 grid: every benchmark, all three modes,
+/// as one parallel sweep over a shared artifact cache (each benchmark's
+/// source is parsed and analyzed once for its three runs).
 ///
 /// # Errors
 ///
 /// Propagates pipeline failures.
 pub fn run_evaluation(units: usize) -> Result<Vec<BenchResult>, PipelineError> {
+    run_evaluation_with(units, 0)
+}
+
+/// [`run_evaluation`] with an explicit sweep worker count (0 = one per
+/// available host core).
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run_evaluation_with(
+    units: usize,
+    workers: usize,
+) -> Result<Vec<BenchResult>, PipelineError> {
     let config = SccConfig::table_6_1();
-    Bench::all()
+    let benches = Bench::all();
+    let modes = [Mode::PthreadBaseline, Mode::RcceOffChip, Mode::RcceHsm];
+    let matrix = SweepMatrix::benchmarks(&benches, &modes, units, config).workers(workers);
+    let report = experiment::sweep(&matrix);
+    let mut outcomes = report.outcomes.into_iter();
+    benches
         .into_iter()
         .map(|bench| {
-            let params = bench.default_params(units);
-            experiment::run_all_modes(bench, &params, &config)
+            let base = outcomes.next().expect("baseline point").into_run()?;
+            let off = outcomes.next().expect("offchip point").into_run()?;
+            let hsm = outcomes.next().expect("hsm point").into_run()?;
+            let outputs_match = experiment::outputs_equivalent(&base, &off)
+                && experiment::outputs_equivalent(&base, &hsm)
+                && base.exit_code == off.exit_code
+                && base.exit_code == hsm.exit_code;
+            Ok(BenchResult {
+                bench,
+                pthread_cycles: base.timed_cycles,
+                offchip_cycles: off.timed_cycles,
+                hsm_cycles: hsm.timed_cycles,
+                outputs_match,
+            })
         })
         .collect()
 }
@@ -240,10 +272,11 @@ pub fn thread_folding(thread_counts: &[usize]) -> Result<String, PipelineError> 
         let mut params = Bench::PiApprox.default_params(threads);
         params.threads = threads;
         let src = hsm_workloads::source(Bench::PiApprox, &params);
-        let base = hsm_core::run_baseline(&src, &config)?;
+        let session = Pipeline::new(src).cores(cores).config(config.clone());
+        let base = session.run_baseline()?;
         // Translating a T-thread program for C < T cores triggers the
         // translator's many-to-one fold loop.
-        let hsm = hsm_core::run_translated(&src, cores, hsm_core::Policy::SizeAscending, &config)?;
+        let hsm = session.run()?;
         let _ = writeln!(
             out,
             "{:<10}{:>10}{:>10.1}x",
@@ -326,9 +359,12 @@ pub fn stream_kernel_table(units: usize) -> Result<String, PipelineError> {
         let src = stream_kernel_source(kernel, &params);
         let bytes = (kernel.bytes_per_elem() * params.size * params.reps) as f64;
         let mbps = |cycles: u64| bytes / (cycles as f64 / freq_hz) / 1e6;
-        let base = hsm_core::run_baseline(&src, &config)?;
-        let off = hsm_core::run_translated(&src, units, hsm_core::Policy::OffChipOnly, &config)?;
-        let mpb = hsm_core::run_translated(&src, units, hsm_core::Policy::SizeAscending, &config)?;
+        // One session per kernel: the three configurations share its
+        // parsed unit and analysis through the session cache.
+        let session = Pipeline::new(src).cores(units).config(config.clone());
+        let base = session.run_baseline()?;
+        let off = session.clone().policy(Policy::OffChipOnly).run()?;
+        let mpb = session.run()?;
         let _ = writeln!(
             out,
             "{:<8}{:>16.0}{:>16.0}{:>16.0}",
@@ -396,8 +432,9 @@ pub fn jacobi_extension(core_counts: &[usize]) -> Result<String, PipelineError> 
             reps: 24,
         };
         let src = jacobi_source(&p);
-        let base = hsm_core::run_baseline(&src, &config)?;
-        let hsm = hsm_core::run_translated(&src, cores, hsm_core::Policy::SizeAscending, &config)?;
+        let session = Pipeline::new(src).cores(cores).config(config.clone());
+        let base = session.run_baseline()?;
+        let hsm = session.run()?;
         let _ = writeln!(
             out,
             "{:<10}{:>10.1}x{:>14.2}",

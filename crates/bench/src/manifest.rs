@@ -1,23 +1,34 @@
 //! The machine-readable run manifest.
 //!
 //! `figures --json` writes `BENCH_pipeline.json`: a versioned snapshot of
-//! the chip configuration, per-core × per-region memory counters, MPB
-//! occupancy and per-stage pipeline metrics for a fixed set of corpus
-//! programs. Everything except the `host_wall_nanos` fields is a pure
-//! function of the program sources and the simulator, so the manifest is
-//! diffable against the checked-in goldens in `goldens/` — the CI gate
-//! that pins the simulator's observable behaviour.
+//! the chip configuration, the sweep engine's artifact-cache counters,
+//! per-core × per-region memory counters, MPB occupancy and per-stage
+//! pipeline metrics for a fixed set of corpus programs. The whole corpus
+//! is executed as one parallel [`hsm_core::experiment::sweep`] over a
+//! shared [`hsm_core::ArtifactCache`], so each program's source is parsed
+//! once for its baseline and HSM runs and the per-point wall times shrink
+//! with the host's core count.
+//!
+//! Everything except the `host_*` fields is a pure function of the
+//! program sources and the simulator — including the cache hit/miss
+//! counters, which the pending-slot cache keeps schedule-independent — so
+//! the manifest is diffable against the checked-in goldens in `goldens/`,
+//! the CI gate that pins the simulator's observable behaviour.
 
 use crate::json::Json;
+use hsm_core::experiment::{sweep, Mode, SweepMatrix, SweepReport, SweepTask, TimingStats};
 use hsm_core::metrics::PipelineMetrics;
-use hsm_core::{PipelineError, Policy};
+use hsm_core::{PipelineError, StageCounters};
 use hsm_exec::RunResult;
 use scc_sim::{Region, SccConfig};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Version of the manifest layout. Bump when renaming or moving fields so
-/// downstream consumers can dispatch.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+/// downstream consumers can dispatch. Version 2 added the `sweep` section
+/// (artifact-cache counters plus host parallelism figures) and moved the
+/// per-entry `host_timing` block onto the sweep's cache-hot re-runs.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
 
 /// The corpus programs the manifest replays, with the core counts the
 /// corpus integration tests use.
@@ -39,15 +50,18 @@ const HOST_TIMING_RUNS: usize = 3;
 /// Manifest generation knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ManifestOptions {
-    /// Include host wall-clock stage timings (`host_wall_nanos`). These
-    /// vary run to run; goldens are built without them.
+    /// Include host wall-clock timings (`host_*` fields). These vary run
+    /// to run; goldens are built without them.
     pub include_host_timings: bool,
+    /// Sweep worker threads (0 = one per available host core).
+    pub workers: usize,
 }
 
 impl Default for ManifestOptions {
     fn default() -> Self {
         ManifestOptions {
             include_host_timings: true,
+            workers: 0,
         }
     }
 }
@@ -57,6 +71,14 @@ pub(crate) fn corpus_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../corpus")
         .join(format!("{name}.c"))
+}
+
+/// Reads a corpus program's source.
+pub(crate) fn corpus_source(name: &str) -> Arc<str> {
+    let path = corpus_path(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read corpus program {}: {e}", path.display()))
+        .into()
 }
 
 /// The chip-configuration block.
@@ -167,8 +189,131 @@ pub fn metrics_json(m: &PipelineMetrics, opts: ManifestOptions) -> Json {
     )
 }
 
-/// Replays one corpus program (baseline + HSM) and builds its manifest
-/// entry.
+/// One cache stage's hit/miss counter pair.
+fn counters_json(c: StageCounters) -> Json {
+    Json::obj(vec![
+        ("hits", Json::UInt(c.hits)),
+        ("misses", Json::UInt(c.misses)),
+    ])
+}
+
+/// The `sweep` section: the shared artifact cache's hit/miss counters
+/// (deterministic — identical for every worker count) plus, when host
+/// timings are requested, the host-side parallelism figures.
+pub fn sweep_json(report: &SweepReport, opts: ManifestOptions) -> Json {
+    let c = report.cache;
+    let mut pairs = vec![(
+        "cache",
+        Json::obj(vec![
+            ("parse", counters_json(c.parse)),
+            ("analyze", counters_json(c.analyze)),
+            ("partition", counters_json(c.partition)),
+            ("translate", counters_json(c.translate)),
+            ("compile", counters_json(c.compile)),
+            ("total_hits", Json::UInt(c.total_hits())),
+            ("total_misses", Json::UInt(c.total_misses())),
+        ]),
+    )];
+    if opts.include_host_timings {
+        pairs.push(("host_workers", Json::UInt(report.workers as u64)));
+        pairs.push(("host_points", Json::UInt(report.outcomes.len() as u64)));
+        pairs.push((
+            "host_wall_nanos",
+            Json::UInt(u64::try_from(report.host_wall_nanos).unwrap_or(u64::MAX)),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+/// A `host_timing` block from the sweep's cache-hot re-run statistics.
+fn timing_json(t: TimingStats) -> Json {
+    Json::obj(vec![
+        ("runs", Json::UInt(t.runs as u64)),
+        (
+            "median_nanos",
+            Json::UInt(u64::try_from(t.median_nanos).unwrap_or(u64::MAX)),
+        ),
+        (
+            "min_nanos",
+            Json::UInt(u64::try_from(t.min_nanos).unwrap_or(u64::MAX)),
+        ),
+        (
+            "max_nanos",
+            Json::UInt(u64::try_from(t.max_nanos).unwrap_or(u64::MAX)),
+        ),
+    ])
+}
+
+/// The sweep matrix behind a manifest: per program, one metered baseline
+/// point and one metered HSM point (the latter carrying the cache-hot
+/// timing re-runs when host timings are requested).
+fn manifest_matrix(
+    programs: &[(&str, usize)],
+    opts: ManifestOptions,
+    config: &SccConfig,
+) -> SweepMatrix {
+    let timing_runs = if opts.include_host_timings {
+        HOST_TIMING_RUNS
+    } else {
+        0
+    };
+    let mut matrix = SweepMatrix::new(config.clone()).workers(opts.workers);
+    for &(name, cores) in programs {
+        let src = corpus_source(name);
+        matrix = matrix
+            .point(
+                format!("{name}/baseline"),
+                Arc::clone(&src),
+                SweepTask::RunMetered(Mode::PthreadBaseline),
+                cores,
+            )
+            .timed_point(
+                format!("{name}/hsm"),
+                src,
+                SweepTask::RunMetered(Mode::RcceHsm),
+                cores,
+                timing_runs,
+            );
+    }
+    matrix
+}
+
+/// Unwraps a metered sweep payload.
+fn metered_run(
+    outcome: hsm_core::experiment::SweepOutcome,
+) -> Result<(RunResult, PipelineMetrics, Option<TimingStats>), PipelineError> {
+    let timing = outcome.timing;
+    let payload = outcome.result?;
+    match payload {
+        hsm_core::experiment::SweepPayload::Run(r, Some(m)) => Ok((r, m, timing)),
+        _ => unreachable!("manifest points are always metered runs"),
+    }
+}
+
+/// Builds one program's manifest entry from its two sweep outcomes.
+fn entry_json(
+    name: &str,
+    cores: usize,
+    base: (RunResult, PipelineMetrics, Option<TimingStats>),
+    hsm: (RunResult, PipelineMetrics, Option<TimingStats>),
+    opts: ManifestOptions,
+) -> Json {
+    let mut pairs = vec![
+        ("name", Json::str(name)),
+        ("cores", Json::UInt(cores as u64)),
+        ("pipeline", metrics_json(&hsm.1, opts)),
+        ("baseline_pipeline", metrics_json(&base.1, opts)),
+        ("baseline", run_json(&base.0)),
+        ("hsm", run_json(&hsm.0)),
+    ];
+    if let Some(timing) = hsm.2 {
+        pairs.push(("host_timing", timing_json(timing)));
+    }
+    Json::obj(pairs)
+}
+
+/// Replays one corpus program (baseline + HSM) through a single-program
+/// sweep and builds its manifest entry.
 ///
 /// # Errors
 ///
@@ -180,45 +325,15 @@ pub fn program_entry(
     config: &SccConfig,
     opts: ManifestOptions,
 ) -> Result<Json, PipelineError> {
-    let path = corpus_path(name);
-    let src = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("read corpus program {}: {e}", path.display()));
-    let (base, base_metrics) = hsm_core::run_baseline_metered(&src, config)?;
-    let (hsm, hsm_metrics) =
-        hsm_core::run_translated_metered(&src, cores, Policy::SizeAscending, config)?;
-    let mut pairs = vec![
-        ("name", Json::str(name)),
-        ("cores", Json::UInt(cores as u64)),
-        ("pipeline", metrics_json(&hsm_metrics, opts)),
-        ("baseline_pipeline", metrics_json(&base_metrics, opts)),
-        ("baseline", run_json(&base)),
-        ("hsm", run_json(&hsm)),
-    ];
-    if opts.include_host_timings {
-        // Median-of-N wall time of the whole translate-and-simulate path
-        // (host-dependent, so `host_`-prefixed and absent from goldens).
-        let report = testkit::time_median(name, HOST_TIMING_RUNS, || {
-            let _ = std::hint::black_box(hsm_core::run_translated(
-                &src,
-                cores,
-                Policy::SizeAscending,
-                config,
-            ));
-        });
-        pairs.push((
-            "host_timing",
-            Json::obj(vec![
-                ("runs", Json::UInt(report.runs as u64)),
-                ("median_nanos", Json::UInt(report.median_nanos as u64)),
-                ("min_nanos", Json::UInt(report.min_nanos as u64)),
-                ("max_nanos", Json::UInt(report.max_nanos as u64)),
-            ]),
-        ));
-    }
-    Ok(Json::obj(pairs))
+    let report = sweep(&manifest_matrix(&[(name, cores)], opts, config));
+    let mut outcomes = report.outcomes.into_iter();
+    let base = metered_run(outcomes.next().expect("baseline point"))?;
+    let hsm = metered_run(outcomes.next().expect("hsm point"))?;
+    Ok(entry_json(name, cores, base, hsm, opts))
 }
 
-/// Builds a manifest for an explicit program list.
+/// Builds a manifest for an explicit program list by sweeping every
+/// program's points in parallel over one shared artifact cache.
 ///
 /// # Errors
 ///
@@ -228,13 +343,19 @@ pub fn manifest_for(
     opts: ManifestOptions,
 ) -> Result<Json, PipelineError> {
     let config = SccConfig::table_6_1();
-    let entries = programs
-        .iter()
-        .map(|&(name, cores)| program_entry(name, cores, &config, opts))
-        .collect::<Result<Vec<_>, _>>()?;
+    let report = sweep(&manifest_matrix(programs, opts, &config));
+    let sweep_section = sweep_json(&report, opts);
+    let mut outcomes = report.outcomes.into_iter();
+    let mut entries = Vec::with_capacity(programs.len());
+    for &(name, cores) in programs {
+        let base = metered_run(outcomes.next().expect("baseline point"))?;
+        let hsm = metered_run(outcomes.next().expect("hsm point"))?;
+        entries.push(entry_json(name, cores, base, hsm, opts));
+    }
     Ok(Json::obj(vec![
         ("schema_version", Json::UInt(MANIFEST_SCHEMA_VERSION)),
         ("config", config_json(&config)),
+        ("sweep", sweep_section),
         ("programs", Json::Arr(entries)),
     ]))
 }
@@ -249,7 +370,9 @@ pub fn full_manifest(opts: ManifestOptions) -> Result<Json, PipelineError> {
 }
 
 /// The deterministic golden manifest (no host timings, golden program
-/// subset) the regression test pins.
+/// subset) the regression test pins. Runs through the same parallel sweep
+/// engine as the full manifest: the cache counters it pins are identical
+/// for every worker count.
 ///
 /// # Errors
 ///
@@ -259,6 +382,7 @@ pub fn golden_manifest() -> Result<Json, PipelineError> {
         &GOLDEN_PROGRAMS,
         ManifestOptions {
             include_host_timings: false,
+            workers: 0,
         },
     )
 }
@@ -273,6 +397,7 @@ mod tests {
             &[("example_4_1", 3)],
             ManifestOptions {
                 include_host_timings: false,
+                workers: 1,
             },
         )
         .expect("manifest");
@@ -303,11 +428,23 @@ mod tests {
         assert!(matches!(hsm.get("total_cycles"), Some(Json::UInt(c)) if *c > 0));
         let shared = hsm.get("regions").and_then(|r| r.get("shared_dram"));
         assert!(shared.is_some(), "per-region block missing");
+        // The sweep section records the shared cache: the HSM point reused
+        // the baseline point's parse.
+        let cache = m.get("sweep").and_then(|s| s.get("cache")).expect("cache");
+        assert_eq!(
+            cache.get("parse"),
+            Some(&Json::obj(vec![
+                ("hits", Json::UInt(1)),
+                ("misses", Json::UInt(1)),
+            ]))
+        );
+        assert!(matches!(cache.get("total_hits"), Some(Json::UInt(h)) if *h > 0));
         // Without host timings the rendering is deterministic.
         let again = manifest_for(
             &[("example_4_1", 3)],
             ManifestOptions {
                 include_host_timings: false,
+                workers: 1,
             },
         )
         .expect("manifest");
@@ -316,25 +453,39 @@ mod tests {
 
     #[test]
     fn host_timings_are_opt_in() {
-        let with = program_entry(
-            "example_4_1",
-            3,
-            &SccConfig::table_6_1(),
-            ManifestOptions {
-                include_host_timings: true,
-            },
-        )
-        .expect("entry");
+        let base_opts = ManifestOptions {
+            include_host_timings: true,
+            workers: 1,
+        };
+        let with =
+            program_entry("example_4_1", 3, &SccConfig::table_6_1(), base_opts).expect("entry");
         let without = program_entry(
             "example_4_1",
             3,
             &SccConfig::table_6_1(),
             ManifestOptions {
                 include_host_timings: false,
+                workers: 1,
             },
         )
         .expect("entry");
         assert!(with.render().contains("host_wall_nanos"));
+        assert!(with.render().contains("host_timing"));
         assert!(!without.render().contains("host_wall_nanos"));
+        assert!(!without.render().contains("host_timing"));
+    }
+
+    /// The tentpole's determinism guarantee at the manifest level: a
+    /// serial and a 4-worker sweep render byte-identical manifests when
+    /// host timings are excluded — including the cache counters.
+    #[test]
+    fn manifest_is_worker_count_invariant() {
+        let opts = |workers| ManifestOptions {
+            include_host_timings: false,
+            workers,
+        };
+        let serial = manifest_for(&GOLDEN_PROGRAMS, opts(1)).expect("serial");
+        let parallel = manifest_for(&GOLDEN_PROGRAMS, opts(4)).expect("parallel");
+        assert_eq!(serial.render(), parallel.render());
     }
 }

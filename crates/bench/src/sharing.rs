@@ -14,12 +14,18 @@
 //! oracle (`rcce_clean`), which performs pure happens-before race
 //! detection over the shared regions: it validates the synchronization
 //! the translator inserted rather than the classification.
+//!
+//! All checks execute as one parallel [`hsm_core::experiment::sweep`]
+//! over a shared artifact cache, so each clean program is parsed and
+//! analyzed once for its pthread-mode and RCCE-mode runs.
 
 use crate::json::Json;
-use crate::manifest::corpus_path;
-use hsm_core::{check_sharing, check_sharing_rcce, PipelineError, Policy};
+use crate::manifest::corpus_source;
+use hsm_core::experiment::{sweep, SweepMatrix, SweepOutcome, SweepPayload, SweepTask};
+use hsm_core::{Pipeline, PipelineError, SharingCheck};
 use hsm_exec::{Violation, ViolationClass};
 use scc_sim::SccConfig;
+use std::sync::Arc;
 
 /// Expected oracle outcome per corpus program: `None` means the program
 /// must run clean; `Some(class)` means the oracle must flag exactly that
@@ -62,23 +68,15 @@ fn violation_json(v: &Violation) -> Json {
     ])
 }
 
-/// Checks one corpus program against its expectation and renders its
-/// manifest entry.
-///
-/// # Errors
-///
-/// Propagates pipeline failures; panics only if the corpus file itself is
-/// missing.
-pub fn program_sharing_entry(
+/// Builds one program's sharing entry from its oracle check (and, for
+/// clean expectations, the RCCE-mode re-check).
+fn entry_json(
     name: &str,
     cores: usize,
     expected: Option<ViolationClass>,
-    config: &SccConfig,
-) -> Result<Json, PipelineError> {
-    let path = corpus_path(name);
-    let src = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("read corpus program {}: {e}", path.display()));
-    let check = check_sharing(&src, config)?;
+    check: &SharingCheck,
+    rcce: Option<&SharingCheck>,
+) -> Json {
     let classes = check.report.classes();
     let pass = match expected {
         None => classes.is_empty(),
@@ -106,30 +104,100 @@ pub fn program_sharing_entry(
             Json::Arr(check.report.violations.iter().map(violation_json).collect()),
         ),
     ];
-    if expected.is_none() {
-        // A clean pthread program must also stay race-free once
-        // translated: the RCCE-mode oracle audits the inserted barriers
-        // and locks.
-        let rcce = check_sharing_rcce(&src, cores, Policy::SizeAscending, config)?;
+    if let Some(rcce) = rcce {
         pairs.push(("rcce_cores", Json::UInt(cores as u64)));
         pairs.push(("rcce_clean", Json::Bool(rcce.report.is_clean())));
     }
-    Ok(Json::obj(pairs))
+    Json::obj(pairs)
+}
+
+/// Unwraps a sharing payload out of a sweep outcome.
+fn sharing_payload(outcome: SweepOutcome) -> Result<SharingCheck, PipelineError> {
+    let payload = outcome.result?;
+    match payload {
+        SweepPayload::Sharing(check) => Ok(*check),
+        SweepPayload::Run(..) => unreachable!("sharing points always run the oracle"),
+    }
+}
+
+/// Checks one corpus program against its expectation and renders its
+/// manifest entry.
+///
+/// # Errors
+///
+/// Propagates pipeline failures; panics only if the corpus file itself is
+/// missing.
+pub fn program_sharing_entry(
+    name: &str,
+    cores: usize,
+    expected: Option<ViolationClass>,
+    config: &SccConfig,
+) -> Result<Json, PipelineError> {
+    let session = Pipeline::new(corpus_source(name))
+        .cores(cores)
+        .config(config.clone());
+    let check = session.check_sharing()?;
+    let rcce = if expected.is_none() {
+        // A clean pthread program must also stay race-free once
+        // translated: the RCCE-mode oracle audits the inserted barriers
+        // and locks. The session's cache hands it the already-parsed unit.
+        Some(session.check_sharing_rcce()?)
+    } else {
+        None
+    };
+    Ok(entry_json(name, cores, expected, &check, rcce.as_ref()))
 }
 
 /// The full `sharing` manifest section: every corpus program checked
-/// against its expectation. Fully deterministic (no host timings, no
-/// cycle stamps), so it is golden-pinned as `goldens/sharing_golden.json`.
+/// against its expectation, executed as one parallel sweep. Fully
+/// deterministic (no host timings, no cycle stamps), so it is
+/// golden-pinned as `goldens/sharing_golden.json`.
 ///
 /// # Errors
 ///
 /// Propagates pipeline failures.
 pub fn sharing_manifest() -> Result<Json, PipelineError> {
+    sharing_manifest_with(0)
+}
+
+/// [`sharing_manifest`] with an explicit sweep worker count
+/// (0 = one per available host core).
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn sharing_manifest_with(workers: usize) -> Result<Json, PipelineError> {
     let config = SccConfig::table_6_1();
-    let entries = SHARING_EXPECTATIONS
-        .iter()
-        .map(|&(name, cores, expected)| program_sharing_entry(name, cores, expected, &config))
-        .collect::<Result<Vec<_>, _>>()?;
+    let mut matrix = SweepMatrix::new(config).workers(workers);
+    for &(name, cores, expected) in &SHARING_EXPECTATIONS {
+        let src = corpus_source(name);
+        matrix = matrix.point(
+            format!("{name}/check"),
+            Arc::clone(&src),
+            SweepTask::CheckSharing,
+            cores,
+        );
+        if expected.is_none() {
+            matrix = matrix.point(
+                format!("{name}/rcce"),
+                src,
+                SweepTask::CheckSharingRcce,
+                cores,
+            );
+        }
+    }
+    let report = sweep(&matrix);
+    let mut outcomes = report.outcomes.into_iter();
+    let mut entries = Vec::with_capacity(SHARING_EXPECTATIONS.len());
+    for &(name, cores, expected) in &SHARING_EXPECTATIONS {
+        let check = sharing_payload(outcomes.next().expect("check point"))?;
+        let rcce = if expected.is_none() {
+            Some(sharing_payload(outcomes.next().expect("rcce point"))?)
+        } else {
+            None
+        };
+        entries.push(entry_json(name, cores, expected, &check, rcce.as_ref()));
+    }
     Ok(Json::obj(vec![
         (
             "schema_version",
@@ -177,6 +245,13 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sharing_manifest_is_worker_count_invariant() {
+        let serial = sharing_manifest_with(1).expect("serial");
+        let parallel = sharing_manifest_with(4).expect("parallel");
+        assert_eq!(serial.render(), parallel.render());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! hsmsim prog.c --stats                  # print memory-system statistics
 //! ```
 
-use hsm_core::Policy;
+use hsm_core::{Pipeline, Policy};
 use scc_sim::SccConfig;
 use std::process::ExitCode;
 
@@ -75,9 +75,13 @@ fn main() -> ExitCode {
     };
     let config = SccConfig::table_6_1();
 
+    let pipeline = Pipeline::new(source.as_str())
+        .cores(cores)
+        .policy(policy)
+        .config(config.clone());
     let result = match mode {
-        Mode::Pthread => hsm_core::run_baseline(&source, &config),
-        Mode::Rcce => hsm_core::run_translated(&source, cores, policy, &config),
+        Mode::Pthread => pipeline.run_baseline(),
+        Mode::Rcce => pipeline.run(),
         Mode::Native => (|| {
             let tu = hsm_cir::parse(&source)?;
             let program = hsm_vm::compile(&tu)?;

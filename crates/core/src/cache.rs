@@ -1,0 +1,363 @@
+//! Keyed, thread-safe memoization of pipeline artifacts.
+//!
+//! A [`Pipeline`](crate::Pipeline) session produces five intermediate
+//! artifacts on the way from C source to a simulated run: the parsed
+//! [`TranslationUnit`], the Stage 1–3 [`ProgramAnalysis`], the Stage 4
+//! [`PartitionPlan`], the Stage 5 [`Translation`] and the compiled
+//! [`hsm_vm::Program`]. Every one of them is a pure function of the
+//! source plus the session's configuration, so an [`ArtifactCache`]
+//! memoizes them behind keys of the form *source hash × cores × policy ×
+//! spec* (each stage keyed by exactly the inputs it depends on — a parse
+//! does not care about the core count, a partition plan does not care
+//! how many cores execute it, only how much MPB the spec grants).
+//!
+//! The cache is shared: cloning a `Pipeline`, or handing the same
+//! `Arc<ArtifactCache>` to several sessions (as
+//! [`experiment::sweep`](crate::experiment::sweep) does across its worker
+//! threads), makes the baseline, off-chip and HSM runs of one benchmark
+//! share a single parse and analysis instead of re-deriving them.
+//!
+//! Concurrency follows the *pending slot* discipline: the first caller of
+//! a key inserts an empty slot (counted as a **miss**) and computes the
+//! artifact; concurrent callers find the slot (counted as a **hit**) and
+//! block until it fills. Hit/miss counters are therefore deterministic
+//! for a fixed access sequence regardless of how many threads drive the
+//! cache — the property the sweep determinism test pins.
+
+use hsm_analysis::ProgramAnalysis;
+use hsm_cir::TranslationUnit;
+use hsm_partition::{MemorySpec, PartitionPlan, Policy};
+use hsm_translate::Translation;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a hash of a program source — the first component of every key.
+pub fn source_hash(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in src.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Key of a partition plan: the plan depends on the analysis (hence the
+/// source), the placement policy and the memory spec — but not on the
+/// executing core count except through the spec derived from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`source_hash`] of the program.
+    pub src: u64,
+    /// Placement policy.
+    pub policy: Policy,
+    /// Memory spec partitioned against.
+    pub spec: MemorySpec,
+}
+
+/// Key of a translation (and of its compiled program): everything a
+/// [`PlanKey`] captures plus the participating core count the translator
+/// bakes into the emitted RCCE source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TranslationKey {
+    /// [`source_hash`] of the program.
+    pub src: u64,
+    /// Participating core count.
+    pub cores: usize,
+    /// Placement policy.
+    pub policy: Policy,
+    /// Memory spec partitioned against.
+    pub spec: MemorySpec,
+}
+
+/// Key of a compiled [`hsm_vm::Program`]: the untranslated pthread
+/// baseline depends only on the source, the translated program on the
+/// full translation key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProgramKey {
+    /// Bytecode of the unmodified pthread program.
+    Baseline(u64),
+    /// Bytecode of the translated RCCE program.
+    Translated(TranslationKey),
+}
+
+/// Hit/miss counters of one artifact kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounters {
+    /// Lookups served from (or queued behind) an existing artifact.
+    pub hits: u64,
+    /// Lookups that had to compute the artifact.
+    pub misses: u64,
+}
+
+/// A snapshot of every shelf's hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Parsed translation units.
+    pub parse: StageCounters,
+    /// Stage 1–3 analyses.
+    pub analyze: StageCounters,
+    /// Stage 4 partition plans.
+    pub partition: StageCounters,
+    /// Stage 5 translations.
+    pub translate: StageCounters,
+    /// Compiled bytecode programs.
+    pub compile: StageCounters,
+}
+
+impl CacheStats {
+    /// Total hits across all artifact kinds.
+    pub fn total_hits(&self) -> u64 {
+        self.parse.hits
+            + self.analyze.hits
+            + self.partition.hits
+            + self.translate.hits
+            + self.compile.hits
+    }
+
+    /// Total misses across all artifact kinds.
+    pub fn total_misses(&self) -> u64 {
+        self.parse.misses
+            + self.analyze.misses
+            + self.partition.misses
+            + self.translate.misses
+            + self.compile.misses
+    }
+}
+
+/// A slot that is either filled with the artifact or pending while the
+/// first caller computes it.
+type Slot<V> = Arc<Mutex<Option<Arc<V>>>>;
+
+/// One artifact kind's keyed store.
+struct Shelf<K, V> {
+    slots: Mutex<HashMap<K, Slot<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> Default for Shelf<K, V> {
+    fn default() -> Self {
+        Shelf {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Shelf<K, V> {
+    /// Returns the cached artifact for `key`, computing it with `compute`
+    /// on a miss. Concurrent callers of the same key block until the
+    /// first one's computation lands; a failed computation vacates the
+    /// key so later callers retry (errors are never cached).
+    fn get_or_try_insert<E>(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache map lock");
+            match slots.get(&key) {
+                Some(slot) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(slot)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let slot: Slot<V> = Arc::new(Mutex::new(None));
+                    slots.insert(key.clone(), Arc::clone(&slot));
+                    slot
+                }
+            }
+        };
+        let mut filled = slot.lock().expect("cache slot lock");
+        if let Some(v) = filled.as_ref() {
+            return Ok(Arc::clone(v));
+        }
+        match compute() {
+            Ok(v) => {
+                let v = Arc::new(v);
+                *filled = Some(Arc::clone(&v));
+                Ok(v)
+            }
+            Err(e) => {
+                self.slots.lock().expect("cache map lock").remove(&key);
+                Err(e)
+            }
+        }
+    }
+
+    fn counters(&self) -> StageCounters {
+        StageCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The keyed artifact store shared by [`Pipeline`](crate::Pipeline)
+/// sessions and [`experiment::sweep`](crate::experiment::sweep) workers.
+#[derive(Default)]
+pub struct ArtifactCache {
+    parse: Shelf<u64, TranslationUnit>,
+    analyze: Shelf<u64, ProgramAnalysis>,
+    partition: Shelf<PlanKey, PartitionPlan>,
+    translate: Shelf<TranslationKey, Translation>,
+    compile: Shelf<ProgramKey, hsm_vm::Program>,
+}
+
+impl ArtifactCache {
+    /// A fresh cache behind an [`Arc`], ready to hand to several
+    /// [`Pipeline`](crate::Pipeline) sessions.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// A snapshot of the hit/miss counters of every shelf.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            parse: self.parse.counters(),
+            analyze: self.analyze.counters(),
+            partition: self.partition.counters(),
+            translate: self.translate.counters(),
+            compile: self.compile.counters(),
+        }
+    }
+
+    /// Memoized parse of the source identified by `src`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error without caching it.
+    pub fn unit_with<E>(
+        &self,
+        src: u64,
+        compute: impl FnOnce() -> Result<TranslationUnit, E>,
+    ) -> Result<Arc<TranslationUnit>, E> {
+        self.parse.get_or_try_insert(src, compute)
+    }
+
+    /// Memoized Stage 1–3 analysis of the source identified by `src`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error without caching it.
+    pub fn analysis_with<E>(
+        &self,
+        src: u64,
+        compute: impl FnOnce() -> Result<ProgramAnalysis, E>,
+    ) -> Result<Arc<ProgramAnalysis>, E> {
+        self.analyze.get_or_try_insert(src, compute)
+    }
+
+    /// Memoized Stage 4 partition plan for `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error without caching it.
+    pub fn plan_with<E>(
+        &self,
+        key: PlanKey,
+        compute: impl FnOnce() -> Result<PartitionPlan, E>,
+    ) -> Result<Arc<PartitionPlan>, E> {
+        self.partition.get_or_try_insert(key, compute)
+    }
+
+    /// Memoized Stage 5 translation for `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error without caching it.
+    pub fn translation_with<E>(
+        &self,
+        key: TranslationKey,
+        compute: impl FnOnce() -> Result<Translation, E>,
+    ) -> Result<Arc<Translation>, E> {
+        self.translate.get_or_try_insert(key, compute)
+    }
+
+    /// Memoized bytecode compilation for `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error without caching it.
+    pub fn program_with<E>(
+        &self,
+        key: ProgramKey,
+        compute: impl FnOnce() -> Result<hsm_vm::Program, E>,
+    ) -> Result<Arc<hsm_vm::Program>, E> {
+        self.compile.get_or_try_insert(key, compute)
+    }
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_hash_distinguishes_sources() {
+        assert_ne!(source_hash("int main() {}"), source_hash("int main( ) {}"));
+        assert_eq!(source_hash("x"), source_hash("x"));
+    }
+
+    #[test]
+    fn shelf_counts_hits_and_misses() {
+        let shelf: Shelf<u64, u32> = Shelf::default();
+        let a = shelf
+            .get_or_try_insert::<()>(1, || Ok(10))
+            .expect("first insert");
+        let b = shelf
+            .get_or_try_insert::<()>(1, || panic!("must not recompute"))
+            .expect("hit");
+        assert_eq!(*a, 10);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = shelf.counters();
+        assert_eq!((c.hits, c.misses), (1, 1));
+    }
+
+    #[test]
+    fn shelf_does_not_cache_errors() {
+        let shelf: Shelf<u64, u32> = Shelf::default();
+        let err = shelf.get_or_try_insert(7, || Err("boom")).unwrap_err();
+        assert_eq!(err, "boom");
+        // The failed key was vacated: the next caller recomputes.
+        let ok = shelf.get_or_try_insert::<&str>(7, || Ok(3)).expect("retry");
+        assert_eq!(*ok, 3);
+        assert_eq!(shelf.counters().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_compute_once() {
+        let shelf: Arc<Shelf<u64, u64>> = Arc::new(Shelf::default());
+        let computed = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let shelf = Arc::clone(&shelf);
+                let computed = Arc::clone(&computed);
+                s.spawn(move || {
+                    let v = shelf
+                        .get_or_try_insert::<()>(42, || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            Ok(99)
+                        })
+                        .expect("value");
+                    assert_eq!(*v, 99);
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "computed exactly once");
+        let c = shelf.counters();
+        assert_eq!(c.hits + c.misses, 8);
+        assert_eq!(c.misses, 1);
+    }
+}

@@ -12,27 +12,41 @@
 //!                        └─ hsm-exec  run on the simulated SCC
 //! ```
 //!
-//! [`experiment`] drives that pipeline over the paper's six benchmarks in
-//! the three configurations of the evaluation: the single-core pthread
-//! baseline, the 32-core RCCE program restricted to off-chip shared memory
-//! (Figure 6.1), and the full HSM program using the MPB placement from
-//! Algorithm 3 (Figure 6.2).
+//! The primary entry point is the [`Pipeline`] session: a builder over
+//! one C source whose intermediate artifacts (parsed unit, analysis,
+//! partition plan, translation, compiled bytecode) are memoized in a
+//! keyed [`cache::ArtifactCache`] and shared across the baseline,
+//! off-chip and HSM configurations. [`experiment::sweep`] fans a whole
+//! benchmark × mode × core-count matrix out over worker threads on top
+//! of it; [`experiment`]'s figure drivers are built from both.
+//!
+//! The pre-session free functions ([`run_baseline`], [`run_translated`],
+//! [`translate_source`], [`check_sharing`], …) survive one release as
+//! thin deprecated wrappers around [`Pipeline`].
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod metrics;
+mod pipeline;
+pub mod sweep;
 
 use hsm_exec::{ExecError, RunResult};
-use hsm_translate::{TranslateError, TranslateOptions, Translation};
+use hsm_translate::{TranslateError, Translation};
 use hsm_workloads::{Bench, Params};
 use metrics::PipelineMetrics;
 use scc_sim::SccConfig;
 use std::fmt;
 
-pub use hsm_partition::Policy;
+pub use cache::{ArtifactCache, CacheStats, StageCounters};
+pub use hsm_partition::{MemorySpec, Policy};
 pub use metrics::{StageMetric, STAGE_NAMES};
+pub use pipeline::Pipeline;
 
 /// A pipeline failure at any stage.
+///
+/// The failing stage is available from [`PipelineError::stage`]; the
+/// underlying stage error is the [`std::error::Error::source`].
 #[derive(Debug)]
 pub enum PipelineError {
     /// Frontend failure.
@@ -45,18 +59,40 @@ pub enum PipelineError {
     Exec(ExecError),
 }
 
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl PipelineError {
+    /// The name of the pipeline stage that failed (`"parse"`,
+    /// `"translate"`, `"compile"` or `"exec"`).
+    pub fn stage(&self) -> &'static str {
         match self {
-            PipelineError::Parse(e) => write!(f, "{e}"),
-            PipelineError::Translate(e) => write!(f, "{e}"),
-            PipelineError::Compile(e) => write!(f, "{e}"),
-            PipelineError::Exec(e) => write!(f, "{e}"),
+            PipelineError::Parse(_) => "parse",
+            PipelineError::Translate(_) => "translate",
+            PipelineError::Compile(_) => "compile",
+            PipelineError::Exec(_) => "exec",
         }
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse stage: {e}"),
+            PipelineError::Translate(e) => write!(f, "translate stage: {e}"),
+            PipelineError::Compile(e) => write!(f, "compile stage: {e}"),
+            PipelineError::Exec(e) => write!(f, "exec stage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Parse(e) => Some(e),
+            PipelineError::Translate(e) => Some(e),
+            PipelineError::Compile(e) => Some(e),
+            PipelineError::Exec(e) => Some(e),
+        }
+    }
+}
 
 impl From<hsm_cir::ParseError> for PipelineError {
     fn from(e: hsm_cir::ParseError) -> Self {
@@ -79,156 +115,6 @@ impl From<ExecError> for PipelineError {
     }
 }
 
-/// Translates pthread C source to an RCCE [`Translation`] with the given
-/// core count and placement policy.
-///
-/// # Errors
-///
-/// Propagates parse and translation failures.
-pub fn translate_source(
-    src: &str,
-    cores: usize,
-    policy: Policy,
-) -> Result<Translation, PipelineError> {
-    let tu = hsm_cir::parse(src)?;
-    Ok(hsm_translate::translate(
-        &tu,
-        TranslateOptions { cores, policy },
-    )?)
-}
-
-/// [`translate_source`] plus bytecode compilation, with every stage
-/// individually metered (wall time and IR size).
-///
-/// Runs the same five stages as [`run_translated`] — parse, analyze,
-/// partition, translate, compile — but drives them one at a time so each
-/// gets its own [`StageMetric`].
-///
-/// # Errors
-///
-/// Propagates parse, translation and compilation failures.
-pub fn compile_translated_metered(
-    src: &str,
-    cores: usize,
-    policy: Policy,
-) -> Result<(Translation, hsm_vm::Program, PipelineMetrics), PipelineError> {
-    let mut metrics = PipelineMetrics::default();
-    let tu = metrics.measure("parse", || {
-        hsm_cir::parse(src)
-            .map(|tu| {
-                let size = hsm_cir::print_unit(&tu).len();
-                (tu, size)
-            })
-            .map_err(PipelineError::from)
-    })?;
-    let analysis = metrics.measure("analyze", || {
-        let a = hsm_analysis::ProgramAnalysis::analyze(&tu);
-        let vars = a.sharing.variables().count();
-        Ok::<_, PipelineError>((a, vars))
-    })?;
-    let plan = metrics.measure("partition", || {
-        let shared = hsm_partition::shared_vars_from_analysis(&analysis);
-        let spec = hsm_partition::MemorySpec::scc(48);
-        let plan = hsm_partition::partition(&shared, &spec, policy);
-        let placements = plan.placements.len();
-        Ok::<_, PipelineError>((plan, placements))
-    })?;
-    let translation = metrics.measure("translate", || {
-        hsm_translate::translate_with_plan(
-            &tu,
-            &analysis,
-            &plan,
-            TranslateOptions { cores, policy },
-        )
-        .map(|t| {
-            let size = t.to_source().len();
-            (t, size)
-        })
-        .map_err(PipelineError::from)
-    })?;
-    let program = metrics.measure("compile", || {
-        hsm_vm::compile(&translation.unit)
-            .map(|p| {
-                let len = p.code_len();
-                (p, len)
-            })
-            .map_err(PipelineError::from)
-    })?;
-    Ok((translation, program, metrics))
-}
-
-/// Runs pthread C source in baseline mode (all threads on one core).
-///
-/// # Errors
-///
-/// Propagates failures from any stage.
-pub fn run_baseline(src: &str, config: &SccConfig) -> Result<RunResult, PipelineError> {
-    let tu = hsm_cir::parse(src)?;
-    let program = hsm_vm::compile(&tu)?;
-    Ok(hsm_exec::run_pthread(&program, config)?)
-}
-
-/// Translates pthread C source and runs the RCCE result on `cores` cores.
-///
-/// # Errors
-///
-/// Propagates failures from any stage.
-pub fn run_translated(
-    src: &str,
-    cores: usize,
-    policy: Policy,
-    config: &SccConfig,
-) -> Result<RunResult, PipelineError> {
-    let translation = translate_source(src, cores, policy)?;
-    let program = hsm_vm::compile(&translation.unit)?;
-    Ok(hsm_exec::run_rcce(&program, cores, config)?)
-}
-
-/// Runs pthread C source in baseline mode with stage metering (the
-/// baseline pipeline has only two stages: parse and compile).
-///
-/// # Errors
-///
-/// Propagates failures from any stage.
-pub fn run_baseline_metered(
-    src: &str,
-    config: &SccConfig,
-) -> Result<(RunResult, PipelineMetrics), PipelineError> {
-    let mut metrics = PipelineMetrics::default();
-    let tu = metrics.measure("parse", || {
-        hsm_cir::parse(src)
-            .map(|tu| {
-                let size = hsm_cir::print_unit(&tu).len();
-                (tu, size)
-            })
-            .map_err(PipelineError::from)
-    })?;
-    let program = metrics.measure("compile", || {
-        hsm_vm::compile(&tu)
-            .map(|p| {
-                let len = p.code_len();
-                (p, len)
-            })
-            .map_err(PipelineError::from)
-    })?;
-    Ok((hsm_exec::run_pthread(&program, config)?, metrics))
-}
-
-/// Translates, compiles and runs with stage metering.
-///
-/// # Errors
-///
-/// Propagates failures from any stage.
-pub fn run_translated_metered(
-    src: &str,
-    cores: usize,
-    policy: Policy,
-    config: &SccConfig,
-) -> Result<(RunResult, PipelineMetrics), PipelineError> {
-    let (_, program, metrics) = compile_translated_metered(src, cores, policy)?;
-    Ok((hsm_exec::run_rcce(&program, cores, config)?, metrics))
-}
-
 /// The outcome of one oracle-checked run: the classification the static
 /// analyses produced and what the dynamic sharing-soundness oracle saw.
 #[derive(Debug)]
@@ -242,41 +128,125 @@ pub struct SharingCheck {
     pub result: RunResult,
 }
 
+// ------------------------------------------------ deprecated wrappers --
+//
+// The eight pre-session entry points, kept for one release as thin
+// shims over `Pipeline`. Unlike their originals they no longer hardcode
+// `MemorySpec::scc(48)`: the partition spec follows the configured core
+// count, exactly as the session default does.
+
+/// Translates pthread C source to an RCCE [`Translation`] with the given
+/// core count and placement policy.
+///
+/// # Errors
+///
+/// Propagates parse and translation failures.
+#[deprecated(note = "use `Pipeline::new(src).cores(n).policy(p).translation()`")]
+pub fn translate_source(
+    src: &str,
+    cores: usize,
+    policy: Policy,
+) -> Result<Translation, PipelineError> {
+    Pipeline::new(src)
+        .cores(cores)
+        .policy(policy)
+        .translation()
+        .map(|t| (*t).clone())
+}
+
+/// [`translate_source`] plus bytecode compilation, with every stage
+/// individually metered (wall time and IR size).
+///
+/// # Errors
+///
+/// Propagates parse, translation and compilation failures.
+#[deprecated(note = "use `Pipeline::new(src).cores(n).policy(p).compile_metered()`")]
+pub fn compile_translated_metered(
+    src: &str,
+    cores: usize,
+    policy: Policy,
+) -> Result<(Translation, hsm_vm::Program, PipelineMetrics), PipelineError> {
+    let (translation, program, metrics) = Pipeline::new(src)
+        .cores(cores)
+        .policy(policy)
+        .compile_metered()?;
+    Ok(((*translation).clone(), (*program).clone(), metrics))
+}
+
+/// Runs pthread C source in baseline mode (all threads on one core).
+///
+/// # Errors
+///
+/// Propagates failures from any stage.
+#[deprecated(note = "use `Pipeline::new(src).config(c).run_baseline()`")]
+pub fn run_baseline(src: &str, config: &SccConfig) -> Result<RunResult, PipelineError> {
+    Pipeline::new(src).config(config.clone()).run_baseline()
+}
+
+/// Translates pthread C source and runs the RCCE result on `cores` cores.
+///
+/// # Errors
+///
+/// Propagates failures from any stage.
+#[deprecated(note = "use `Pipeline::new(src).cores(n).policy(p).config(c).run()`")]
+pub fn run_translated(
+    src: &str,
+    cores: usize,
+    policy: Policy,
+    config: &SccConfig,
+) -> Result<RunResult, PipelineError> {
+    Pipeline::new(src)
+        .cores(cores)
+        .policy(policy)
+        .config(config.clone())
+        .run()
+}
+
+/// Runs pthread C source in baseline mode with stage metering (the
+/// baseline pipeline has only two stages: parse and compile).
+///
+/// # Errors
+///
+/// Propagates failures from any stage.
+#[deprecated(note = "use `Pipeline::new(src).config(c).run_baseline_metered()`")]
+pub fn run_baseline_metered(
+    src: &str,
+    config: &SccConfig,
+) -> Result<(RunResult, PipelineMetrics), PipelineError> {
+    Pipeline::new(src)
+        .config(config.clone())
+        .run_baseline_metered()
+}
+
+/// Translates, compiles and runs with stage metering.
+///
+/// # Errors
+///
+/// Propagates failures from any stage.
+#[deprecated(note = "use `Pipeline::new(src).cores(n).policy(p).config(c).run_metered()`")]
+pub fn run_translated_metered(
+    src: &str,
+    cores: usize,
+    policy: Policy,
+    config: &SccConfig,
+) -> Result<(RunResult, PipelineMetrics), PipelineError> {
+    Pipeline::new(src)
+        .cores(cores)
+        .policy(policy)
+        .config(config.clone())
+        .run_metered()
+}
+
 /// Runs pthread C source in baseline mode under the sharing-soundness
 /// oracle, validating the Stage 1–3 classification (and the Stage 4
 /// placement annotations) against the ground-truth thread semantics.
 ///
-/// The full static pipeline runs first — analysis builds the
-/// [`ClassificationManifest`](hsm_analysis::ClassificationManifest),
-/// partitioning annotates each shared variable's memory region — then the
-/// unmodified pthread program executes with every memory access and
-/// synchronization event streamed into an
-/// [`Oracle`](hsm_exec::Oracle) in pthread mode.
-///
 /// # Errors
 ///
 /// Propagates parse, compile and execution failures.
+#[deprecated(note = "use `Pipeline::new(src).config(c).check_sharing()`")]
 pub fn check_sharing(src: &str, config: &SccConfig) -> Result<SharingCheck, PipelineError> {
-    let tu = hsm_cir::parse(src)?;
-    let analysis = hsm_analysis::ProgramAnalysis::analyze(&tu);
-    let mut manifest = hsm_analysis::ClassificationManifest::from_analysis(&analysis);
-    let shared = hsm_partition::shared_vars_from_analysis(&analysis);
-    let spec = hsm_partition::MemorySpec::scc(48);
-    let plan = hsm_partition::partition(&shared, &spec, Policy::SizeAscending);
-    hsm_partition::annotate_manifest(&plan, &mut manifest);
-    let program = hsm_vm::compile(&tu)?;
-    let mut oracle = hsm_exec::Oracle::new(
-        &program,
-        manifest.clone(),
-        hsm_exec::OracleMode::Pthread,
-        config.line_bytes,
-    );
-    let result = hsm_exec::run_pthread_traced(&program, config, &mut oracle)?;
-    Ok(SharingCheck {
-        manifest,
-        report: oracle.finish(),
-        result,
-    })
+    Pipeline::new(src).config(config.clone()).check_sharing()
 }
 
 /// Translates pthread C source and runs the RCCE result on `cores` cores
@@ -287,34 +257,32 @@ pub fn check_sharing(src: &str, config: &SccConfig) -> Result<SharingCheck, Pipe
 /// # Errors
 ///
 /// Propagates parse, translation, compile and execution failures.
+#[deprecated(note = "use `Pipeline::new(src).cores(n).policy(p).config(c).check_sharing_rcce()`")]
 pub fn check_sharing_rcce(
     src: &str,
     cores: usize,
     policy: Policy,
     config: &SccConfig,
 ) -> Result<SharingCheck, PipelineError> {
-    let translation = translate_source(src, cores, policy)?;
-    let program = hsm_vm::compile(&translation.unit)?;
-    let mut oracle = hsm_exec::Oracle::new(
-        &program,
-        hsm_analysis::ClassificationManifest::empty(),
-        hsm_exec::OracleMode::Rcce,
-        config.line_bytes,
-    );
-    let result = hsm_exec::run_rcce_traced(&program, cores, config, &mut oracle)?;
-    Ok(SharingCheck {
-        manifest: hsm_analysis::ClassificationManifest::empty(),
-        report: oracle.finish(),
-        result,
-    })
+    Pipeline::new(src)
+        .cores(cores)
+        .policy(policy)
+        .config(config.clone())
+        .check_sharing_rcce()
 }
 
 /// Experiment drivers for every table and figure in the evaluation.
 pub mod experiment {
     use super::*;
+    use std::sync::Arc;
+
+    pub use crate::sweep::{
+        sweep, SweepMatrix, SweepOutcome, SweepPayload, SweepPoint, SweepReport, SweepTask,
+        TimingStats,
+    };
 
     /// The three evaluated configurations.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
     pub enum Mode {
         /// 32 threads on one core (the Figure 6.1 denominator).
         PthreadBaseline,
@@ -322,6 +290,30 @@ pub mod experiment {
         RcceOffChip,
         /// Converted program with Algorithm 3 MPB placement (Figure 6.2).
         RcceHsm,
+    }
+
+    impl Mode {
+        /// The placement policy the mode implies (the baseline never
+        /// partitions; it reports the HSM default).
+        pub fn policy(self) -> Policy {
+            match self {
+                Mode::RcceOffChip => Policy::OffChipOnly,
+                Mode::PthreadBaseline | Mode::RcceHsm => Policy::SizeAscending,
+            }
+        }
+    }
+
+    /// The session for one benchmark × mode point.
+    fn point_pipeline(
+        src: impl Into<Arc<str>>,
+        cores: usize,
+        mode: Mode,
+        config: &SccConfig,
+    ) -> Pipeline {
+        Pipeline::new(src)
+            .cores(cores)
+            .policy(mode.policy())
+            .config(config.clone())
     }
 
     /// Runs one benchmark in one mode.
@@ -336,10 +328,10 @@ pub mod experiment {
         config: &SccConfig,
     ) -> Result<RunResult, PipelineError> {
         let src = hsm_workloads::source(bench, params);
+        let pipeline = point_pipeline(src, params.threads, mode, config);
         match mode {
-            Mode::PthreadBaseline => run_baseline(&src, config),
-            Mode::RcceOffChip => run_translated(&src, params.threads, Policy::OffChipOnly, config),
-            Mode::RcceHsm => run_translated(&src, params.threads, Policy::SizeAscending, config),
+            Mode::PthreadBaseline => pipeline.run_baseline(),
+            Mode::RcceOffChip | Mode::RcceHsm => pipeline.run(),
         }
     }
 
@@ -356,14 +348,10 @@ pub mod experiment {
         config: &SccConfig,
     ) -> Result<(RunResult, PipelineMetrics), PipelineError> {
         let src = hsm_workloads::source(bench, params);
+        let pipeline = point_pipeline(src, params.threads, mode, config);
         match mode {
-            Mode::PthreadBaseline => run_baseline_metered(&src, config),
-            Mode::RcceOffChip => {
-                run_translated_metered(&src, params.threads, Policy::OffChipOnly, config)
-            }
-            Mode::RcceHsm => {
-                run_translated_metered(&src, params.threads, Policy::SizeAscending, config)
-            }
+            Mode::PthreadBaseline => pipeline.run_baseline_metered(),
+            Mode::RcceOffChip | Mode::RcceHsm => pipeline.run_metered(),
         }
     }
 
@@ -400,7 +388,14 @@ pub mod experiment {
         }
     }
 
-    /// Runs one benchmark in all three modes and cross-checks outputs.
+    /// Unwraps a run payload out of a sweep outcome.
+    fn into_run(outcome: SweepOutcome) -> Result<RunResult, PipelineError> {
+        outcome.into_run()
+    }
+
+    /// Runs one benchmark in all three modes — through one shared-cache
+    /// sweep, so the source is parsed and analyzed once — and
+    /// cross-checks outputs.
     ///
     /// # Errors
     ///
@@ -410,9 +405,26 @@ pub mod experiment {
         params: &Params,
         config: &SccConfig,
     ) -> Result<BenchResult, PipelineError> {
-        let base = run(bench, params, Mode::PthreadBaseline, config)?;
-        let off = run(bench, params, Mode::RcceOffChip, config)?;
-        let hsm = run(bench, params, Mode::RcceHsm, config)?;
+        let src: Arc<str> = hsm_workloads::source(bench, params).into();
+        let matrix = SweepMatrix::new(config.clone())
+            .point(
+                "baseline",
+                Arc::clone(&src),
+                SweepTask::Run(Mode::PthreadBaseline),
+                params.threads,
+            )
+            .point(
+                "offchip",
+                Arc::clone(&src),
+                SweepTask::Run(Mode::RcceOffChip),
+                params.threads,
+            )
+            .point("hsm", src, SweepTask::Run(Mode::RcceHsm), params.threads);
+        let report = sweep(&matrix);
+        let mut outcomes = report.outcomes.into_iter();
+        let base = into_run(outcomes.next().expect("baseline point"))?;
+        let off = into_run(outcomes.next().expect("offchip point"))?;
+        let hsm = into_run(outcomes.next().expect("hsm point"))?;
         let outputs_match = outputs_equivalent(&base, &off)
             && outputs_equivalent(&base, &hsm)
             && base.exit_code == off.exit_code
@@ -439,7 +451,7 @@ pub mod experiment {
     }
 
     /// Figure 6.3: Pi Approximation speedup over the baseline at several
-    /// core counts.
+    /// core counts, swept in parallel.
     ///
     /// # Errors
     ///
@@ -449,11 +461,18 @@ pub mod experiment {
         core_counts: &[usize],
         config: &SccConfig,
     ) -> Result<Vec<(usize, f64)>, PipelineError> {
+        let matrix = SweepMatrix::core_scaling(
+            bench,
+            &[Mode::PthreadBaseline, Mode::RcceHsm],
+            core_counts,
+            config.clone(),
+        );
+        let report = sweep(&matrix);
+        let mut outcomes = report.outcomes.into_iter();
         let mut out = Vec::new();
         for &cores in core_counts {
-            let params = bench.default_params(cores);
-            let base = run(bench, &params, Mode::PthreadBaseline, config)?;
-            let hsm = run(bench, &params, Mode::RcceHsm, config)?;
+            let base = into_run(outcomes.next().expect("baseline point"))?;
+            let hsm = into_run(outcomes.next().expect("hsm point"))?;
             out.push((
                 cores,
                 base.timed_cycles as f64 / hsm.timed_cycles.max(1) as f64,
@@ -467,6 +486,7 @@ pub mod experiment {
 mod tests {
     use super::*;
     use experiment::{run_all_modes, Mode};
+    use std::sync::Arc;
 
     fn cfg() -> SccConfig {
         SccConfig::table_6_1()
@@ -534,27 +554,36 @@ mod tests {
     }
 
     #[test]
-    fn translate_source_produces_rcce() {
+    fn pipeline_session_produces_rcce() {
         let p = tiny(Bench::PiApprox, 4);
         let src = hsm_workloads::source(Bench::PiApprox, &p);
-        let t = translate_source(&src, 4, Policy::SizeAscending).expect("translate");
+        let t = Pipeline::new(src)
+            .cores(4)
+            .translation()
+            .expect("translate");
         let out = t.to_source();
         assert!(out.contains("RCCE_APP"), "{out}");
         assert!(!out.contains("pthread"), "{out}");
     }
 
     #[test]
-    fn parse_errors_surface() {
-        let err = run_baseline("int main( {", &cfg()).unwrap_err();
+    fn parse_errors_surface_with_stage_and_source() {
+        let err = Pipeline::new("int main( {").run_baseline().unwrap_err();
         assert!(matches!(err, PipelineError::Parse(_)));
+        assert_eq!(err.stage(), "parse");
+        let source = std::error::Error::source(&err).expect("source chain");
+        assert!(!source.to_string().is_empty());
+        assert!(err.to_string().starts_with("parse stage:"));
     }
 
     #[test]
     fn metered_pipeline_reports_all_five_stages() {
         let p = tiny(Bench::PiApprox, 4);
         let src = hsm_workloads::source(Bench::PiApprox, &p);
-        let (translation, program, m) =
-            compile_translated_metered(&src, 4, Policy::SizeAscending).expect("pipeline");
+        let (translation, program, m) = Pipeline::new(src)
+            .cores(4)
+            .compile_metered()
+            .expect("pipeline");
         let names: Vec<&str> = m.stages.iter().map(|s| s.stage).collect();
         assert_eq!(names, STAGE_NAMES);
         assert!(m.stages.iter().all(|s| s.ir_size > 0));
@@ -581,6 +610,37 @@ mod tests {
     }
 
     #[test]
+    fn three_modes_share_one_parse_and_analysis() {
+        let p = tiny(Bench::PiApprox, 4);
+        let src = hsm_workloads::source(Bench::PiApprox, &p);
+        let session = Pipeline::new(src).cores(4).config(cfg());
+        session.run_baseline().expect("baseline");
+        session
+            .clone()
+            .policy(Policy::OffChipOnly)
+            .run()
+            .expect("off-chip");
+        session
+            .clone()
+            .policy(Policy::SizeAscending)
+            .run()
+            .expect("hsm");
+        let stats = session.cache_handle().stats();
+        assert_eq!(stats.parse.misses, 1, "exactly one parse artifact");
+        assert_eq!(stats.analyze.misses, 1, "exactly one analysis artifact");
+        assert!(stats.parse.hits >= 2, "both RCCE modes reused the parse");
+        assert!(stats.analyze.hits >= 1, "HSM mode reused the analysis");
+        assert_eq!(
+            stats.translate.misses, 2,
+            "off-chip and HSM translations are distinct artifacts"
+        );
+        assert_eq!(
+            stats.compile.misses, 3,
+            "baseline + two translations compile separately"
+        );
+    }
+
+    #[test]
     fn sharing_check_is_clean_on_disciplined_source() {
         let src = r#"
 int sum[4];
@@ -593,7 +653,10 @@ int main() {
     return sum[0] + sum[1] + sum[2] + sum[3];
 }
 "#;
-        let check = check_sharing(src, &cfg()).expect("pipeline");
+        let check = Pipeline::new(src)
+            .config(cfg())
+            .check_sharing()
+            .expect("pipeline");
         assert!(check.report.is_clean(), "{:?}", check.report.violations);
         assert_eq!(check.result.exit_code, 12);
         assert!(check.report.data_accesses > 0);
@@ -614,7 +677,10 @@ int main() {
     return local;
 }
 "#;
-        let check = check_sharing(src, &cfg()).expect("pipeline");
+        let check = Pipeline::new(src)
+            .config(cfg())
+            .check_sharing()
+            .expect("pipeline");
         let classes = check.report.classes();
         assert_eq!(
             classes,
@@ -645,7 +711,10 @@ int main() {
     return counter;
 }
 "#;
-        let check = check_sharing(src, &cfg()).expect("pipeline");
+        let check = Pipeline::new(src)
+            .config(cfg())
+            .check_sharing()
+            .expect("pipeline");
         let classes = check.report.classes();
         assert_eq!(
             classes,
@@ -664,7 +733,11 @@ int main() {
     fn rcce_sharing_check_validates_translated_sync() {
         let p = tiny(Bench::PiApprox, 4);
         let src = hsm_workloads::source(Bench::PiApprox, &p);
-        let check = check_sharing_rcce(&src, 4, Policy::SizeAscending, &cfg()).expect("pipeline");
+        let check = Pipeline::new(src)
+            .cores(4)
+            .config(cfg())
+            .check_sharing_rcce()
+            .expect("pipeline");
         assert!(check.report.is_clean(), "{:?}", check.report.violations);
         assert!(check.report.sync_events > 0, "barriers observed");
     }
@@ -676,5 +749,70 @@ int main() {
             .expect("baseline");
         let names: Vec<&str> = m.stages.iter().map(|s| s.stage).collect();
         assert_eq!(names, ["parse", "compile"]);
+    }
+
+    /// The deprecated shims must produce the same results as the session
+    /// API they wrap (they survive exactly one release).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_pipeline_sessions() {
+        let p = tiny(Bench::Sum35, 4);
+        let src = hsm_workloads::source(Bench::Sum35, &p);
+        let session = Pipeline::new(src.as_str()).cores(4).config(cfg());
+
+        let old = run_baseline(&src, &cfg()).expect("wrapper baseline");
+        let new = session.run_baseline().expect("session baseline");
+        assert_eq!(old.total_cycles, new.total_cycles);
+        assert_eq!(old.exit_code, new.exit_code);
+
+        let old = run_translated(&src, 4, Policy::SizeAscending, &cfg()).expect("wrapper rcce");
+        let new = session.run().expect("session rcce");
+        assert_eq!(old.total_cycles, new.total_cycles);
+
+        let old = translate_source(&src, 4, Policy::SizeAscending).expect("wrapper translate");
+        assert_eq!(old.to_source(), session.translation().unwrap().to_source());
+
+        let old = check_sharing(&src, &cfg()).expect("wrapper sharing");
+        let new = session.check_sharing().expect("session sharing");
+        assert_eq!(old.report.is_clean(), new.report.is_clean());
+    }
+
+    /// The sweep engine at 1 worker and at 4 workers must agree on every
+    /// deterministic field, including the cache counters.
+    #[test]
+    fn sweep_matrix_is_worker_count_invariant() {
+        let p = tiny(Bench::PiApprox, 4);
+        let src: Arc<str> = hsm_workloads::source(Bench::PiApprox, &p).into();
+        let build = |workers| {
+            experiment::SweepMatrix::new(cfg())
+                .workers(workers)
+                .point(
+                    "baseline",
+                    Arc::clone(&src),
+                    experiment::SweepTask::Run(Mode::PthreadBaseline),
+                    4,
+                )
+                .point(
+                    "offchip",
+                    Arc::clone(&src),
+                    experiment::SweepTask::Run(Mode::RcceOffChip),
+                    4,
+                )
+                .point(
+                    "hsm",
+                    Arc::clone(&src),
+                    experiment::SweepTask::Run(Mode::RcceHsm),
+                    4,
+                )
+        };
+        let serial = experiment::sweep(&build(1));
+        let parallel = experiment::sweep(&build(4));
+        assert_eq!(serial.cache, parallel.cache);
+        for (a, b) in serial.outcomes.iter().zip(parallel.outcomes.iter()) {
+            let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            let (ra, rb) = (ra.run_result().unwrap(), rb.run_result().unwrap());
+            assert_eq!(ra.timed_cycles, rb.timed_cycles, "{}", a.name);
+            assert_eq!(ra.exit_code, rb.exit_code, "{}", a.name);
+        }
     }
 }

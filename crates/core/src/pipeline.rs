@@ -1,0 +1,491 @@
+//! The artifact-reuse `Pipeline` session.
+//!
+//! A [`Pipeline`] is a configured view of one C source through the
+//! five-stage pipeline (parse → analyze → partition → translate →
+//! compile) plus the simulated executions built on top of it. It is a
+//! builder —
+//!
+//! ```
+//! use hsm_core::{Pipeline, Policy};
+//!
+//! let src = "int main() { return 7; }";
+//! let session = Pipeline::new(src).cores(4).policy(Policy::SizeAscending);
+//! let result = session.run_baseline().expect("runs");
+//! assert_eq!(result.exit_code, 7);
+//! ```
+//!
+//! — and every intermediate artifact it computes ([`Pipeline::unit`],
+//! [`Pipeline::analysis`], [`Pipeline::plan`], [`Pipeline::translation`],
+//! [`Pipeline::program`]) is memoized in an [`ArtifactCache`] keyed by
+//! *source hash × cores × policy × spec*. Cloning the session (or
+//! sharing its cache handle across sessions) reuses those artifacts: the
+//! baseline, off-chip and HSM runs of one benchmark parse and analyze the
+//! source exactly once.
+//!
+//! Unlike the deprecated free functions it replaces, the session never
+//! hardcodes the partition spec: unless [`Pipeline::spec`] overrides it,
+//! the spec is [`MemorySpec::scc`] of the configured core count, so the
+//! on-chip budget follows `.cores(n)`.
+
+use crate::cache::{source_hash, ArtifactCache, PlanKey, ProgramKey, TranslationKey};
+use crate::metrics::PipelineMetrics;
+use crate::{PipelineError, SharingCheck};
+use hsm_analysis::ProgramAnalysis;
+use hsm_cir::TranslationUnit;
+use hsm_exec::RunResult;
+use hsm_partition::{MemorySpec, PartitionPlan, Policy};
+use hsm_translate::{TranslateOptions, Translation};
+use scc_sim::SccConfig;
+use std::sync::Arc;
+
+/// A configured pipeline session over one C source. See the
+/// crate-level docs for the builder protocol and caching semantics.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    src: Arc<str>,
+    src_hash: u64,
+    cores: usize,
+    policy: Policy,
+    spec: Option<MemorySpec>,
+    config: SccConfig,
+    cache: Arc<ArtifactCache>,
+}
+
+impl Pipeline {
+    /// A session over `src` with the evaluation defaults: 32 cores,
+    /// [`Policy::SizeAscending`], a spec following the core count, the
+    /// Table 6.1 chip, and a fresh private cache.
+    pub fn new(src: impl Into<Arc<str>>) -> Self {
+        let src = src.into();
+        let src_hash = source_hash(&src);
+        Pipeline {
+            src,
+            src_hash,
+            cores: 32,
+            policy: Policy::SizeAscending,
+            spec: None,
+            config: SccConfig::table_6_1(),
+            cache: ArtifactCache::shared(),
+        }
+    }
+
+    /// Sets the participating core count (also sizes the default spec).
+    #[must_use]
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Sets the Stage 4 placement policy.
+    #[must_use]
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the partition spec (default: [`MemorySpec::scc`] of the
+    /// configured core count).
+    #[must_use]
+    pub fn spec(mut self, spec: MemorySpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Sets the simulated chip configuration.
+    #[must_use]
+    pub fn config(mut self, config: SccConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a shared [`ArtifactCache`] so several sessions reuse each
+    /// other's artifacts.
+    #[must_use]
+    pub fn cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The session's source text.
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    /// The configured core count.
+    pub fn configured_cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The configured placement policy.
+    pub fn configured_policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The chip configuration runs execute on.
+    pub fn chip(&self) -> &SccConfig {
+        &self.config
+    }
+
+    /// The partition spec in effect: the explicit override, or the SCC
+    /// spec sized to the configured core count.
+    pub fn effective_spec(&self) -> MemorySpec {
+        self.spec.unwrap_or_else(|| MemorySpec::scc(self.cores))
+    }
+
+    /// The session's cache handle (hand it to another session, or read
+    /// its [`stats`](ArtifactCache::stats)).
+    pub fn cache_handle(&self) -> Arc<ArtifactCache> {
+        Arc::clone(&self.cache)
+    }
+
+    fn translation_key(&self) -> TranslationKey {
+        TranslationKey {
+            src: self.src_hash,
+            cores: self.cores,
+            policy: self.policy,
+            spec: self.effective_spec(),
+        }
+    }
+
+    // ------------------------------------------------------ artifacts --
+    //
+    // Each public getter performs exactly one cache lookup per shelf: the
+    // private `*_of` helpers take their dependencies as arguments instead
+    // of re-resolving them, so the hit/miss counters read as "how many
+    // operations reused this artifact", not as internal call chatter.
+
+    /// The parsed translation unit (memoized per source).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures.
+    pub fn unit(&self) -> Result<Arc<TranslationUnit>, PipelineError> {
+        self.cache
+            .unit_with(self.src_hash, || Ok(hsm_cir::parse(&self.src)?))
+    }
+
+    /// Stage 1–3 over an already-parsed unit (one `analyze` lookup).
+    fn analysis_of(&self, unit: &TranslationUnit) -> Result<Arc<ProgramAnalysis>, PipelineError> {
+        self.cache
+            .analysis_with(self.src_hash, || Ok(ProgramAnalysis::analyze(unit)))
+    }
+
+    /// Stage 4 over an already-computed analysis (one `partition` lookup).
+    fn plan_of(&self, analysis: &ProgramAnalysis) -> Result<Arc<PartitionPlan>, PipelineError> {
+        let spec = self.effective_spec();
+        let key = PlanKey {
+            src: self.src_hash,
+            policy: self.policy,
+            spec,
+        };
+        self.cache.plan_with(key, || {
+            let shared = hsm_partition::shared_vars_from_analysis(analysis);
+            Ok(hsm_partition::partition(&shared, &spec, self.policy))
+        })
+    }
+
+    /// Stage 5 over already-computed inputs (one `translate` lookup).
+    fn translation_of(
+        &self,
+        unit: &TranslationUnit,
+        analysis: &ProgramAnalysis,
+        plan: &PartitionPlan,
+    ) -> Result<Arc<Translation>, PipelineError> {
+        self.cache.translation_with(self.translation_key(), || {
+            Ok(hsm_translate::translate_with_plan(
+                unit,
+                analysis,
+                plan,
+                TranslateOptions {
+                    cores: self.cores,
+                    policy: self.policy,
+                },
+            )?)
+        })
+    }
+
+    /// Bytecode of an already-computed translation (one `compile` lookup).
+    fn program_of(&self, translation: &Translation) -> Result<Arc<hsm_vm::Program>, PipelineError> {
+        self.cache
+            .program_with(ProgramKey::Translated(self.translation_key()), || {
+                Ok(hsm_vm::compile(&translation.unit)?)
+            })
+    }
+
+    /// Baseline bytecode of an already-parsed unit (one `compile` lookup).
+    fn baseline_program_of(
+        &self,
+        unit: &TranslationUnit,
+    ) -> Result<Arc<hsm_vm::Program>, PipelineError> {
+        self.cache
+            .program_with(ProgramKey::Baseline(self.src_hash), || {
+                Ok(hsm_vm::compile(unit)?)
+            })
+    }
+
+    /// The Stage 1–3 analysis (memoized per source).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures.
+    pub fn analysis(&self) -> Result<Arc<ProgramAnalysis>, PipelineError> {
+        let unit = self.unit()?;
+        self.analysis_of(&unit)
+    }
+
+    /// The Stage 4 partition plan against [`Pipeline::effective_spec`]
+    /// (memoized per source × policy × spec).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures.
+    pub fn plan(&self) -> Result<Arc<PartitionPlan>, PipelineError> {
+        let analysis = self.analysis()?;
+        self.plan_of(&analysis)
+    }
+
+    /// The Stage 5 translation to RCCE C (memoized per source × cores ×
+    /// policy × spec).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and translation failures.
+    pub fn translation(&self) -> Result<Arc<Translation>, PipelineError> {
+        let unit = self.unit()?;
+        let analysis = self.analysis_of(&unit)?;
+        let plan = self.plan_of(&analysis)?;
+        self.translation_of(&unit, &analysis, &plan)
+    }
+
+    /// The compiled bytecode of the translated RCCE program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, translation and compilation failures.
+    pub fn program(&self) -> Result<Arc<hsm_vm::Program>, PipelineError> {
+        let translation = self.translation()?;
+        self.program_of(&translation)
+    }
+
+    /// The compiled bytecode of the unmodified pthread program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and compilation failures.
+    pub fn baseline_program(&self) -> Result<Arc<hsm_vm::Program>, PipelineError> {
+        let unit = self.unit()?;
+        self.baseline_program_of(&unit)
+    }
+
+    // ----------------------------------------------------------- runs --
+
+    /// Translates (reusing cached artifacts) and runs the RCCE program on
+    /// the configured cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any stage.
+    pub fn run(&self) -> Result<RunResult, PipelineError> {
+        let program = self.program()?;
+        Ok(hsm_exec::run_rcce(&program, self.cores, &self.config)?)
+    }
+
+    /// Runs the unmodified pthread program on one simulated core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any stage.
+    pub fn run_baseline(&self) -> Result<RunResult, PipelineError> {
+        let program = self.baseline_program()?;
+        Ok(hsm_exec::run_pthread(&program, &self.config)?)
+    }
+
+    /// [`Pipeline::run`] with per-stage metering of all five stages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any stage.
+    pub fn run_metered(&self) -> Result<(RunResult, PipelineMetrics), PipelineError> {
+        let (_, program, metrics) = self.compile_metered()?;
+        Ok((
+            hsm_exec::run_rcce(&program, self.cores, &self.config)?,
+            metrics,
+        ))
+    }
+
+    /// [`Pipeline::run_baseline`] with metering of the baseline's two
+    /// stages (parse, compile).
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any stage.
+    pub fn run_baseline_metered(&self) -> Result<(RunResult, PipelineMetrics), PipelineError> {
+        let mut metrics = PipelineMetrics::default();
+        let unit = metrics.measure("parse", || {
+            self.unit().map(|u| {
+                let size = hsm_cir::print_unit(&u).len();
+                (u, size)
+            })
+        })?;
+        let program = metrics.measure("compile", || {
+            self.baseline_program_of(&unit).map(|p| {
+                let len = p.code_len();
+                (p, len)
+            })
+        })?;
+        Ok((hsm_exec::run_pthread(&program, &self.config)?, metrics))
+    }
+
+    /// Drives the five stages one at a time so each gets its own
+    /// [`StageMetric`](crate::StageMetric). Cached stages still report
+    /// their deterministic IR sizes; only the wall times shrink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, translation and compilation failures.
+    pub fn compile_metered(
+        &self,
+    ) -> Result<(Arc<Translation>, Arc<hsm_vm::Program>, PipelineMetrics), PipelineError> {
+        let mut metrics = PipelineMetrics::default();
+        let unit = metrics.measure("parse", || {
+            self.unit().map(|u| {
+                let size = hsm_cir::print_unit(&u).len();
+                (u, size)
+            })
+        })?;
+        let analysis = metrics.measure("analyze", || {
+            self.analysis_of(&unit).map(|a| {
+                let vars = a.sharing.variables().count();
+                (a, vars)
+            })
+        })?;
+        let plan = metrics.measure("partition", || {
+            self.plan_of(&analysis).map(|p| {
+                let placements = p.placements.len();
+                (p, placements)
+            })
+        })?;
+        let translation = metrics.measure("translate", || {
+            self.translation_of(&unit, &analysis, &plan).map(|t| {
+                let size = t.to_source().len();
+                (t, size)
+            })
+        })?;
+        let program = metrics.measure("compile", || {
+            self.program_of(&translation).map(|p| {
+                let len = p.code_len();
+                (p, len)
+            })
+        })?;
+        Ok((translation, program, metrics))
+    }
+
+    // --------------------------------------------------------- oracle --
+
+    /// Runs the pthread program under the sharing-soundness oracle,
+    /// validating the Stage 1–3 classification (and the Stage 4 placement
+    /// annotations, derived from the session's policy and spec) against
+    /// the ground-truth thread semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, compile and execution failures.
+    pub fn check_sharing(&self) -> Result<SharingCheck, PipelineError> {
+        let unit = self.unit()?;
+        let analysis = self.analysis_of(&unit)?;
+        let mut manifest = hsm_analysis::ClassificationManifest::from_analysis(&analysis);
+        let plan = self.plan_of(&analysis)?;
+        hsm_partition::annotate_manifest(&plan, &mut manifest);
+        let program = self.baseline_program_of(&unit)?;
+        let mut oracle = hsm_exec::Oracle::new(
+            &program,
+            manifest.clone(),
+            hsm_exec::OracleMode::Pthread,
+            self.config.line_bytes,
+        );
+        let result = hsm_exec::run_pthread_traced(&program, &self.config, &mut oracle)?;
+        Ok(SharingCheck {
+            manifest,
+            report: oracle.finish(),
+            result,
+        })
+    }
+
+    /// Translates and runs the RCCE program under the oracle in RCCE
+    /// mode: pure happens-before race detection over the shared regions,
+    /// validating the synchronization the translator inserted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, translation, compile and execution failures.
+    pub fn check_sharing_rcce(&self) -> Result<SharingCheck, PipelineError> {
+        let program = self.program()?;
+        let mut oracle = hsm_exec::Oracle::new(
+            &program,
+            hsm_analysis::ClassificationManifest::empty(),
+            hsm_exec::OracleMode::Rcce,
+            self.config.line_bytes,
+        );
+        let result = hsm_exec::run_rcce_traced(&program, self.cores, &self.config, &mut oracle)?;
+        Ok(SharingCheck {
+            manifest: hsm_analysis::ClassificationManifest::empty(),
+            report: oracle.finish(),
+            result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+int sum[2];
+void *tf(void *tid) { sum[(int)tid] = (int)tid + 1; return tid; }
+int main() {
+    pthread_t t[2];
+    int i;
+    for (i = 0; i < 2; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 2; i++) pthread_join(t[i], NULL);
+    return sum[0] + sum[1];
+}
+"#;
+
+    #[test]
+    fn spec_follows_core_count_unless_overridden() {
+        let p = Pipeline::new(SRC).cores(4);
+        assert_eq!(p.effective_spec(), MemorySpec::scc(4));
+        let q = Pipeline::new(SRC).cores(4).spec(MemorySpec::scc(48));
+        assert_eq!(q.effective_spec(), MemorySpec::scc(48));
+        assert_eq!(q.plan().expect("plan").spec, MemorySpec::scc(48));
+    }
+
+    #[test]
+    fn cloned_sessions_share_artifacts() {
+        let base = Pipeline::new(SRC).cores(2);
+        let off = base.clone().policy(Policy::OffChipOnly);
+        let _ = base.run_baseline().expect("baseline");
+        let _ = off.run().expect("off-chip");
+        let stats = base.cache_handle().stats();
+        assert_eq!(stats.parse.misses, 1, "one parse for both sessions");
+        assert!(stats.parse.hits > 0, "the clone reused the parse");
+    }
+
+    #[test]
+    fn artifacts_are_computed_once_per_key() {
+        let p = Pipeline::new(SRC).cores(2);
+        let a = p.translation().expect("first");
+        let b = p.translation().expect("second");
+        assert!(Arc::ptr_eq(&a, &b), "same memoized artifact");
+        assert_eq!(p.cache_handle().stats().translate.misses, 1);
+    }
+
+    #[test]
+    fn baseline_and_translated_agree() {
+        let p = Pipeline::new(SRC).cores(2);
+        let base = p.run_baseline().expect("baseline");
+        let hsm = p.run().expect("hsm");
+        assert_eq!(base.exit_code, 3);
+        assert_eq!(hsm.exit_code, 3);
+    }
+}

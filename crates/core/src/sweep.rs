@@ -1,0 +1,495 @@
+//! The parallel experiment sweep engine.
+//!
+//! [`sweep`] executes a benchmark × mode × core-count matrix
+//! ([`SweepMatrix`]) as a work-stealing fan-out over std threads: workers
+//! pull points off a shared queue, each point runs one deterministic
+//! single-threaded simulation through an artifact-reuse
+//! [`Pipeline`] session, and every session shares one
+//! [`ArtifactCache`] so the baseline, off-chip and HSM runs of a
+//! benchmark parse, analyze and partition its source exactly once.
+//!
+//! The report records, per point, the payload plus the host wall time,
+//! and globally the cache hit/miss counters — both feed the versioned
+//! JSON run manifest `figures --json` writes. Results are bit-identical
+//! for any worker count: the simulations are pure functions of their
+//! inputs, and the cache's pending-slot discipline keeps even the
+//! hit/miss counters schedule-independent.
+
+use crate::cache::{ArtifactCache, CacheStats};
+use crate::experiment::Mode;
+use crate::metrics::PipelineMetrics;
+use crate::{Pipeline, PipelineError, Policy, SharingCheck};
+use hsm_exec::RunResult;
+use hsm_workloads::Bench;
+use scc_sim::SccConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What one sweep point executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepTask {
+    /// A plain run in the given mode.
+    Run(Mode),
+    /// A run with per-stage pipeline metering.
+    RunMetered(Mode),
+    /// The pthread-mode sharing-soundness oracle check.
+    CheckSharing,
+    /// The RCCE-mode oracle check of the translated program.
+    CheckSharingRcce,
+}
+
+impl SweepTask {
+    /// A stable label for manifests and progress output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepTask::Run(Mode::PthreadBaseline)
+            | SweepTask::RunMetered(Mode::PthreadBaseline) => "baseline",
+            SweepTask::Run(Mode::RcceOffChip) | SweepTask::RunMetered(Mode::RcceOffChip) => {
+                "offchip"
+            }
+            SweepTask::Run(Mode::RcceHsm) | SweepTask::RunMetered(Mode::RcceHsm) => "hsm",
+            SweepTask::CheckSharing => "check_sharing",
+            SweepTask::CheckSharingRcce => "check_sharing_rcce",
+        }
+    }
+
+    /// The placement policy the task's mode implies.
+    fn default_policy(self) -> Policy {
+        match self {
+            SweepTask::Run(Mode::RcceOffChip) | SweepTask::RunMetered(Mode::RcceOffChip) => {
+                Policy::OffChipOnly
+            }
+            _ => Policy::SizeAscending,
+        }
+    }
+}
+
+/// One point of the sweep matrix.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Unique name the report is keyed by.
+    pub name: String,
+    /// The program source (shared, not cloned, across points).
+    pub src: Arc<str>,
+    /// What to execute.
+    pub task: SweepTask,
+    /// Participating core count.
+    pub cores: usize,
+    /// Placement policy (defaults from the task's mode).
+    pub policy: Policy,
+    /// Extra cache-hot re-runs to time after the point completes
+    /// (0 = none). Feeds the manifest's `host_timing` block.
+    pub timing_runs: usize,
+}
+
+/// A benchmark × mode × core-count matrix plus execution knobs.
+#[derive(Debug, Clone)]
+pub struct SweepMatrix {
+    /// The points to execute, in report order.
+    pub points: Vec<SweepPoint>,
+    /// The simulated chip every point runs on.
+    pub config: SccConfig,
+    /// Worker threads (0 = one per available host core).
+    pub workers: usize,
+    /// Shared artifact cache (a fresh one per sweep when `None`).
+    pub cache: Option<Arc<ArtifactCache>>,
+}
+
+impl SweepMatrix {
+    /// An empty matrix over `config`.
+    pub fn new(config: SccConfig) -> Self {
+        SweepMatrix {
+            points: Vec::new(),
+            config,
+            workers: 0,
+            cache: None,
+        }
+    }
+
+    /// Sets the worker-thread count (0 = one per available host core).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Attaches a shared cache instead of a per-sweep private one.
+    #[must_use]
+    pub fn cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Appends a point with the task's default policy.
+    #[must_use]
+    pub fn point(
+        self,
+        name: impl Into<String>,
+        src: Arc<str>,
+        task: SweepTask,
+        cores: usize,
+    ) -> Self {
+        self.timed_point(name, src, task, cores, 0)
+    }
+
+    /// Appends a point that additionally times `timing_runs` cache-hot
+    /// re-runs.
+    #[must_use]
+    pub fn timed_point(
+        mut self,
+        name: impl Into<String>,
+        src: Arc<str>,
+        task: SweepTask,
+        cores: usize,
+        timing_runs: usize,
+    ) -> Self {
+        self.points.push(SweepPoint {
+            name: name.into(),
+            src,
+            task,
+            cores,
+            policy: task.default_policy(),
+            timing_runs,
+        });
+        self
+    }
+
+    /// The full benchmark × mode grid at one core count, named
+    /// `"{bench}/{mode label}"`.
+    pub fn benchmarks(benches: &[Bench], modes: &[Mode], units: usize, config: SccConfig) -> Self {
+        let mut matrix = SweepMatrix::new(config);
+        for &bench in benches {
+            let params = bench.default_params(units);
+            let src: Arc<str> = hsm_workloads::source(bench, &params).into();
+            for &mode in modes {
+                let task = SweepTask::Run(mode);
+                matrix = matrix.point(
+                    format!("{}/{}", bench.name(), task.label()),
+                    Arc::clone(&src),
+                    task,
+                    params.threads,
+                );
+            }
+        }
+        matrix
+    }
+
+    /// One benchmark across several core counts in the given modes, named
+    /// `"{bench}@{cores}/{mode label}"`.
+    pub fn core_scaling(
+        bench: Bench,
+        modes: &[Mode],
+        core_counts: &[usize],
+        config: SccConfig,
+    ) -> Self {
+        let mut matrix = SweepMatrix::new(config);
+        for &cores in core_counts {
+            let params = bench.default_params(cores);
+            let src: Arc<str> = hsm_workloads::source(bench, &params).into();
+            for &mode in modes {
+                let task = SweepTask::Run(mode);
+                matrix = matrix.point(
+                    format!("{}@{}/{}", bench.name(), cores, task.label()),
+                    Arc::clone(&src),
+                    task,
+                    cores,
+                );
+            }
+        }
+        matrix
+    }
+}
+
+/// What a completed point produced.
+#[derive(Debug)]
+pub enum SweepPayload {
+    /// A run result, with stage metrics when the task was metered.
+    Run(RunResult, Option<PipelineMetrics>),
+    /// An oracle check.
+    Sharing(Box<SharingCheck>),
+}
+
+impl SweepPayload {
+    /// The run result, for `Run`/`RunMetered` points.
+    pub fn run_result(&self) -> Option<&RunResult> {
+        match self {
+            SweepPayload::Run(r, _) => Some(r),
+            SweepPayload::Sharing(_) => None,
+        }
+    }
+}
+
+/// Distribution of the cache-hot re-run timings of one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingStats {
+    /// Number of timed re-runs.
+    pub runs: usize,
+    /// Median wall time in nanoseconds.
+    pub median_nanos: u128,
+    /// Fastest re-run in nanoseconds.
+    pub min_nanos: u128,
+    /// Slowest re-run in nanoseconds.
+    pub max_nanos: u128,
+}
+
+/// One executed point of a sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The point's name.
+    pub name: String,
+    /// The task that ran.
+    pub task: SweepTask,
+    /// The core count it ran at.
+    pub cores: usize,
+    /// The payload, or the pipeline failure (with its failing stage).
+    pub result: Result<SweepPayload, PipelineError>,
+    /// Host wall time of this point, in nanoseconds.
+    pub host_wall_nanos: u128,
+    /// Cache-hot re-run timing, when the point requested it.
+    pub timing: Option<TimingStats>,
+}
+
+impl SweepOutcome {
+    /// Consumes the outcome into its plain run result (oracle payloads
+    /// yield the checked program's run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the point's pipeline failure.
+    pub fn into_run(self) -> Result<RunResult, PipelineError> {
+        self.result.map(|payload| match payload {
+            SweepPayload::Run(r, _) => r,
+            SweepPayload::Sharing(check) => check.result,
+        })
+    }
+}
+
+/// The result of one [`sweep`] call.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Per-point outcomes, in matrix order.
+    pub outcomes: Vec<SweepOutcome>,
+    /// Cache hit/miss counters accumulated across the whole sweep.
+    pub cache: CacheStats,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Host wall time of the whole sweep, in nanoseconds.
+    pub host_wall_nanos: u128,
+}
+
+impl SweepReport {
+    /// Finds an outcome by point name.
+    pub fn outcome(&self, name: &str) -> Option<&SweepOutcome> {
+        self.outcomes.iter().find(|o| o.name == name)
+    }
+
+    /// True when every point completed without a pipeline failure.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.result.is_ok())
+    }
+}
+
+/// Resolves a worker-count request against the host.
+fn effective_workers(requested: usize, points: usize) -> usize {
+    let workers = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    workers.clamp(1, points.max(1))
+}
+
+/// Executes one point through an artifact-reuse session.
+fn run_point(point: &SweepPoint, config: &SccConfig, cache: &Arc<ArtifactCache>) -> SweepOutcome {
+    let started = Instant::now();
+    let pipeline = Pipeline::new(Arc::clone(&point.src))
+        .cores(point.cores)
+        .policy(point.policy)
+        .config(config.clone())
+        .cache(Arc::clone(cache));
+    let result = match point.task {
+        SweepTask::Run(Mode::PthreadBaseline) => {
+            pipeline.run_baseline().map(|r| SweepPayload::Run(r, None))
+        }
+        SweepTask::Run(_) => pipeline.run().map(|r| SweepPayload::Run(r, None)),
+        SweepTask::RunMetered(Mode::PthreadBaseline) => pipeline
+            .run_baseline_metered()
+            .map(|(r, m)| SweepPayload::Run(r, Some(m))),
+        SweepTask::RunMetered(_) => pipeline
+            .run_metered()
+            .map(|(r, m)| SweepPayload::Run(r, Some(m))),
+        SweepTask::CheckSharing => pipeline
+            .check_sharing()
+            .map(|c| SweepPayload::Sharing(Box::new(c))),
+        SweepTask::CheckSharingRcce => pipeline
+            .check_sharing_rcce()
+            .map(|c| SweepPayload::Sharing(Box::new(c))),
+    };
+    let timing = if point.timing_runs > 0 && result.is_ok() {
+        Some(time_reruns(&pipeline, point.task, point.timing_runs))
+    } else {
+        None
+    };
+    SweepOutcome {
+        name: point.name.clone(),
+        task: point.task,
+        cores: point.cores,
+        result,
+        host_wall_nanos: started.elapsed().as_nanos(),
+        timing,
+    }
+}
+
+/// Times `runs` cache-hot repeats of the point's run path.
+fn time_reruns(pipeline: &Pipeline, task: SweepTask, runs: usize) -> TimingStats {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let started = Instant::now();
+        let result = match task {
+            SweepTask::Run(Mode::PthreadBaseline)
+            | SweepTask::RunMetered(Mode::PthreadBaseline) => pipeline.run_baseline(),
+            SweepTask::CheckSharing => pipeline.check_sharing().map(|c| c.result),
+            SweepTask::CheckSharingRcce => pipeline.check_sharing_rcce().map(|c| c.result),
+            _ => pipeline.run(),
+        };
+        let _ = std::hint::black_box(result);
+        samples.push(started.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    TimingStats {
+        runs,
+        median_nanos: samples[runs / 2],
+        min_nanos: samples[0],
+        max_nanos: samples[runs - 1],
+    }
+}
+
+/// Executes every point of `matrix` across its worker threads and
+/// collects the outcomes in matrix order.
+///
+/// Workers pull points off a shared queue (the idle ones steal whatever
+/// work remains, so a slow point never serializes the rest), and all of
+/// them feed one [`ArtifactCache`]. Each simulated run itself stays
+/// single-threaded and deterministic; for a fixed matrix the report's
+/// payloads and cache counters are identical for every worker count —
+/// only the host wall times vary.
+pub fn sweep(matrix: &SweepMatrix) -> SweepReport {
+    let cache = matrix.cache.clone().unwrap_or_else(ArtifactCache::shared);
+    let total = matrix.points.len();
+    let workers = effective_workers(matrix.workers, total);
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepOutcome>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let outcome = run_point(&matrix.points[i], &matrix.config, &cache);
+                *slots[i].lock().expect("result slot") = Some(outcome);
+            });
+        }
+    });
+    let outcomes = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every point executed")
+        })
+        .collect();
+    SweepReport {
+        outcomes,
+        cache: cache.stats(),
+        workers,
+        host_wall_nanos: started.elapsed().as_nanos(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_pi_matrix(workers: usize) -> SweepMatrix {
+        let mut params = Bench::PiApprox.default_params(4);
+        params.size = 4_000;
+        let src: Arc<str> = hsm_workloads::source(Bench::PiApprox, &params).into();
+        SweepMatrix::new(SccConfig::table_6_1())
+            .workers(workers)
+            .point(
+                "pi/baseline",
+                Arc::clone(&src),
+                SweepTask::Run(Mode::PthreadBaseline),
+                4,
+            )
+            .point(
+                "pi/offchip",
+                Arc::clone(&src),
+                SweepTask::Run(Mode::RcceOffChip),
+                4,
+            )
+            .point("pi/hsm", src, SweepTask::Run(Mode::RcceHsm), 4)
+    }
+
+    fn cycles(report: &SweepReport) -> Vec<u64> {
+        report
+            .outcomes
+            .iter()
+            .map(|o| {
+                o.result
+                    .as_ref()
+                    .expect("point ok")
+                    .run_result()
+                    .expect("run payload")
+                    .timed_cycles
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_worker_counts() {
+        let serial = sweep(&tiny_pi_matrix(1));
+        let parallel = sweep(&tiny_pi_matrix(3));
+        assert_eq!(serial.workers, 1);
+        assert_eq!(parallel.workers, 3);
+        assert_eq!(cycles(&serial), cycles(&parallel));
+        assert_eq!(
+            serial.cache, parallel.cache,
+            "counters schedule-independent"
+        );
+        assert!(serial.cache.parse.hits > 0, "modes shared the parse");
+        assert_eq!(serial.cache.parse.misses, 1);
+    }
+
+    #[test]
+    fn sweep_records_errors_per_point_with_stage() {
+        let src: Arc<str> = "int main( {".into();
+        let matrix = SweepMatrix::new(SccConfig::table_6_1()).point(
+            "bad",
+            src,
+            SweepTask::Run(Mode::RcceHsm),
+            2,
+        );
+        let report = sweep(&matrix);
+        assert!(!report.all_ok());
+        let err = report.outcomes[0].result.as_ref().unwrap_err();
+        assert_eq!(err.stage(), "parse");
+    }
+
+    #[test]
+    fn timed_points_record_cache_hot_reruns() {
+        let mut matrix = tiny_pi_matrix(2);
+        matrix.points[2].timing_runs = 3;
+        let report = sweep(&matrix);
+        let timing = report.outcomes[2].timing.expect("timing recorded");
+        assert_eq!(timing.runs, 3);
+        assert!(timing.min_nanos <= timing.median_nanos);
+        assert!(timing.median_nanos <= timing.max_nanos);
+        assert!(report.outcomes[0].timing.is_none());
+    }
+}

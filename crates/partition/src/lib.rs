@@ -36,7 +36,7 @@ pub const SCC_MPB_BYTES_PER_CORE: usize = 8 * 1024;
 pub const SCC_MPB_TOTAL_BYTES: usize = 48 * SCC_MPB_BYTES_PER_CORE;
 
 /// The memory resources Algorithm 3 partitions into.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemorySpec {
     /// Usable on-chip shared SRAM in bytes.
     pub on_chip_capacity: usize,
@@ -151,7 +151,7 @@ impl fmt::Display for Placement {
 }
 
 /// Partitioning policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Policy {
     /// Algorithm 3 as written: everything on-chip if it fits; otherwise
     /// sort ascending by size and greedily fill.

@@ -67,7 +67,7 @@ impl Default for TranslateOptions {
 }
 
 /// The full result of a translation run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Translation {
     /// The rewritten unit.
     pub unit: TranslationUnit,

@@ -8,8 +8,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use hsm_core::experiment;
-use scc_sim::SccConfig;
+use hsm_core::{experiment, Pipeline};
 
 const EXAMPLE_4_1: &str = r#"
 #include <stdio.h>
@@ -44,8 +43,12 @@ int main() {
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One artifact-reuse session drives the whole example: every stage
+    // below is computed once and memoized in the session cache.
+    let session = Pipeline::new(EXAMPLE_4_1).cores(3);
+
     // 1. Parse into the C intermediate representation.
-    let tu = hsm_cir::parse(EXAMPLE_4_1)?;
+    let tu = session.unit()?;
     println!(
         "parsed {} functions, {} globals\n",
         tu.functions().count(),
@@ -53,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Stages 1-3: scope, inter-thread and points-to analysis.
-    let analysis = hsm_analysis::ProgramAnalysis::analyze(&tu);
+    let analysis = session.analysis()?;
     println!(
         "Table 4.1 — per-variable facts:\n{}",
         analysis.render_table_4_1()
@@ -63,14 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         analysis.render_table_4_2()
     );
 
-    // 3. Stages 4-5: partition shared data and translate to RCCE.
-    let translated = hsm_translate::translate_source(EXAMPLE_4_1)?;
+    // 3. Stages 4-5: partition shared data and translate to RCCE (the
+    //    cached parse and analysis above feed straight into this).
+    let translated = session.translation()?.to_source();
     println!("Example Code 4.2 — translated RCCE source:\n{translated}");
 
     // 4. Execute both versions on the simulated SCC (3 threads vs 3 cores).
-    let config = SccConfig::table_6_1();
-    let baseline = hsm_core::run_baseline(EXAMPLE_4_1, &config)?;
-    let rcce = hsm_core::run_translated(EXAMPLE_4_1, 3, hsm_core::Policy::SizeAscending, &config)?;
+    let baseline = session.run_baseline()?;
+    let rcce = session.run()?;
     println!(
         "pthread (1 core, 3 threads): {} cycles",
         baseline.total_cycles

@@ -58,6 +58,25 @@ def main():
     with open(golden_path) as f:
         golden = json.load(f)
 
+    if "error" in fresh:
+        err = fresh["error"]
+        sys.exit(
+            f"{fresh_path} is an error manifest: the sweep failed in the "
+            f"{err.get('stage')!r} stage: {err.get('message')}"
+        )
+
+    # The sweep engine must actually have reused artifacts across the
+    # baseline/HSM runs of each program: a manifest with zero cache hits
+    # means every pipeline ran cold and the session cache is broken.
+    cache = fresh.get("sweep", {}).get("cache", {})
+    if cache.get("total_hits", 0) <= 0:
+        sys.exit(f"{fresh_path}: sweep cache recorded no hits: {cache}")
+    if cache.get("total_misses", 0) <= 0:
+        sys.exit(f"{fresh_path}: sweep cache recorded no misses: {cache}")
+
+    # The `sweep` section is compared only via the hit/miss assertions
+    # above: its counter totals legitimately differ between the full
+    # 5-program manifest and the 2-program golden.
     golden_names = [p["name"] for p in golden["programs"]]
     restricted = {
         "schema_version": fresh["schema_version"],
@@ -65,6 +84,13 @@ def main():
         "programs": [p for p in fresh["programs"] if p["name"] in golden_names],
     }
     restricted = strip_host_keys(restricted)
+    golden = strip_host_keys(
+        {
+            "schema_version": golden["schema_version"],
+            "config": golden["config"],
+            "programs": golden["programs"],
+        }
+    )
 
     fresh_names = [p["name"] for p in restricted["programs"]]
     if fresh_names != golden_names:

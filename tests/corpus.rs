@@ -4,7 +4,7 @@
 //! prints per core) and exit codes must agree across all three.
 
 use hsm_core::experiment::outputs_equivalent;
-use scc_sim::SccConfig;
+use hsm_core::{Pipeline, Policy};
 use std::path::PathBuf;
 
 fn corpus_dir() -> PathBuf {
@@ -15,14 +15,19 @@ fn check_program(name: &str, cores: usize) {
     let path = corpus_dir().join(name);
     let src =
         std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    let config = SccConfig::table_6_1();
 
-    let base =
-        hsm_core::run_baseline(&src, &config).unwrap_or_else(|e| panic!("{name} baseline: {e}"));
-    let off = hsm_core::run_translated(&src, cores, hsm_core::Policy::OffChipOnly, &config)
+    // One session per program: the three configurations share its parsed
+    // unit and analysis through the session cache.
+    let session = Pipeline::new(src).cores(cores);
+    let base = session
+        .run_baseline()
+        .unwrap_or_else(|e| panic!("{name} baseline: {e}"));
+    let off = session
+        .clone()
+        .policy(Policy::OffChipOnly)
+        .run()
         .unwrap_or_else(|e| panic!("{name} off-chip: {e}"));
-    let hsm = hsm_core::run_translated(&src, cores, hsm_core::Policy::SizeAscending, &config)
-        .unwrap_or_else(|e| panic!("{name} hsm: {e}"));
+    let hsm = session.run().unwrap_or_else(|e| panic!("{name} hsm: {e}"));
 
     assert_eq!(
         base.exit_code, off.exit_code,

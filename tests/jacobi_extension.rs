@@ -3,6 +3,7 @@
 //! `RCCE_barrier`s, and both execution modes must compute the reference
 //! result.
 
+use hsm_core::Pipeline;
 use hsm_workloads::{jacobi_reference_exit, jacobi_source, Params};
 use scc_sim::SccConfig;
 
@@ -18,7 +19,7 @@ fn params() -> Params {
 fn jacobi_baseline_matches_reference() {
     let p = params();
     let src = jacobi_source(&p);
-    let r = hsm_core::run_baseline(&src, &SccConfig::table_6_1()).expect("baseline");
+    let r = Pipeline::new(src).run_baseline().expect("baseline");
     assert_eq!(r.exit_code, jacobi_reference_exit(&p));
 }
 
@@ -26,8 +27,8 @@ fn jacobi_baseline_matches_reference() {
 fn jacobi_translates_barriers_and_matches_reference() {
     let p = params();
     let src = jacobi_source(&p);
-    let translation = hsm_core::translate_source(&src, p.threads, hsm_core::Policy::SizeAscending)
-        .expect("translation");
+    let session = Pipeline::new(src).cores(p.threads);
+    let translation = session.translation().expect("translation");
     let out = translation.to_source();
     assert!(
         out.contains("RCCE_barrier(&RCCE_COMM_WORLD)"),
@@ -35,13 +36,7 @@ fn jacobi_translates_barriers_and_matches_reference() {
     );
     assert!(!out.contains("pthread_barrier"), "{out}");
 
-    let r = hsm_core::run_translated(
-        &src,
-        p.threads,
-        hsm_core::Policy::SizeAscending,
-        &SccConfig::table_6_1(),
-    )
-    .expect("rcce run");
+    let r = session.run().expect("rcce run");
     assert_eq!(r.exit_code, jacobi_reference_exit(&p));
 }
 
@@ -51,10 +46,9 @@ fn jacobi_scales_with_cores() {
     p.size = 130;
     p.reps = 16;
     let src = jacobi_source(&p);
-    let config = SccConfig::table_6_1();
-    let base = hsm_core::run_baseline(&src, &config).expect("baseline");
-    let rcce = hsm_core::run_translated(&src, p.threads, hsm_core::Policy::SizeAscending, &config)
-        .expect("rcce");
+    let session = Pipeline::new(src).cores(p.threads);
+    let base = session.run_baseline().expect("baseline");
+    let rcce = session.run().expect("rcce");
     let speedup = base.timed_cycles as f64 / rcce.timed_cycles as f64;
     // Barrier-per-iteration overhead keeps it well below linear, but the
     // conversion must still win.

@@ -353,13 +353,16 @@ int main() {{
 }}
 "#
         );
-        let config = scc_sim::SccConfig::table_6_1();
-        let base = hsm_core::run_baseline(&src, &config)
+        let session = hsm_core::Pipeline::new(src.as_str()).cores(threads);
+        let base = session
+            .run_baseline()
             .unwrap_or_else(|e| panic!("baseline: {e}\n{src}"));
-        let off = hsm_core::run_translated(&src, threads, hsm_core::Policy::OffChipOnly, &config)
+        let off = session
+            .clone()
+            .policy(hsm_core::Policy::OffChipOnly)
+            .run()
             .unwrap_or_else(|e| panic!("off-chip: {e}\n{src}"));
-        let hsm = hsm_core::run_translated(&src, threads, hsm_core::Policy::SizeAscending, &config)
-            .unwrap_or_else(|e| panic!("hsm: {e}\n{src}"));
+        let hsm = session.run().unwrap_or_else(|e| panic!("hsm: {e}\n{src}"));
         assert_eq!(
             base.exit_code, off.exit_code,
             "off-chip diverged for\n{src}"

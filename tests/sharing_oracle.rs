@@ -9,7 +9,7 @@
 //!   trigger, naming the culprit variable. A detector that goes quiet
 //!   fails these, so the clean runs above stay meaningful.
 
-use hsm_core::{check_sharing, check_sharing_rcce, Policy};
+use hsm_core::{Pipeline, Policy};
 use hsm_exec::ViolationClass;
 use scc_sim::SccConfig;
 use std::path::PathBuf;
@@ -35,7 +35,9 @@ fn corpus_source(name: &str) -> String {
 fn race_free_corpus_is_clean_under_pthread_oracle() {
     let config = SccConfig::table_6_1();
     for name in RACE_FREE {
-        let report = check_sharing(&corpus_source(name), &config)
+        let report = Pipeline::new(corpus_source(name))
+            .config(config.clone())
+            .check_sharing()
             .unwrap_or_else(|e| panic!("{name}: {e}"))
             .report;
         assert!(
@@ -63,7 +65,11 @@ fn race_free_corpus_is_clean_translated_at_random_core_counts() {
         } else {
             Policy::OffChipOnly
         };
-        let report = check_sharing_rcce(src, cores, policy, &config)
+        let report = Pipeline::new(src.as_str())
+            .cores(cores)
+            .policy(policy)
+            .config(config.clone())
+            .check_sharing_rcce()
             .unwrap_or_else(|e| panic!("{name} at {cores} cores ({policy:?}): {e}"))
             .report;
         assert!(
@@ -78,11 +84,9 @@ fn race_free_corpus_is_clean_translated_at_random_core_counts() {
 
 #[test]
 fn escaping_stack_pointer_is_flagged_as_unsoundness() {
-    let check = check_sharing(
-        &corpus_source("adversarial/escaping_arg"),
-        &SccConfig::table_6_1(),
-    )
-    .expect("pipeline");
+    let check = Pipeline::new(corpus_source("adversarial/escaping_arg"))
+        .check_sharing()
+        .expect("pipeline");
     assert_eq!(
         check.report.classes(),
         vec![ViolationClass::Unsoundness],
@@ -101,11 +105,9 @@ fn escaping_stack_pointer_is_flagged_as_unsoundness() {
 
 #[test]
 fn unlocked_shared_counter_is_flagged_as_data_race() {
-    let check = check_sharing(
-        &corpus_source("adversarial/unlocked_counter"),
-        &SccConfig::table_6_1(),
-    )
-    .expect("pipeline");
+    let check = Pipeline::new(corpus_source("adversarial/unlocked_counter"))
+        .check_sharing()
+        .expect("pipeline");
     assert_eq!(
         check.report.classes(),
         vec![ViolationClass::DataRace],

@@ -74,10 +74,9 @@ fn translated_source_is_valid_and_stable() {
 
 #[test]
 fn translated_example_runs_and_matches_baseline() {
-    let config = scc_sim::SccConfig::table_6_1();
-    let base = hsm_core::run_baseline(EXAMPLE_4_1, &config).expect("baseline");
-    let rcce = hsm_core::run_translated(EXAMPLE_4_1, 3, hsm_core::Policy::SizeAscending, &config)
-        .expect("rcce run");
+    let session = hsm_core::Pipeline::new(EXAMPLE_4_1).cores(3);
+    let base = session.run_baseline().expect("baseline");
+    let rcce = session.run().expect("rcce run");
     // tf on core k adds k (its id) plus *ptr (== 1) into sum[k]:
     // the printed lines are "Sum Array: 1", "Sum Array: 3", "Sum Array: 5"
     // in the baseline (sum[k] = k + 1... with += tLocal then += *ptr).
