@@ -28,10 +28,13 @@
 //! non-zero if any program misses its expectation. Both sweeps fan out
 //! over `--workers N` threads (default: one per host core); any worker
 //! count produces the same manifest modulo `host_*` timing fields.
+//! `--exec-model NAME` (coherent, non_coherent_wb, seq_cst_ref) switches
+//! the memory model the manifest entries execute under; the default is
+//! the coherent ground truth the goldens pin.
 //!
 //! If manifest generation fails, the manifest file is still written, as an
 //! error document naming the failing pipeline stage:
-//! `{"schema_version": 2, "error": {"stage": "parse", "message": …}}`.
+//! `{"schema_version": 3, "error": {"stage": "parse", "message": …}}`.
 
 use hsm_bench::json::Json;
 use std::env;
@@ -72,6 +75,17 @@ fn main() -> ExitCode {
         workers = value;
         args.drain(i..=i + 1);
     }
+    let mut exec_model = hsm_core::ExecModel::Coherent;
+    if let Some(i) = args.iter().position(|a| a == "--exec-model") {
+        let value = args.get(i + 1).and_then(|v| hsm_core::ExecModel::parse(v));
+        let Some(value) = value else {
+            let labels: Vec<&str> = hsm_core::ExecModel::ALL.iter().map(|m| m.label()).collect();
+            eprintln!("figures: --exec-model needs one of: {}", labels.join(", "));
+            return ExitCode::FAILURE;
+        };
+        exec_model = value;
+        args.drain(i..=i + 1);
+    }
     args.retain(|a| a != "--json" && a != "--check-sharing");
     let all = args.is_empty() && !emit_json && !check_sharing;
     let want = |name: &str| all || args.iter().any(|a| a == name);
@@ -98,6 +112,7 @@ fn main() -> ExitCode {
     if emit_json {
         let opts = hsm_bench::manifest::ManifestOptions {
             workers,
+            exec_model,
             ..Default::default()
         };
         let manifest = match hsm_bench::manifest::full_manifest(opts) {

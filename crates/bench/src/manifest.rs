@@ -19,7 +19,7 @@ use crate::json::Json;
 use hsm_core::experiment::{sweep, Mode, SweepMatrix, SweepReport, SweepTask, TimingStats};
 use hsm_core::metrics::PipelineMetrics;
 use hsm_core::{PipelineError, StageCounters};
-use hsm_exec::RunResult;
+use hsm_exec::{ExecModel, RunResult};
 use scc_sim::{Region, SccConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -28,7 +28,9 @@ use std::sync::Arc;
 /// downstream consumers can dispatch. Version 2 added the `sweep` section
 /// (artifact-cache counters plus host parallelism figures) and moved the
 /// per-entry `host_timing` block onto the sweep's cache-hot re-runs.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
+/// Version 3 records the memory model each entry executed under in a
+/// per-entry `exec_model` field.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 3;
 
 /// The corpus programs the manifest replays, with the core counts the
 /// corpus integration tests use.
@@ -55,6 +57,10 @@ pub struct ManifestOptions {
     pub include_host_timings: bool,
     /// Sweep worker threads (0 = one per available host core).
     pub workers: usize,
+    /// Memory model every entry executes under. The default is the
+    /// coherent ground truth; the goldens pin it, and `figures
+    /// --exec-model` switches it for differential studies.
+    pub exec_model: ExecModel,
 }
 
 impl Default for ManifestOptions {
@@ -62,6 +68,7 @@ impl Default for ManifestOptions {
         ManifestOptions {
             include_host_timings: true,
             workers: 0,
+            exec_model: ExecModel::Coherent,
         }
     }
 }
@@ -267,13 +274,15 @@ fn manifest_matrix(
                 SweepTask::RunMetered(Mode::PthreadBaseline),
                 cores,
             )
+            .model(opts.exec_model)
             .timed_point(
                 format!("{name}/hsm"),
                 src,
                 SweepTask::RunMetered(Mode::RcceHsm),
                 cores,
                 timing_runs,
-            );
+            )
+            .model(opts.exec_model);
     }
     matrix
 }
@@ -301,6 +310,7 @@ fn entry_json(
     let mut pairs = vec![
         ("name", Json::str(name)),
         ("cores", Json::UInt(cores as u64)),
+        ("exec_model", Json::str(opts.exec_model.label())),
         ("pipeline", metrics_json(&hsm.1, opts)),
         ("baseline_pipeline", metrics_json(&base.1, opts)),
         ("baseline", run_json(&base.0)),
@@ -383,6 +393,7 @@ pub fn golden_manifest() -> Result<Json, PipelineError> {
         ManifestOptions {
             include_host_timings: false,
             workers: 0,
+            exec_model: ExecModel::Coherent,
         },
     )
 }
@@ -398,6 +409,7 @@ mod tests {
             ManifestOptions {
                 include_host_timings: false,
                 workers: 1,
+                ..ManifestOptions::default()
             },
         )
         .expect("manifest");
@@ -445,6 +457,7 @@ mod tests {
             ManifestOptions {
                 include_host_timings: false,
                 workers: 1,
+                ..ManifestOptions::default()
             },
         )
         .expect("manifest");
@@ -456,6 +469,7 @@ mod tests {
         let base_opts = ManifestOptions {
             include_host_timings: true,
             workers: 1,
+            ..ManifestOptions::default()
         };
         let with =
             program_entry("example_4_1", 3, &SccConfig::table_6_1(), base_opts).expect("entry");
@@ -466,6 +480,7 @@ mod tests {
             ManifestOptions {
                 include_host_timings: false,
                 workers: 1,
+                ..ManifestOptions::default()
             },
         )
         .expect("entry");
@@ -483,6 +498,7 @@ mod tests {
         let opts = |workers| ManifestOptions {
             include_host_timings: false,
             workers,
+            ..ManifestOptions::default()
         };
         let serial = manifest_for(&GOLDEN_PROGRAMS, opts(1)).expect("serial");
         let parallel = manifest_for(&GOLDEN_PROGRAMS, opts(4)).expect("parallel");

@@ -18,11 +18,9 @@
 //! keyed [`cache::ArtifactCache`] and shared across the baseline,
 //! off-chip and HSM configurations. [`experiment::sweep`] fans a whole
 //! benchmark × mode × core-count matrix out over worker threads on top
-//! of it; [`experiment`]'s figure drivers are built from both.
-//!
-//! The pre-session free functions ([`run_baseline`], [`run_translated`],
-//! [`translate_source`], [`check_sharing`], …) survive one release as
-//! thin deprecated wrappers around [`Pipeline`].
+//! of it; [`experiment`]'s figure drivers are built from both. Every run
+//! executes under a selectable [`ExecModel`] (coherent ground truth by
+//! default; see `hsm_exec::coherence`).
 
 #![warn(missing_docs)]
 
@@ -32,13 +30,14 @@ mod pipeline;
 pub mod sweep;
 
 use hsm_exec::{ExecError, RunResult};
-use hsm_translate::{TranslateError, Translation};
+use hsm_translate::TranslateError;
 use hsm_workloads::{Bench, Params};
 use metrics::PipelineMetrics;
 use scc_sim::SccConfig;
 use std::fmt;
 
 pub use cache::{ArtifactCache, CacheStats, StageCounters};
+pub use hsm_exec::ExecModel;
 pub use hsm_partition::{MemorySpec, Policy};
 pub use metrics::{StageMetric, STAGE_NAMES};
 pub use pipeline::Pipeline;
@@ -126,149 +125,6 @@ pub struct SharingCheck {
     pub report: hsm_exec::OracleReport,
     /// The program's ordinary run result (exit code, output, cycles).
     pub result: RunResult,
-}
-
-// ------------------------------------------------ deprecated wrappers --
-//
-// The eight pre-session entry points, kept for one release as thin
-// shims over `Pipeline`. Unlike their originals they no longer hardcode
-// `MemorySpec::scc(48)`: the partition spec follows the configured core
-// count, exactly as the session default does.
-
-/// Translates pthread C source to an RCCE [`Translation`] with the given
-/// core count and placement policy.
-///
-/// # Errors
-///
-/// Propagates parse and translation failures.
-#[deprecated(note = "use `Pipeline::new(src).cores(n).policy(p).translation()`")]
-pub fn translate_source(
-    src: &str,
-    cores: usize,
-    policy: Policy,
-) -> Result<Translation, PipelineError> {
-    Pipeline::new(src)
-        .cores(cores)
-        .policy(policy)
-        .translation()
-        .map(|t| (*t).clone())
-}
-
-/// [`translate_source`] plus bytecode compilation, with every stage
-/// individually metered (wall time and IR size).
-///
-/// # Errors
-///
-/// Propagates parse, translation and compilation failures.
-#[deprecated(note = "use `Pipeline::new(src).cores(n).policy(p).compile_metered()`")]
-pub fn compile_translated_metered(
-    src: &str,
-    cores: usize,
-    policy: Policy,
-) -> Result<(Translation, hsm_vm::Program, PipelineMetrics), PipelineError> {
-    let (translation, program, metrics) = Pipeline::new(src)
-        .cores(cores)
-        .policy(policy)
-        .compile_metered()?;
-    Ok(((*translation).clone(), (*program).clone(), metrics))
-}
-
-/// Runs pthread C source in baseline mode (all threads on one core).
-///
-/// # Errors
-///
-/// Propagates failures from any stage.
-#[deprecated(note = "use `Pipeline::new(src).config(c).run_baseline()`")]
-pub fn run_baseline(src: &str, config: &SccConfig) -> Result<RunResult, PipelineError> {
-    Pipeline::new(src).config(config.clone()).run_baseline()
-}
-
-/// Translates pthread C source and runs the RCCE result on `cores` cores.
-///
-/// # Errors
-///
-/// Propagates failures from any stage.
-#[deprecated(note = "use `Pipeline::new(src).cores(n).policy(p).config(c).run()`")]
-pub fn run_translated(
-    src: &str,
-    cores: usize,
-    policy: Policy,
-    config: &SccConfig,
-) -> Result<RunResult, PipelineError> {
-    Pipeline::new(src)
-        .cores(cores)
-        .policy(policy)
-        .config(config.clone())
-        .run()
-}
-
-/// Runs pthread C source in baseline mode with stage metering (the
-/// baseline pipeline has only two stages: parse and compile).
-///
-/// # Errors
-///
-/// Propagates failures from any stage.
-#[deprecated(note = "use `Pipeline::new(src).config(c).run_baseline_metered()`")]
-pub fn run_baseline_metered(
-    src: &str,
-    config: &SccConfig,
-) -> Result<(RunResult, PipelineMetrics), PipelineError> {
-    Pipeline::new(src)
-        .config(config.clone())
-        .run_baseline_metered()
-}
-
-/// Translates, compiles and runs with stage metering.
-///
-/// # Errors
-///
-/// Propagates failures from any stage.
-#[deprecated(note = "use `Pipeline::new(src).cores(n).policy(p).config(c).run_metered()`")]
-pub fn run_translated_metered(
-    src: &str,
-    cores: usize,
-    policy: Policy,
-    config: &SccConfig,
-) -> Result<(RunResult, PipelineMetrics), PipelineError> {
-    Pipeline::new(src)
-        .cores(cores)
-        .policy(policy)
-        .config(config.clone())
-        .run_metered()
-}
-
-/// Runs pthread C source in baseline mode under the sharing-soundness
-/// oracle, validating the Stage 1–3 classification (and the Stage 4
-/// placement annotations) against the ground-truth thread semantics.
-///
-/// # Errors
-///
-/// Propagates parse, compile and execution failures.
-#[deprecated(note = "use `Pipeline::new(src).config(c).check_sharing()`")]
-pub fn check_sharing(src: &str, config: &SccConfig) -> Result<SharingCheck, PipelineError> {
-    Pipeline::new(src).config(config.clone()).check_sharing()
-}
-
-/// Translates pthread C source and runs the RCCE result on `cores` cores
-/// under the oracle in RCCE mode: pure happens-before race detection over
-/// the shared regions, validating the synchronization the translator
-/// inserted (a translated program that races was translated wrongly).
-///
-/// # Errors
-///
-/// Propagates parse, translation, compile and execution failures.
-#[deprecated(note = "use `Pipeline::new(src).cores(n).policy(p).config(c).check_sharing_rcce()`")]
-pub fn check_sharing_rcce(
-    src: &str,
-    cores: usize,
-    policy: Policy,
-    config: &SccConfig,
-) -> Result<SharingCheck, PipelineError> {
-    Pipeline::new(src)
-        .cores(cores)
-        .policy(policy)
-        .config(config.clone())
-        .check_sharing_rcce()
 }
 
 /// Experiment drivers for every table and figure in the evaluation.
@@ -749,32 +605,6 @@ int main() {
             .expect("baseline");
         let names: Vec<&str> = m.stages.iter().map(|s| s.stage).collect();
         assert_eq!(names, ["parse", "compile"]);
-    }
-
-    /// The deprecated shims must produce the same results as the session
-    /// API they wrap (they survive exactly one release).
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_pipeline_sessions() {
-        let p = tiny(Bench::Sum35, 4);
-        let src = hsm_workloads::source(Bench::Sum35, &p);
-        let session = Pipeline::new(src.as_str()).cores(4).config(cfg());
-
-        let old = run_baseline(&src, &cfg()).expect("wrapper baseline");
-        let new = session.run_baseline().expect("session baseline");
-        assert_eq!(old.total_cycles, new.total_cycles);
-        assert_eq!(old.exit_code, new.exit_code);
-
-        let old = run_translated(&src, 4, Policy::SizeAscending, &cfg()).expect("wrapper rcce");
-        let new = session.run().expect("session rcce");
-        assert_eq!(old.total_cycles, new.total_cycles);
-
-        let old = translate_source(&src, 4, Policy::SizeAscending).expect("wrapper translate");
-        assert_eq!(old.to_source(), session.translation().unwrap().to_source());
-
-        let old = check_sharing(&src, &cfg()).expect("wrapper sharing");
-        let new = session.check_sharing().expect("session sharing");
-        assert_eq!(old.report.is_clean(), new.report.is_clean());
     }
 
     /// The sweep engine at 1 worker and at 4 workers must agree on every

@@ -22,17 +22,22 @@
 //! baseline, off-chip and HSM runs of one benchmark parse and analyze the
 //! source exactly once.
 //!
-//! Unlike the deprecated free functions it replaces, the session never
-//! hardcodes the partition spec: unless [`Pipeline::spec`] overrides it,
-//! the spec is [`MemorySpec::scc`] of the configured core count, so the
-//! on-chip budget follows `.cores(n)`.
+//! The session never hardcodes the partition spec: unless
+//! [`Pipeline::spec`] overrides it, the spec is [`MemorySpec::scc`] of
+//! the configured core count, so the on-chip budget follows `.cores(n)`.
+//!
+//! [`Pipeline::exec_model`] selects the memory model runs execute under
+//! ([`ExecModel::Coherent`] by default). The model is deliberately *not*
+//! part of any artifact key: it changes what a run observes, not what the
+//! translator produces, so a multi-model sweep of one benchmark still
+//! parses, analyzes, translates and compiles exactly once.
 
 use crate::cache::{source_hash, ArtifactCache, PlanKey, ProgramKey, TranslationKey};
 use crate::metrics::PipelineMetrics;
 use crate::{PipelineError, SharingCheck};
 use hsm_analysis::ProgramAnalysis;
 use hsm_cir::TranslationUnit;
-use hsm_exec::RunResult;
+use hsm_exec::{ExecModel, RunResult};
 use hsm_partition::{MemorySpec, PartitionPlan, Policy};
 use hsm_translate::{TranslateOptions, Translation};
 use scc_sim::SccConfig;
@@ -48,6 +53,7 @@ pub struct Pipeline {
     policy: Policy,
     spec: Option<MemorySpec>,
     config: SccConfig,
+    exec_model: ExecModel,
     cache: Arc<ArtifactCache>,
 }
 
@@ -65,6 +71,7 @@ impl Pipeline {
             policy: Policy::SizeAscending,
             spec: None,
             config: SccConfig::table_6_1(),
+            exec_model: ExecModel::Coherent,
             cache: ArtifactCache::shared(),
         }
     }
@@ -98,6 +105,16 @@ impl Pipeline {
         self
     }
 
+    /// Selects the memory model the program executes under. Translation
+    /// artifacts are model-independent (the model only changes what runs
+    /// observe), so sessions differing only in model share every cached
+    /// artifact.
+    #[must_use]
+    pub fn exec_model(mut self, model: ExecModel) -> Self {
+        self.exec_model = model;
+        self
+    }
+
     /// Attaches a shared [`ArtifactCache`] so several sessions reuse each
     /// other's artifacts.
     #[must_use]
@@ -124,6 +141,11 @@ impl Pipeline {
     /// The chip configuration runs execute on.
     pub fn chip(&self) -> &SccConfig {
         &self.config
+    }
+
+    /// The memory model runs execute under.
+    pub fn configured_exec_model(&self) -> ExecModel {
+        self.exec_model
     }
 
     /// The partition spec in effect: the explicit override, or the SCC
@@ -287,7 +309,12 @@ impl Pipeline {
     /// Propagates failures from any stage.
     pub fn run(&self) -> Result<RunResult, PipelineError> {
         let program = self.program()?;
-        Ok(hsm_exec::run_rcce(&program, self.cores, &self.config)?)
+        Ok(hsm_exec::run_rcce_model(
+            &program,
+            self.cores,
+            &self.config,
+            self.exec_model,
+        )?)
     }
 
     /// Runs the unmodified pthread program on one simulated core.
@@ -297,7 +324,11 @@ impl Pipeline {
     /// Propagates failures from any stage.
     pub fn run_baseline(&self) -> Result<RunResult, PipelineError> {
         let program = self.baseline_program()?;
-        Ok(hsm_exec::run_pthread(&program, &self.config)?)
+        Ok(hsm_exec::run_pthread_model(
+            &program,
+            &self.config,
+            self.exec_model,
+        )?)
     }
 
     /// [`Pipeline::run`] with per-stage metering of all five stages.
@@ -308,7 +339,7 @@ impl Pipeline {
     pub fn run_metered(&self) -> Result<(RunResult, PipelineMetrics), PipelineError> {
         let (_, program, metrics) = self.compile_metered()?;
         Ok((
-            hsm_exec::run_rcce(&program, self.cores, &self.config)?,
+            hsm_exec::run_rcce_model(&program, self.cores, &self.config, self.exec_model)?,
             metrics,
         ))
     }
@@ -333,7 +364,10 @@ impl Pipeline {
                 (p, len)
             })
         })?;
-        Ok((hsm_exec::run_pthread(&program, &self.config)?, metrics))
+        Ok((
+            hsm_exec::run_pthread_model(&program, &self.config, self.exec_model)?,
+            metrics,
+        ))
     }
 
     /// Drives the five stages one at a time so each gets its own
@@ -403,7 +437,12 @@ impl Pipeline {
             hsm_exec::OracleMode::Pthread,
             self.config.line_bytes,
         );
-        let result = hsm_exec::run_pthread_traced(&program, &self.config, &mut oracle)?;
+        let result = hsm_exec::run_pthread_model_traced(
+            &program,
+            &self.config,
+            self.exec_model,
+            &mut oracle,
+        )?;
         Ok(SharingCheck {
             manifest,
             report: oracle.finish(),
@@ -426,7 +465,13 @@ impl Pipeline {
             hsm_exec::OracleMode::Rcce,
             self.config.line_bytes,
         );
-        let result = hsm_exec::run_rcce_traced(&program, self.cores, &self.config, &mut oracle)?;
+        let result = hsm_exec::run_rcce_model_traced(
+            &program,
+            self.cores,
+            &self.config,
+            self.exec_model,
+            &mut oracle,
+        )?;
         Ok(SharingCheck {
             manifest: hsm_analysis::ClassificationManifest::empty(),
             report: oracle.finish(),
@@ -487,5 +532,22 @@ int main() {
         let hsm = p.run().expect("hsm");
         assert_eq!(base.exit_code, 3);
         assert_eq!(hsm.exit_code, 3);
+    }
+
+    #[test]
+    fn exec_models_share_every_artifact() {
+        let p = Pipeline::new(SRC).cores(2);
+        let coherent = p.run().expect("coherent");
+        let stale = p
+            .clone()
+            .exec_model(ExecModel::NonCoherentWriteBack)
+            .run()
+            .expect("non-coherent");
+        // The translated program is staleness-immune by construction.
+        assert_eq!(coherent.exit_code, stale.exit_code);
+        let stats = p.cache_handle().stats();
+        assert_eq!(stats.translate.misses, 1, "model is not an artifact key");
+        assert_eq!(stats.compile.misses, 1);
+        assert!(stats.compile.hits > 0, "second model reused the bytecode");
     }
 }

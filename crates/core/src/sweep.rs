@@ -19,7 +19,7 @@ use crate::cache::{ArtifactCache, CacheStats};
 use crate::experiment::Mode;
 use crate::metrics::PipelineMetrics;
 use crate::{Pipeline, PipelineError, Policy, SharingCheck};
-use hsm_exec::RunResult;
+use hsm_exec::{ExecModel, RunResult};
 use hsm_workloads::Bench;
 use scc_sim::SccConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -78,6 +78,10 @@ pub struct SweepPoint {
     pub cores: usize,
     /// Placement policy (defaults from the task's mode).
     pub policy: Policy,
+    /// Memory model the point executes under (default
+    /// [`ExecModel::Coherent`]; not part of any artifact key, so a
+    /// multi-model sweep of one benchmark compiles it once).
+    pub exec_model: ExecModel,
     /// Extra cache-hot re-runs to time after the point completes
     /// (0 = none). Feeds the manifest's `host_timing` block.
     pub timing_runs: usize,
@@ -150,8 +154,20 @@ impl SweepMatrix {
             task,
             cores,
             policy: task.default_policy(),
+            exec_model: ExecModel::Coherent,
             timing_runs,
         });
+        self
+    }
+
+    /// Sets the memory model of the most recently appended point, so a
+    /// multi-model sweep reads as `.point(..).model(..)` chains. No-op on
+    /// an empty matrix.
+    #[must_use]
+    pub fn model(mut self, exec_model: ExecModel) -> Self {
+        if let Some(point) = self.points.last_mut() {
+            point.exec_model = exec_model;
+        }
         self
     }
 
@@ -308,6 +324,7 @@ fn run_point(point: &SweepPoint, config: &SccConfig, cache: &Arc<ArtifactCache>)
     let pipeline = Pipeline::new(Arc::clone(&point.src))
         .cores(point.cores)
         .policy(point.policy)
+        .exec_model(point.exec_model)
         .config(config.clone())
         .cache(Arc::clone(cache));
     let result = match point.task {

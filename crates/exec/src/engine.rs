@@ -1,0 +1,451 @@
+//! The unified execution core: one scheduler loop, one VM-step dispatch,
+//! one printf/trace/sync-event emission path — parameterized by a
+//! [`SyncModel`] (what create/join/barrier/put/get mean) and a
+//! [`CoherenceModel`] (what value a load observes and what an access
+//! costs).
+//!
+//! Both execution modes are thin [`SyncModel`] impls over this core:
+//! pthread (round-robin time slicing on core 0) and RCCE (discrete-event
+//! interleaving of per-core processes). The core owns everything they
+//! used to duplicate: the step loop, memory-access timing + tracing, the
+//! `printf`/`malloc`/`wtime` syscalls, output collection, and result
+//! assembly.
+
+use crate::coherence::CoherenceModel;
+use crate::machine::{DataSpaces, ExecError, OutputLine, RunResult, WtimeTracker};
+use crate::printf;
+use crate::syscall_cost;
+use crate::trace::{TraceEvent, TraceSink};
+use hsm_vm::compile::{Program, HEAP_BASE};
+use hsm_vm::{Intrinsic, MemKind, StepOutcome, UnitVm, Value};
+use scc_sim::{MemorySystem, SccConfig};
+
+/// What a slice of simulated time was spent on, so each sync model can
+/// bill it to the right clocks. The pthread model advances one global
+/// clock and additionally bills `Progress` to the running thread's busy
+/// time and `Progress`/`Dispatch` to its scheduling quantum; the RCCE
+/// model bills everything to the unit's local clock alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Charge {
+    /// Forward progress of the unit: instruction execution and memory
+    /// access latency.
+    Progress,
+    /// Syscall dispatch overhead measured by the VM.
+    Dispatch,
+    /// Fixed service cost of a syscall (allocator, printf, sync ops).
+    Service,
+}
+
+/// Whether the run continues after a syscall or unit completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep scheduling.
+    Continue,
+    /// The process is over (pthread `exit`/main return); stop the loop.
+    Stop,
+}
+
+/// One schedulable execution context: a thread (pthread mode) or a core's
+/// process (RCCE mode).
+#[derive(Debug)]
+pub struct UnitState {
+    /// The suspendable VM driving this unit.
+    pub vm: UnitVm,
+    /// The unit's view of simulated time. In pthread mode every unit's
+    /// clock mirrors the single global clock while it runs.
+    pub clock: u64,
+    /// Cycles this unit spent making progress (the pthread load-balance
+    /// metric; unused by RCCE, whose balance metric is clock-based).
+    pub busy_cycles: u64,
+}
+
+impl UnitState {
+    /// Creates a unit poised at `func` with `args` on the private stack
+    /// region at `stack_base`.
+    pub fn new(program: &Program, func: u32, args: Vec<Value>, stack_base: u64) -> Self {
+        UnitState {
+            vm: UnitVm::new(program, func, args, stack_base),
+            clock: 0,
+            busy_cycles: 0,
+        }
+    }
+}
+
+/// Everything the core and the sync model share: the machine (chip
+/// timing, data spaces and coherence model), the unit table, heap break
+/// pointers, program output and wtime marks.
+pub struct ExecEnv<'p, C: CoherenceModel> {
+    /// The compiled program every unit executes.
+    pub program: &'p Program,
+    /// Chip configuration.
+    pub config: &'p SccConfig,
+    /// Timing model of the chip.
+    pub chip: MemorySystem,
+    /// Backing bytes of all address spaces.
+    pub spaces: DataSpaces,
+    /// The value-visibility model every memory operation routes through.
+    pub coherence: C,
+    /// All units, indexed by unit id (thread id / core id).
+    pub units: Vec<UnitState>,
+    /// Heap break per allocation arena (one shared arena in pthread mode,
+    /// one per core in RCCE mode).
+    pub heap_brk: Vec<u64>,
+    /// Program output collected so far.
+    pub output: Vec<OutputLine>,
+    /// `wtime()` marks per unit.
+    pub wtimes: WtimeTracker,
+    /// Monotone counter naming barrier episodes in the sync-event stream.
+    pub barrier_epoch: u64,
+}
+
+impl<'p, C: CoherenceModel> ExecEnv<'p, C> {
+    fn new<M: SyncModel>(
+        program: &'p Program,
+        config: &'p SccConfig,
+        coherence: C,
+        model: &M,
+    ) -> Self {
+        let mut spaces = DataSpaces::new(model.space_count());
+        for s in 0..model.space_count() {
+            spaces.load_image(s, &program.image);
+        }
+        let units = (0..model.unit_count())
+            .map(|i| UnitState::new(program, program.entry, vec![], model.stack_base(i)))
+            .collect();
+        ExecEnv {
+            program,
+            config,
+            chip: MemorySystem::new(config.clone()),
+            spaces,
+            coherence,
+            units,
+            heap_brk: vec![HEAP_BASE; model.heap_slots()],
+            output: Vec::new(),
+            wtimes: WtimeTracker::new(model.wtime_slots()),
+            barrier_epoch: 0,
+        }
+    }
+
+    /// Loads a value as observed by `unit` on `core` — the single path for
+    /// all data reads, VM-issued and syscall-side alike.
+    pub fn mem_load(&mut self, unit: usize, core: usize, addr: u64, kind: MemKind) -> Value {
+        self.coherence.load(unit, core, addr, kind, &self.spaces)
+    }
+
+    /// Stores a value on behalf of `unit` on `core`.
+    pub fn mem_store(&mut self, unit: usize, core: usize, addr: u64, kind: MemKind, v: Value) {
+        self.coherence
+            .store(unit, core, addr, kind, v, &mut self.spaces);
+    }
+
+    /// Byte copy between two addresses in `unit`'s view (`RCCE_put`/`RCCE_get`).
+    pub fn copy_bytes(&mut self, unit: usize, core: usize, dst: u64, src: u64, bytes: usize) {
+        for i in 0..bytes as u64 {
+            let v = self.mem_load(unit, core, src + i, MemKind::I8);
+            self.mem_store(unit, core, dst + i, MemKind::I8, v);
+        }
+    }
+
+    /// Byte copy across two units' views (the `RCCE_send`/`RCCE_recv`
+    /// rendezvous data movement). Each side is a `(unit, core, addr)`
+    /// triple.
+    pub fn copy_cross(&mut self, src: (usize, usize, u64), dst: (usize, usize, u64), bytes: usize) {
+        let (src_unit, src_core, src_addr) = src;
+        let (dst_unit, dst_core, dst_addr) = dst;
+        for i in 0..bytes as u64 {
+            let v = self.mem_load(src_unit, src_core, src_addr + i, MemKind::I8);
+            self.mem_store(dst_unit, dst_core, dst_addr + i, MemKind::I8, v);
+        }
+    }
+
+    /// Reads a NUL-terminated string as observed by `unit` (capped at
+    /// 64 KB like [`hsm_vm::data::ByteMemory::read_cstr`]).
+    pub fn read_cstr(&mut self, unit: usize, core: usize, addr: u64) -> String {
+        let mut out = Vec::new();
+        for i in 0..65536 {
+            let b = self.mem_load(unit, core, addr + i, MemKind::I8).as_i() as u8;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    /// Formats a `printf` syscall with the format string and `%s`
+    /// arguments resolved through `unit`'s memory view.
+    pub fn format_printf(&mut self, unit: usize, core: usize, args: &[Value]) -> String {
+        printf::format_syscall(args, &mut |addr| self.read_cstr(unit, core, addr))
+    }
+}
+
+/// The synchronization semantics of an execution mode: which units exist,
+/// how time is billed, which unit runs next, and what the mode-specific
+/// syscalls (thread and RCCE primitives) mean.
+///
+/// The core loop handles everything else: VM stepping, memory timing +
+/// value resolution, tracing, and the mode-independent syscalls
+/// (`printf`, `malloc`, `wtime`).
+pub trait SyncModel: Sized {
+    /// Number of units at boot (pthread: 1, the main thread; RCCE: one
+    /// per core). Units may be added later (`pthread_create`).
+    fn unit_count(&self) -> usize;
+
+    /// Number of private address spaces (pthread: 1 shared by all
+    /// threads; RCCE: one per core).
+    fn space_count(&self) -> usize;
+
+    /// Number of heap arenas (indexed by [`SyncModel::heap_slot`]).
+    fn heap_slots(&self) -> usize;
+
+    /// Capacity of the wtime tracker.
+    fn wtime_slots(&self) -> usize;
+
+    /// The simulated core `unit` executes on.
+    fn core_of(&self, unit: usize) -> usize;
+
+    /// The heap arena `unit` allocates from.
+    fn heap_slot(&self, unit: usize) -> usize;
+
+    /// Stack region base for boot unit `unit`.
+    fn stack_base(&self, unit: usize) -> u64;
+
+    /// Picks the next unit to step, or `Ok(None)` when the run completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on deadlock.
+    fn schedule<C: CoherenceModel>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+    ) -> Result<Option<usize>, ExecError>;
+
+    /// Advances the clocks by `cycles` of the given [`Charge`] kind on
+    /// behalf of `unit`.
+    fn charge(&mut self, unit: &mut UnitState, cycles: u64, kind: Charge);
+
+    /// Handles a mode-specific syscall (`intr` is never one of the
+    /// mode-independent intrinsics the core consumed already).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on semantic violations (unknown thread
+    /// joins, foreign-mode intrinsics, lock misuse, ...).
+    fn syscall<C: CoherenceModel, S: TraceSink>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+        sink: &mut S,
+        unit: usize,
+        intr: Intrinsic,
+        args: &[Value],
+    ) -> Result<Flow, ExecError>;
+
+    /// Handles the entry function of `unit` returning `exit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if completion is itself a violation.
+    fn finished<C: CoherenceModel, S: TraceSink>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+        sink: &mut S,
+        unit: usize,
+        exit: i64,
+    ) -> Result<Flow, ExecError>;
+
+    /// Called after every step outcome (the RCCE model re-checks barrier
+    /// release here; pthread needs nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on violations detectable only globally
+    /// (barrier deadlock with exited cores).
+    fn post_step<C: CoherenceModel, S: TraceSink>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+        sink: &mut S,
+    ) -> Result<(), ExecError>;
+
+    /// Extracts `(total_cycles, per_unit_cycles, exit_code)` at the end
+    /// of the run.
+    fn finalize<C: CoherenceModel>(&self, env: &ExecEnv<C>) -> (u64, Vec<u64>, i64);
+}
+
+/// The unified interpreter: the one place a program steps, accesses
+/// memory, prints, and gets traced. See the module docs for the split of
+/// responsibilities between the core and the two trait axes.
+pub struct ExecutionCore;
+
+const STEP_LIMIT: u64 = 2_000_000_000;
+
+impl ExecutionCore {
+    /// Runs `program` under `model` (synchronization semantics) and
+    /// `coherence` (memory semantics), streaming accesses to `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on VM faults, deadlock, or semantic
+    /// violations reported by the sync model.
+    pub fn run<M: SyncModel, C: CoherenceModel, S: TraceSink>(
+        program: &Program,
+        config: &SccConfig,
+        mut model: M,
+        coherence: C,
+        sink: &mut S,
+    ) -> Result<RunResult, ExecError> {
+        let mut env = ExecEnv::new(program, config, coherence, &model);
+        let mut steps: u64 = 0;
+        while let Some(u) = model.schedule(&mut env)? {
+            steps += 1;
+            if steps > STEP_LIMIT {
+                return Err(ExecError::new("simulation exceeded the step limit"));
+            }
+
+            let outcome = env.units[u].vm.run_until_event(program)?;
+            let flow = match outcome {
+                StepOutcome::Ran { cycles } => {
+                    model.charge(&mut env.units[u], cycles, Charge::Progress);
+                    Flow::Continue
+                }
+                StepOutcome::Load { addr, kind, cycles } => {
+                    Self::memory_access(&mut model, &mut env, sink, u, addr, kind, None, cycles);
+                    Flow::Continue
+                }
+                StepOutcome::Store {
+                    addr,
+                    kind,
+                    value,
+                    cycles,
+                } => {
+                    Self::memory_access(
+                        &mut model,
+                        &mut env,
+                        sink,
+                        u,
+                        addr,
+                        kind,
+                        Some(value),
+                        cycles,
+                    );
+                    Flow::Continue
+                }
+                StepOutcome::Syscall {
+                    intrinsic,
+                    args,
+                    cycles,
+                } => {
+                    model.charge(&mut env.units[u], cycles, Charge::Dispatch);
+                    Self::syscall(&mut model, &mut env, sink, u, intrinsic, &args)?
+                }
+                StepOutcome::Finished { exit } => model.finished(&mut env, sink, u, exit.as_i())?,
+            };
+            if flow == Flow::Stop {
+                break;
+            }
+            model.post_step(&mut env, sink)?;
+        }
+
+        let (total_cycles, per_unit_cycles, exit_code) = model.finalize(&env);
+        let timed = env.wtimes.widest_interval().unwrap_or(total_cycles);
+        env.output.sort_by_key(|l| (l.at, l.who));
+        Ok(RunResult {
+            total_cycles,
+            timed_cycles: timed,
+            output: env.output,
+            exit_code,
+            mem_stats: env.chip.stats(),
+            stats_matrix: env.chip.stats_matrix().clone(),
+            mpb_high_water: env.chip.mpb_high_water(),
+            per_unit_cycles,
+        })
+    }
+
+    /// One VM-issued load or store: charge issue cycles, resolve the
+    /// latency through the coherence model, trace it, charge the latency,
+    /// then move the data and resume the VM.
+    #[allow(clippy::too_many_arguments)]
+    fn memory_access<M: SyncModel, C: CoherenceModel, S: TraceSink>(
+        model: &mut M,
+        env: &mut ExecEnv<C>,
+        sink: &mut S,
+        unit: usize,
+        addr: u64,
+        kind: MemKind,
+        store: Option<Value>,
+        cycles: u64,
+    ) {
+        let core = model.core_of(unit);
+        let write = store.is_some();
+        model.charge(&mut env.units[unit], cycles, Charge::Progress);
+        let now = env.units[unit].clock;
+        let lat = env.coherence.latency(&mut env.chip, core, addr, write, now);
+        sink.record(TraceEvent {
+            core,
+            unit,
+            cycle: now,
+            addr,
+            region: MemorySystem::region_of(addr),
+            latency: lat,
+            write,
+        });
+        model.charge(&mut env.units[unit], lat, Charge::Progress);
+        match store {
+            Some(value) => {
+                env.mem_store(unit, core, addr, kind, value);
+                env.units[unit].vm.store_done();
+            }
+            None => {
+                let v = env.mem_load(unit, core, addr, kind);
+                env.units[unit].vm.provide_load(v);
+            }
+        }
+    }
+
+    /// Dispatches a syscall: the mode-independent ones (`printf`,
+    /// `malloc`, `wtime`) are handled here, everything else goes to the
+    /// sync model.
+    fn syscall<M: SyncModel, C: CoherenceModel, S: TraceSink>(
+        model: &mut M,
+        env: &mut ExecEnv<C>,
+        sink: &mut S,
+        unit: usize,
+        intr: Intrinsic,
+        args: &[Value],
+    ) -> Result<Flow, ExecError> {
+        match intr {
+            Intrinsic::Printf => {
+                model.charge(&mut env.units[unit], syscall_cost::PRINTF, Charge::Service);
+                let core = model.core_of(unit);
+                let text = env.format_printf(unit, core, args);
+                let at = env.units[unit].clock;
+                env.output.push(OutputLine {
+                    at,
+                    who: unit,
+                    text,
+                });
+                env.units[unit].vm.syscall_return(Value::I(0));
+                Ok(Flow::Continue)
+            }
+            Intrinsic::Malloc => {
+                model.charge(&mut env.units[unit], syscall_cost::ALLOC, Charge::Service);
+                let bytes = args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as u64;
+                let slot = model.heap_slot(unit);
+                let addr = env.heap_brk[slot];
+                env.heap_brk[slot] += (bytes + 31) & !31;
+                env.units[unit].vm.syscall_return(Value::I(addr as i64));
+                Ok(Flow::Continue)
+            }
+            Intrinsic::Wtime | Intrinsic::RcceWtime => {
+                let clock = env.units[unit].clock;
+                env.wtimes.record(unit.min(model.wtime_slots() - 1), clock);
+                let secs = clock as f64 / (f64::from(env.config.core_freq_mhz) * 1e6);
+                env.units[unit].vm.syscall_return(Value::F(secs));
+                Ok(Flow::Continue)
+            }
+            Intrinsic::Sqrt | Intrinsic::Fabs => {
+                unreachable!("pure intrinsics run inline")
+            }
+            other => model.syscall(env, sink, unit, other, args),
+        }
+    }
+}

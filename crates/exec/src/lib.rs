@@ -1,19 +1,26 @@
 //! # hsm-exec — discrete-event execution of C programs on the simulated SCC
 //!
-//! Two execution modes reproduce the paper's two experimental
-//! configurations (Table 6.1):
+//! One interpreter — the [`ExecutionCore`] — runs every program. It is
+//! parameterized along two orthogonal axes:
 //!
-//! * [`run_pthread`] — the baseline: all threads of a pthread program
-//!   time-sliced on **one** core, sharing its caches, with an OS quantum
-//!   and context-switch penalty.
-//! * [`run_rcce`] — the converted program: one process per core, each
-//!   running the whole translated binary, synchronized by RCCE barriers
-//!   and test-and-set locks, with private/shared/MPB memory latencies from
-//!   `scc-sim`.
+//! * a [`SyncModel`], the synchronization semantics of an execution mode.
+//!   Two ship, reproducing the paper's experimental configurations
+//!   (Table 6.1): [`run_pthread`] — the baseline: all threads of a
+//!   pthread program time-sliced on **one** core, sharing its caches,
+//!   with an OS quantum and context-switch penalty — and [`run_rcce`] —
+//!   the converted program: one process per core, each running the whole
+//!   translated binary, synchronized by RCCE barriers and test-and-set
+//!   locks, with private/shared/MPB memory latencies from `scc-sim`.
+//! * a [`CoherenceModel`], selected by [`ExecModel`]: what value a load
+//!   observes. [`ExecModel::Coherent`] is ground truth;
+//!   [`ExecModel::NonCoherentWriteBack`] makes the SCC's missing hardware
+//!   coherence *executable* (stale reads really happen);
+//!   [`ExecModel::SeqCstReference`] is a cacheless differential
+//!   reference.
 //!
-//! The scheduler always advances the core with the smallest local clock,
-//! so memory-controller queuing and lock contention resolve in globally
-//! consistent simulated time, deterministically.
+//! The RCCE scheduler always advances the core with the smallest local
+//! clock, so memory-controller queuing and lock contention resolve in
+//! globally consistent simulated time, deterministically.
 //!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,6 +48,8 @@
 
 #![warn(missing_docs)]
 
+pub mod coherence;
+pub mod engine;
 pub mod machine;
 pub mod oracle;
 pub mod printf;
@@ -48,10 +57,12 @@ mod pthread;
 mod rcce;
 pub mod trace;
 
+pub use coherence::{CoherenceModel, Coherent, ExecModel, NonCoherentWriteBack, SeqCstReference};
+pub use engine::{Charge, ExecEnv, ExecutionCore, Flow, SyncModel, UnitState};
 pub use machine::{DataSpaces, ExecError, OutputLine, RunResult};
 pub use oracle::{Oracle, OracleMode, OracleReport, Violation, ViolationClass};
-pub use pthread::{run_pthread, run_pthread_traced};
-pub use rcce::{run_rcce, run_rcce_traced};
+pub use pthread::{run_pthread, run_pthread_model, run_pthread_model_traced, run_pthread_traced};
+pub use rcce::{run_rcce, run_rcce_model, run_rcce_model_traced, run_rcce_traced};
 pub use trace::{NullSink, RingTrace, SyncEvent, TraceEvent, TraceSink};
 
 /// Fixed syscall overheads in core cycles (single place to tune).
@@ -728,5 +739,63 @@ int RCCE_APP(int *argc, char **argv) {
         let p = compile_src(src);
         let r = run_rcce(&p, 2, &cfg()).expect("run");
         assert_eq!(r.mpb_high_water, 416, "400 B rounds to the 32 B line");
+    }
+
+    // ------------------------------------------------------- exec models --
+
+    #[test]
+    fn seq_cst_reference_matches_coherent_values() {
+        let p = compile_src(PTHREAD_SUM);
+        let coherent = run_pthread(&p, &cfg()).expect("coherent");
+        let flat = run_pthread_model(&p, &cfg(), ExecModel::SeqCstReference).expect("seq_cst_ref");
+        assert_eq!(coherent.exit_code, flat.exit_code);
+        assert_eq!(coherent.output_text(), flat.output_text());
+        // Timing differs: the flat model has no caches to hit.
+        assert_ne!(coherent.total_cycles, flat.total_cycles);
+    }
+
+    #[test]
+    fn non_coherent_model_breaks_unsynchronized_pthread_sharing() {
+        // Threads publish through private-region globals and main reads
+        // them after join. Without coherence (and with pthread code never
+        // flushing), main's cached lines stay stale.
+        let p = compile_src(PTHREAD_SUM);
+        let truth = run_pthread(&p, &cfg()).expect("coherent");
+        assert_eq!(truth.exit_code, 400);
+        let stale = run_pthread_model(&p, &cfg(), ExecModel::NonCoherentWriteBack).expect("stale");
+        assert_ne!(
+            stale.exit_code, 400,
+            "stale reads must corrupt the unsynchronized sum"
+        );
+    }
+
+    #[test]
+    fn non_coherent_model_keeps_translated_rcce_programs_correct() {
+        // The translated program shares through uncacheable shared DRAM
+        // and flushes at barriers: staleness cannot reach it.
+        let p = compile_src(RCCE_SUM);
+        let r = run_rcce_model(&p, 8, &cfg(), ExecModel::NonCoherentWriteBack).expect("run");
+        assert_eq!(r.exit_code, 280, "same answer as the coherent model");
+    }
+
+    #[test]
+    fn rcce_barrier_flush_publishes_private_writes() {
+        // Core 0 writes a *private* global before the barrier; its own
+        // re-read after the barrier must see the flushed value even under
+        // the non-coherent model.
+        let src = r#"
+int mine;
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(&argc, &argv);
+    mine = RCCE_ue() + 7;
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    int v = mine;
+    RCCE_finalize();
+    return v;
+}
+"#;
+        let p = compile_src(src);
+        let r = run_rcce_model(&p, 2, &cfg(), ExecModel::NonCoherentWriteBack).expect("run");
+        assert_eq!(r.exit_code, 7, "core 0's exit");
     }
 }

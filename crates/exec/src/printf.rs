@@ -129,6 +129,26 @@ fn pad_int(s: String, width: usize, left: bool, zero: bool) -> String {
     }
 }
 
+/// Formats one `printf` syscall end to end: resolves the format string
+/// and every `%s` argument through `read_cstr` (the calling unit's view
+/// of memory), then delegates to [`format()`].
+///
+/// This is the single formatting path both execution modes share; the
+/// coherence model decides what `read_cstr` actually observes.
+pub fn format_syscall(args: &[Value], read_cstr: &mut dyn FnMut(u64) -> String) -> String {
+    let Some(fmt_addr) = args.first() else {
+        return String::new();
+    };
+    let fmt = read_cstr(fmt_addr.as_addr());
+    let rest = &args[1..];
+    let strings: Vec<String> = count_string_args(&fmt)
+        .iter()
+        .filter_map(|&i| rest.get(i))
+        .map(|v| read_cstr(v.as_addr()))
+        .collect();
+    format(&fmt, rest, &strings)
+}
+
 /// Counts how many `%s` directives `fmt` contains (the engine resolves
 /// those argument addresses to strings before formatting).
 pub fn count_string_args(fmt: &str) -> Vec<usize> {

@@ -5,14 +5,21 @@
 //! pthread program on **core 0**, round-robin time-sliced with an OS
 //! quantum and a context-switch penalty, sharing one address space and one
 //! cache hierarchy.
+//!
+//! The interpreter itself is [`ExecutionCore`]; this module contributes
+//! only the pthread semantics as a [`SyncModel`]: the ready queue,
+//! quantum preemption, and the create/join/mutex/barrier syscalls.
 
-use crate::machine::{DataSpaces, ExecError, OutputLine, RunResult, WtimeTracker};
-use crate::rcce::format_printf;
+use crate::coherence::{
+    CoherenceModel, Coherent, ExecModel, NonCoherentWriteBack, SeqCstReference,
+};
+use crate::engine::{Charge, ExecEnv, ExecutionCore, Flow, SyncModel, UnitState};
+use crate::machine::{ExecError, RunResult};
 use crate::syscall_cost;
-use crate::trace::{NullSink, SyncEvent, TraceEvent, TraceSink};
-use hsm_vm::compile::{Program, HEAP_BASE, STACKS_BASE, STACK_SIZE};
-use hsm_vm::{Intrinsic, StepOutcome, Value, Vm};
-use scc_sim::{MemorySystem, SccConfig};
+use crate::trace::{NullSink, SyncEvent, TraceSink};
+use hsm_vm::compile::{Program, STACKS_BASE, STACK_SIZE};
+use hsm_vm::{Intrinsic, MemKind, Value};
+use scc_sim::SccConfig;
 use std::collections::{HashMap, VecDeque};
 
 #[derive(Debug, Clone, PartialEq)]
@@ -25,14 +32,363 @@ enum ThreadState {
     Done { exit: i64 },
 }
 
-struct Thread {
-    vm: Vm,
-    state: ThreadState,
-    busy_cycles: u64,
+/// The pthread [`SyncModel`]: all threads share core 0, one address
+/// space, one heap, and one global clock; scheduling is round-robin with
+/// an OS quantum.
+struct PthreadSync {
+    states: Vec<ThreadState>,
+    ready: VecDeque<usize>,
+    joiners: HashMap<usize, Vec<usize>>,
+    mutex_owner: HashMap<u64, usize>,
+    mutex_waiters: HashMap<u64, VecDeque<usize>>,
+    // pthread barriers keyed by the barrier object's address:
+    // (required count, currently waiting thread ids).
+    barriers: HashMap<u64, (usize, Vec<usize>)>,
+    // The process-wide clock; the running thread's unit clock mirrors it.
+    clock: u64,
+    current: usize,
+    quantum_used: u64,
+}
+
+impl PthreadSync {
+    fn new() -> Self {
+        PthreadSync {
+            states: vec![ThreadState::Running],
+            ready: VecDeque::new(),
+            joiners: HashMap::new(),
+            mutex_owner: HashMap::new(),
+            mutex_waiters: HashMap::new(),
+            barriers: HashMap::new(),
+            clock: 0,
+            current: 0,
+            quantum_used: 0,
+        }
+    }
+
+    /// Marks `tid` done and wakes its joiners.
+    fn finish<C: CoherenceModel, S: TraceSink>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+        sink: &mut S,
+        tid: usize,
+        exit: i64,
+    ) {
+        self.states[tid] = ThreadState::Done { exit };
+        if let Some(waiting) = self.joiners.remove(&tid) {
+            for w in waiting {
+                sink.sync(SyncEvent::ThreadJoin {
+                    unit: w,
+                    target: tid,
+                    cycle: self.clock,
+                });
+                self.states[w] = ThreadState::Ready;
+                env.units[w].vm.syscall_return(Value::I(0));
+                self.ready.push_back(w);
+            }
+        }
+    }
+}
+
+impl SyncModel for PthreadSync {
+    fn unit_count(&self) -> usize {
+        1
+    }
+
+    fn space_count(&self) -> usize {
+        1
+    }
+
+    fn heap_slots(&self) -> usize {
+        1
+    }
+
+    fn wtime_slots(&self) -> usize {
+        1024
+    }
+
+    fn core_of(&self, _unit: usize) -> usize {
+        0
+    }
+
+    fn heap_slot(&self, _unit: usize) -> usize {
+        0
+    }
+
+    fn stack_base(&self, _unit: usize) -> u64 {
+        STACKS_BASE
+    }
+
+    fn schedule<C: CoherenceModel>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+    ) -> Result<Option<usize>, ExecError> {
+        loop {
+            // If the current thread cannot run, schedule another (round
+            // robin) and charge a context switch.
+            if self.states[self.current] != ThreadState::Running {
+                let Some(next) = self.ready.pop_front() else {
+                    // Nothing ready: either done or deadlocked.
+                    if matches!(self.states[0], ThreadState::Done { .. }) {
+                        return Ok(None);
+                    }
+                    return Err(ExecError::new("thread deadlock: no runnable thread"));
+                };
+                if self.states[next] == ThreadState::Ready {
+                    self.states[next] = ThreadState::Running;
+                }
+                if next != self.current {
+                    self.clock += env.config.context_switch_cycles;
+                }
+                self.current = next;
+                self.quantum_used = 0;
+                continue;
+            }
+
+            // Preempt at quantum expiry when someone else is waiting.
+            if self.quantum_used >= env.config.sched_quantum_cycles && !self.ready.is_empty() {
+                self.states[self.current] = ThreadState::Ready;
+                self.ready.push_back(self.current);
+                continue;
+            }
+
+            env.units[self.current].clock = self.clock;
+            return Ok(Some(self.current));
+        }
+    }
+
+    fn charge(&mut self, unit: &mut UnitState, cycles: u64, kind: Charge) {
+        self.clock += cycles;
+        unit.clock = self.clock;
+        match kind {
+            Charge::Progress => {
+                self.quantum_used += cycles;
+                unit.busy_cycles += cycles;
+            }
+            Charge::Dispatch => self.quantum_used += cycles,
+            Charge::Service => {}
+        }
+    }
+
+    fn syscall<C: CoherenceModel, S: TraceSink>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+        sink: &mut S,
+        unit: usize,
+        intr: Intrinsic,
+        args: &[Value],
+    ) -> Result<Flow, ExecError> {
+        let current = unit;
+        match intr {
+            Intrinsic::PthreadCreate => {
+                self.clock += syscall_cost::THREAD_CREATE;
+                let handle_addr = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                let func = args.get(2).copied().unwrap_or(Value::I(0)).as_i();
+                let arg = args.get(3).copied().unwrap_or(Value::I(0));
+                if func < 0 || func as usize >= env.program.funcs.len() {
+                    return Err(ExecError::new("pthread_create: bad thread function"));
+                }
+                let tid = env.units.len();
+                if tid >= 1024 {
+                    return Err(ExecError::new("too many threads (max 1024)"));
+                }
+                let stack = STACKS_BASE + tid as u64 * STACK_SIZE;
+                env.units
+                    .push(UnitState::new(env.program, func as u32, vec![arg], stack));
+                self.states.push(ThreadState::Ready);
+                self.ready.push_back(tid);
+                sink.sync(SyncEvent::ThreadStart {
+                    parent: current,
+                    unit: tid,
+                    func: func as u32,
+                    cycle: self.clock,
+                });
+                // Store the thread id into the pthread_t handle (through
+                // the coherence model: under a non-coherent model the
+                // parent's later read of the handle can go stale too).
+                env.mem_store(current, 0, handle_addr, MemKind::I64, Value::I(tid as i64));
+                env.units[current].vm.syscall_return(Value::I(0));
+            }
+            Intrinsic::PthreadJoin => {
+                self.clock += syscall_cost::JOIN;
+                let target = args.first().copied().unwrap_or(Value::I(0)).as_i();
+                if target < 0 || target as usize >= env.units.len() {
+                    return Err(ExecError::new(format!(
+                        "pthread_join of unknown thread {target}"
+                    )));
+                }
+                let target = target as usize;
+                if matches!(self.states[target], ThreadState::Done { .. }) {
+                    sink.sync(SyncEvent::ThreadJoin {
+                        unit: current,
+                        target,
+                        cycle: self.clock,
+                    });
+                    env.units[current].vm.syscall_return(Value::I(0));
+                } else {
+                    self.states[current] = ThreadState::WaitingJoin { target };
+                    self.joiners.entry(target).or_default().push(current);
+                }
+            }
+            Intrinsic::PthreadExit => {
+                self.finish(env, sink, current, 0);
+            }
+            Intrinsic::PthreadSelf => {
+                env.units[current]
+                    .vm
+                    .syscall_return(Value::I(current as i64));
+            }
+            Intrinsic::MutexInit | Intrinsic::MutexDestroy => {
+                env.units[current].vm.syscall_return(Value::I(0));
+            }
+            Intrinsic::BarrierInit => {
+                // pthread_barrier_init(&b, attr, count)
+                let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                let count = args.get(2).copied().unwrap_or(Value::I(1)).as_i().max(1) as usize;
+                self.barriers.insert(key, (count, Vec::new()));
+                env.units[current].vm.syscall_return(Value::I(0));
+            }
+            Intrinsic::BarrierDestroy => {
+                let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                self.barriers.remove(&key);
+                env.units[current].vm.syscall_return(Value::I(0));
+            }
+            Intrinsic::BarrierWait => {
+                self.clock += syscall_cost::MUTEX;
+                let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                let Some((count, waiting)) = self.barriers.get_mut(&key) else {
+                    return Err(ExecError::new(
+                        "pthread_barrier_wait on an uninitialized barrier",
+                    ));
+                };
+                waiting.push(current);
+                if waiting.len() >= *count {
+                    // Release everyone; the last arriver returns
+                    // PTHREAD_BARRIER_SERIAL_THREAD (-1), others 0.
+                    let released = std::mem::take(waiting);
+                    let epoch = env.barrier_epoch;
+                    env.barrier_epoch += 1;
+                    for tid in &released {
+                        sink.sync(SyncEvent::BarrierArrive {
+                            unit: *tid,
+                            epoch,
+                            cycle: self.clock,
+                        });
+                    }
+                    for (i, tid) in released.iter().enumerate() {
+                        let rv = if i + 1 == released.len() { -1 } else { 0 };
+                        sink.sync(SyncEvent::BarrierRelease {
+                            unit: *tid,
+                            epoch,
+                            cycle: self.clock,
+                        });
+                        env.units[*tid].vm.syscall_return(Value::I(rv));
+                        if *tid != current {
+                            self.states[*tid] = ThreadState::Ready;
+                            self.ready.push_back(*tid);
+                        }
+                    }
+                } else {
+                    self.states[current] = ThreadState::WaitingBarrier { key };
+                }
+            }
+            Intrinsic::MutexLock => {
+                self.clock += syscall_cost::MUTEX;
+                let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                if let Some(owner) = self.mutex_owner.get(&key) {
+                    if *owner == current {
+                        return Err(ExecError::new("recursive mutex lock would self-deadlock"));
+                    }
+                    self.mutex_waiters
+                        .entry(key)
+                        .or_default()
+                        .push_back(current);
+                    self.states[current] = ThreadState::WaitingMutex { key };
+                } else {
+                    self.mutex_owner.insert(key, current);
+                    sink.sync(SyncEvent::LockAcquire {
+                        unit: current,
+                        lock: key,
+                        cycle: self.clock,
+                    });
+                    env.units[current].vm.syscall_return(Value::I(0));
+                }
+            }
+            Intrinsic::MutexUnlock => {
+                self.clock += syscall_cost::MUTEX;
+                let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                if self.mutex_owner.get(&key) != Some(&current) {
+                    return Err(ExecError::new("unlocking a mutex the thread does not hold"));
+                }
+                self.mutex_owner.remove(&key);
+                sink.sync(SyncEvent::LockRelease {
+                    unit: current,
+                    lock: key,
+                    cycle: self.clock,
+                });
+                if let Some(waiter) = self.mutex_waiters.get_mut(&key).and_then(|q| q.pop_front()) {
+                    self.mutex_owner.insert(key, waiter);
+                    sink.sync(SyncEvent::LockAcquire {
+                        unit: waiter,
+                        lock: key,
+                        cycle: self.clock,
+                    });
+                    self.states[waiter] = ThreadState::Ready;
+                    env.units[waiter].vm.syscall_return(Value::I(0));
+                    self.ready.push_back(waiter);
+                }
+                env.units[current].vm.syscall_return(Value::I(0));
+            }
+            Intrinsic::Exit => {
+                let code = args.first().copied().unwrap_or(Value::I(0)).as_i();
+                self.finish(env, sink, 0, code);
+                return Ok(Flow::Stop);
+            }
+            other => {
+                return Err(ExecError::new(format!(
+                    "RCCE call {other:?} in a pthread program"
+                )));
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn finished<C: CoherenceModel, S: TraceSink>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+        sink: &mut S,
+        unit: usize,
+        exit: i64,
+    ) -> Result<Flow, ExecError> {
+        self.finish(env, sink, unit, exit);
+        // main returning ends the process.
+        Ok(if unit == 0 {
+            Flow::Stop
+        } else {
+            Flow::Continue
+        })
+    }
+
+    fn post_step<C: CoherenceModel, S: TraceSink>(
+        &mut self,
+        _env: &mut ExecEnv<C>,
+        _sink: &mut S,
+    ) -> Result<(), ExecError> {
+        Ok(())
+    }
+
+    fn finalize<C: CoherenceModel>(&self, env: &ExecEnv<C>) -> (u64, Vec<u64>, i64) {
+        let exit = match self.states[0] {
+            ThreadState::Done { exit } => exit,
+            _ => 0,
+        };
+        let per_unit = env.units.iter().map(|u| u.busy_cycles).collect();
+        (self.clock, per_unit, exit)
+    }
 }
 
 /// Runs `program` as a multithreaded process on a single simulated SCC
-/// core (the paper's baseline configuration).
+/// core (the paper's baseline configuration), under the [`Coherent`]
+/// memory model.
 ///
 /// # Errors
 ///
@@ -55,402 +411,46 @@ pub fn run_pthread_traced<S: TraceSink>(
     config: &SccConfig,
     sink: &mut S,
 ) -> Result<RunResult, ExecError> {
-    let mut chip = MemorySystem::new(config.clone());
-    let mut spaces = DataSpaces::new(1);
-    spaces.load_image(0, &program.image);
-
-    let mut threads: Vec<Thread> = vec![Thread {
-        vm: Vm::new(program, program.entry, vec![], STACKS_BASE),
-        state: ThreadState::Running,
-        busy_cycles: 0,
-    }];
-    let mut ready: VecDeque<usize> = VecDeque::new();
-    let mut joiners: HashMap<usize, Vec<usize>> = HashMap::new();
-    let mut mutex_owner: HashMap<u64, usize> = HashMap::new();
-    let mut mutex_waiters: HashMap<u64, VecDeque<usize>> = HashMap::new();
-    // pthread barriers keyed by the barrier object's address:
-    // (required count, currently waiting thread ids).
-    let mut barriers: HashMap<u64, (usize, Vec<usize>)> = HashMap::new();
-    // Monotone counter naming barrier episodes in the sync-event stream.
-    let mut barrier_epoch: u64 = 0;
-
-    let mut clock: u64 = 0;
-    let mut current: usize = 0;
-    let mut quantum_used: u64 = 0;
-    let mut heap_brk: u64 = HEAP_BASE;
-    let mut output: Vec<OutputLine> = Vec::new();
-    // Wtime is tracked per thread, but the process shares one clock.
-    let mut wtimes = WtimeTracker::new(1024);
-    let mut steps: u64 = 0;
-    const STEP_LIMIT: u64 = 2_000_000_000;
-
-    // Helper invoked when `current` can no longer run: pick the next ready
-    // thread (round robin) and charge a context switch.
-    macro_rules! reschedule {
-        ($threads:ident) => {{
-            if let Some(next) = ready.pop_front() {
-                if $threads[next].state == ThreadState::Ready {
-                    $threads[next].state = ThreadState::Running;
-                }
-                if next != current {
-                    clock += config.context_switch_cycles;
-                }
-                current = next;
-                quantum_used = 0;
-                true
-            } else {
-                false
-            }
-        }};
-    }
-
-    loop {
-        steps += 1;
-        if steps > STEP_LIMIT {
-            return Err(ExecError::new("simulation exceeded the step limit"));
-        }
-
-        // If the current thread cannot run, schedule another.
-        if threads[current].state != ThreadState::Running {
-            if !reschedule!(threads) {
-                // Nothing ready: either done or deadlocked.
-                if matches!(threads[0].state, ThreadState::Done { .. }) {
-                    break;
-                }
-                return Err(ExecError::new("thread deadlock: no runnable thread"));
-            }
-            continue;
-        }
-
-        // Preempt at quantum expiry when someone else is waiting.
-        if quantum_used >= config.sched_quantum_cycles && !ready.is_empty() {
-            threads[current].state = ThreadState::Ready;
-            ready.push_back(current);
-            let ok = reschedule!(threads);
-            debug_assert!(ok);
-            continue;
-        }
-
-        let outcome = threads[current].vm.run_until_event(program)?;
-        match outcome {
-            StepOutcome::Ran { cycles } => {
-                clock += cycles;
-                quantum_used += cycles;
-                threads[current].busy_cycles += cycles;
-            }
-            StepOutcome::Load { addr, kind, cycles } => {
-                clock += cycles;
-                let lat = chip.access(0, addr, false, clock);
-                sink.record(TraceEvent {
-                    core: 0,
-                    unit: current,
-                    cycle: clock,
-                    addr,
-                    region: MemorySystem::region_of(addr),
-                    latency: lat,
-                    write: false,
-                });
-                clock += lat;
-                quantum_used += cycles + lat;
-                threads[current].busy_cycles += cycles + lat;
-                let v = spaces.load(0, addr, kind);
-                threads[current].vm.provide_load(v);
-            }
-            StepOutcome::Store {
-                addr,
-                kind,
-                value,
-                cycles,
-            } => {
-                clock += cycles;
-                let lat = chip.access(0, addr, true, clock);
-                sink.record(TraceEvent {
-                    core: 0,
-                    unit: current,
-                    cycle: clock,
-                    addr,
-                    region: MemorySystem::region_of(addr),
-                    latency: lat,
-                    write: true,
-                });
-                clock += lat;
-                quantum_used += cycles + lat;
-                threads[current].busy_cycles += cycles + lat;
-                spaces.store(0, addr, kind, value);
-                threads[current].vm.store_done();
-            }
-            StepOutcome::Syscall {
-                intrinsic,
-                args,
-                cycles,
-            } => {
-                clock += cycles;
-                quantum_used += cycles;
-                match intrinsic {
-                    Intrinsic::PthreadCreate => {
-                        clock += syscall_cost::THREAD_CREATE;
-                        let handle_addr = args.first().copied().unwrap_or(Value::I(0)).as_addr();
-                        let func = args.get(2).copied().unwrap_or(Value::I(0)).as_i();
-                        let arg = args.get(3).copied().unwrap_or(Value::I(0));
-                        if func < 0 || func as usize >= program.funcs.len() {
-                            return Err(ExecError::new("pthread_create: bad thread function"));
-                        }
-                        let tid = threads.len();
-                        if tid >= 1024 {
-                            return Err(ExecError::new("too many threads (max 1024)"));
-                        }
-                        let stack = STACKS_BASE + tid as u64 * STACK_SIZE;
-                        threads.push(Thread {
-                            vm: Vm::new(program, func as u32, vec![arg], stack),
-                            state: ThreadState::Ready,
-                            busy_cycles: 0,
-                        });
-                        ready.push_back(tid);
-                        sink.sync(SyncEvent::ThreadStart {
-                            parent: current,
-                            unit: tid,
-                            func: func as u32,
-                            cycle: clock,
-                        });
-                        // Store the thread id into the pthread_t handle.
-                        spaces.store(0, handle_addr, hsm_vm::MemKind::I64, Value::I(tid as i64));
-                        threads[current].vm.syscall_return(Value::I(0));
-                    }
-                    Intrinsic::PthreadJoin => {
-                        clock += syscall_cost::JOIN;
-                        let target = args.first().copied().unwrap_or(Value::I(0)).as_i();
-                        if target < 0 || target as usize >= threads.len() {
-                            return Err(ExecError::new(format!(
-                                "pthread_join of unknown thread {target}"
-                            )));
-                        }
-                        let target = target as usize;
-                        if matches!(threads[target].state, ThreadState::Done { .. }) {
-                            sink.sync(SyncEvent::ThreadJoin {
-                                unit: current,
-                                target,
-                                cycle: clock,
-                            });
-                            threads[current].vm.syscall_return(Value::I(0));
-                        } else {
-                            threads[current].state = ThreadState::WaitingJoin { target };
-                            joiners.entry(target).or_default().push(current);
-                        }
-                    }
-                    Intrinsic::PthreadExit => {
-                        finish_thread(
-                            current,
-                            0,
-                            &mut threads,
-                            &mut joiners,
-                            &mut ready,
-                            clock,
-                            sink,
-                        );
-                    }
-                    Intrinsic::PthreadSelf => {
-                        threads[current].vm.syscall_return(Value::I(current as i64));
-                    }
-                    Intrinsic::MutexInit | Intrinsic::MutexDestroy => {
-                        threads[current].vm.syscall_return(Value::I(0));
-                    }
-                    Intrinsic::BarrierInit => {
-                        // pthread_barrier_init(&b, attr, count)
-                        let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
-                        let count =
-                            args.get(2).copied().unwrap_or(Value::I(1)).as_i().max(1) as usize;
-                        barriers.insert(key, (count, Vec::new()));
-                        threads[current].vm.syscall_return(Value::I(0));
-                    }
-                    Intrinsic::BarrierDestroy => {
-                        let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
-                        barriers.remove(&key);
-                        threads[current].vm.syscall_return(Value::I(0));
-                    }
-                    Intrinsic::BarrierWait => {
-                        clock += syscall_cost::MUTEX;
-                        let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
-                        let Some((count, waiting)) = barriers.get_mut(&key) else {
-                            return Err(ExecError::new(
-                                "pthread_barrier_wait on an uninitialized barrier",
-                            ));
-                        };
-                        waiting.push(current);
-                        if waiting.len() >= *count {
-                            // Release everyone; the last arriver returns
-                            // PTHREAD_BARRIER_SERIAL_THREAD (-1), others 0.
-                            let released = std::mem::take(waiting);
-                            let epoch = barrier_epoch;
-                            barrier_epoch += 1;
-                            for tid in &released {
-                                sink.sync(SyncEvent::BarrierArrive {
-                                    unit: *tid,
-                                    epoch,
-                                    cycle: clock,
-                                });
-                            }
-                            for (i, tid) in released.iter().enumerate() {
-                                let rv = if i + 1 == released.len() { -1 } else { 0 };
-                                sink.sync(SyncEvent::BarrierRelease {
-                                    unit: *tid,
-                                    epoch,
-                                    cycle: clock,
-                                });
-                                threads[*tid].vm.syscall_return(Value::I(rv));
-                                if *tid != current {
-                                    threads[*tid].state = ThreadState::Ready;
-                                    ready.push_back(*tid);
-                                }
-                            }
-                        } else {
-                            threads[current].state = ThreadState::WaitingBarrier { key };
-                        }
-                    }
-                    Intrinsic::MutexLock => {
-                        clock += syscall_cost::MUTEX;
-                        let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
-                        if let Some(owner) = mutex_owner.get(&key) {
-                            if *owner == current {
-                                return Err(ExecError::new(
-                                    "recursive mutex lock would self-deadlock",
-                                ));
-                            }
-                            mutex_waiters.entry(key).or_default().push_back(current);
-                            threads[current].state = ThreadState::WaitingMutex { key };
-                        } else {
-                            mutex_owner.insert(key, current);
-                            sink.sync(SyncEvent::LockAcquire {
-                                unit: current,
-                                lock: key,
-                                cycle: clock,
-                            });
-                            threads[current].vm.syscall_return(Value::I(0));
-                        }
-                    }
-                    Intrinsic::MutexUnlock => {
-                        clock += syscall_cost::MUTEX;
-                        let key = args.first().copied().unwrap_or(Value::I(0)).as_addr();
-                        if mutex_owner.get(&key) != Some(&current) {
-                            return Err(ExecError::new(
-                                "unlocking a mutex the thread does not hold",
-                            ));
-                        }
-                        mutex_owner.remove(&key);
-                        sink.sync(SyncEvent::LockRelease {
-                            unit: current,
-                            lock: key,
-                            cycle: clock,
-                        });
-                        if let Some(waiter) =
-                            mutex_waiters.get_mut(&key).and_then(|q| q.pop_front())
-                        {
-                            mutex_owner.insert(key, waiter);
-                            sink.sync(SyncEvent::LockAcquire {
-                                unit: waiter,
-                                lock: key,
-                                cycle: clock,
-                            });
-                            threads[waiter].state = ThreadState::Ready;
-                            threads[waiter].vm.syscall_return(Value::I(0));
-                            ready.push_back(waiter);
-                        }
-                        threads[current].vm.syscall_return(Value::I(0));
-                    }
-                    Intrinsic::Wtime | Intrinsic::RcceWtime => {
-                        wtimes.record(current.min(1023), clock);
-                        let secs = clock as f64 / (f64::from(config.core_freq_mhz) * 1e6);
-                        threads[current].vm.syscall_return(Value::F(secs));
-                    }
-                    Intrinsic::Printf => {
-                        clock += syscall_cost::PRINTF;
-                        let text = format_printf(0, &args, &spaces);
-                        output.push(OutputLine {
-                            at: clock,
-                            who: current,
-                            text,
-                        });
-                        threads[current].vm.syscall_return(Value::I(0));
-                    }
-                    Intrinsic::Malloc => {
-                        clock += syscall_cost::ALLOC;
-                        let bytes =
-                            args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as u64;
-                        let addr = heap_brk;
-                        heap_brk += (bytes + 31) & !31;
-                        threads[current].vm.syscall_return(Value::I(addr as i64));
-                    }
-                    Intrinsic::Exit => {
-                        let code = args.first().copied().unwrap_or(Value::I(0)).as_i();
-                        finish_thread(0, code, &mut threads, &mut joiners, &mut ready, clock, sink);
-                        break;
-                    }
-                    Intrinsic::Sqrt | Intrinsic::Fabs => {
-                        unreachable!("pure intrinsics run inline")
-                    }
-                    other => {
-                        return Err(ExecError::new(format!(
-                            "RCCE call {other:?} in a pthread program"
-                        )));
-                    }
-                }
-            }
-            StepOutcome::Finished { exit } => {
-                finish_thread(
-                    current,
-                    exit.as_i(),
-                    &mut threads,
-                    &mut joiners,
-                    &mut ready,
-                    clock,
-                    sink,
-                );
-                if current == 0 {
-                    // main returning ends the process.
-                    break;
-                }
-            }
-        }
-    }
-
-    let timed = wtimes.widest_interval().unwrap_or(clock);
-    output.sort_by_key(|l| (l.at, l.who));
-    let exit_code = match threads[0].state {
-        ThreadState::Done { exit } => exit,
-        _ => 0,
-    };
-    Ok(RunResult {
-        total_cycles: clock,
-        timed_cycles: timed,
-        output,
-        exit_code,
-        mem_stats: chip.stats(),
-        stats_matrix: chip.stats_matrix().clone(),
-        mpb_high_water: chip.mpb_high_water(),
-        per_unit_cycles: threads.iter().map(|t| t.busy_cycles).collect(),
-    })
+    run_pthread_model_traced(program, config, ExecModel::Coherent, sink)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn finish_thread<S: TraceSink>(
-    tid: usize,
-    exit: i64,
-    threads: &mut [Thread],
-    joiners: &mut HashMap<usize, Vec<usize>>,
-    ready: &mut VecDeque<usize>,
-    clock: u64,
+/// Runs `program` in pthread mode under an explicit [`ExecModel`].
+///
+/// # Errors
+///
+/// Same failure modes as [`run_pthread`].
+pub fn run_pthread_model(
+    program: &Program,
+    config: &SccConfig,
+    model: ExecModel,
+) -> Result<RunResult, ExecError> {
+    run_pthread_model_traced(program, config, model, &mut NullSink)
+}
+
+/// [`run_pthread_model`] with every memory access streamed to `sink`.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_pthread`].
+pub fn run_pthread_model_traced<S: TraceSink>(
+    program: &Program,
+    config: &SccConfig,
+    model: ExecModel,
     sink: &mut S,
-) {
-    threads[tid].state = ThreadState::Done { exit };
-    if let Some(waiting) = joiners.remove(&tid) {
-        for w in waiting {
-            sink.sync(SyncEvent::ThreadJoin {
-                unit: w,
-                target: tid,
-                cycle: clock,
-            });
-            threads[w].state = ThreadState::Ready;
-            threads[w].vm.syscall_return(Value::I(0));
-            ready.push_back(w);
+) -> Result<RunResult, ExecError> {
+    match model {
+        ExecModel::Coherent => {
+            ExecutionCore::run(program, config, PthreadSync::new(), Coherent, sink)
+        }
+        ExecModel::NonCoherentWriteBack => ExecutionCore::run(
+            program,
+            config,
+            PthreadSync::new(),
+            NonCoherentWriteBack::new(config.line_bytes),
+            sink,
+        ),
+        ExecModel::SeqCstReference => {
+            ExecutionCore::run(program, config, PthreadSync::new(), SeqCstReference, sink)
         }
     }
 }

@@ -1,15 +1,23 @@
 //! RCCE execution mode: N cores, each running the translated program,
 //! interleaved by a discrete-event scheduler that always advances the core
 //! with the smallest local clock.
+//!
+//! The interpreter itself is [`ExecutionCore`]; this module contributes
+//! only the RCCE semantics as a [`SyncModel`]: the discrete-event
+//! schedule, the symmetric heap/flag allocation discipline, barriers,
+//! test-and-set locks, flags, and send/recv rendezvous.
 
-use crate::machine::{DataSpaces, ExecError, OutputLine, RunResult, WtimeTracker};
-use crate::printf;
+use crate::coherence::{
+    CoherenceModel, Coherent, ExecModel, NonCoherentWriteBack, SeqCstReference,
+};
+use crate::engine::{Charge, ExecEnv, ExecutionCore, Flow, SyncModel, UnitState};
+use crate::machine::{ExecError, RunResult};
 use crate::syscall_cost;
-use crate::trace::{NullSink, SyncEvent, TraceEvent, TraceSink};
-use hsm_vm::compile::{Program, HEAP_BASE, STACKS_BASE, STACK_SIZE};
-use hsm_vm::{Intrinsic, StepOutcome, Value, Vm};
+use crate::trace::{NullSink, SyncEvent, TraceSink};
+use hsm_vm::compile::{Program, STACKS_BASE, STACK_SIZE};
+use hsm_vm::{Intrinsic, MemKind, Value};
 use rcce_rt::RcceRuntime;
-use scc_sim::{MemorySystem, SccConfig};
+use scc_sim::SccConfig;
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, PartialEq)]
@@ -43,20 +51,550 @@ enum CoreState {
     },
 }
 
-struct Core {
-    vm: Vm,
-    clock: u64,
-    state: CoreState,
-    alloc_seq: usize,
-    flag_seq: usize,
-    heap_brk: u64,
+/// The RCCE [`SyncModel`]: one unit per core, one private address space
+/// and heap arena each, discrete-event interleaving by local clock.
+struct RcceSync {
+    cores: usize,
+    rt: RcceRuntime,
+    states: Vec<CoreState>,
+    alloc_seq: Vec<usize>,
+    flag_seq: Vec<usize>,
     /// Local clock at the most recent barrier arrival: the per-core work
     /// completion time, before the barrier equalizes the clocks (used for
     /// the load-imbalance metric).
-    last_barrier_arrival: u64,
+    last_barrier_arrival: Vec<u64>,
+    /// Symmetric allocation log: the k-th allocation call returns the same
+    /// address on every core (RCCE's symmetric heap discipline).
+    alloc_log: Vec<u64>,
+    /// Flags: flag id -> per-UE value (each UE owns one copy in its MPB
+    /// slice, as in the real library). Allocation is symmetric like the
+    /// heap: the k-th RCCE_flag_alloc on every core names the same flag.
+    flags: Vec<Vec<i64>>,
+    /// Last core that wrote each flag copy, for the sync-event stream: a
+    /// satisfied RCCE_wait_until is a hand-off from that writer.
+    flag_writer: Vec<Vec<Option<usize>>>,
+    /// Lock state (test-and-set registers, managed at event level so
+    /// waiters block instead of spinning the DES).
+    lock_owner: Vec<Option<usize>>,
+    lock_waiters: Vec<VecDeque<usize>>,
 }
 
-/// Runs `program` on `cores` simulated SCC cores in RCCE mode.
+impl RcceSync {
+    fn new(cores: usize, config: &SccConfig) -> Self {
+        RcceSync {
+            cores,
+            rt: RcceRuntime::new(cores, config),
+            states: vec![CoreState::Running; cores],
+            alloc_seq: vec![0; cores],
+            flag_seq: vec![0; cores],
+            last_barrier_arrival: vec![0; cores],
+            alloc_log: Vec::new(),
+            flags: Vec::new(),
+            flag_writer: Vec::new(),
+            lock_owner: vec![None; config.cores],
+            lock_waiters: vec![VecDeque::new(); config.cores],
+        }
+    }
+
+    /// Resolves a flag handle argument to a flag id, through the calling
+    /// unit's memory view.
+    fn flag_id<C: CoherenceModel>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+        core: usize,
+        handle: Option<&Value>,
+    ) -> Result<usize, ExecError> {
+        let Some(handle) = handle else {
+            return Err(ExecError::new("flag call without a flag handle"));
+        };
+        let id = env
+            .mem_load(core, core, handle.as_addr(), MemKind::I64)
+            .as_i();
+        let count = self.flags.len();
+        if id < 0 || id as usize >= count {
+            return Err(ExecError::new(format!(
+                "flag handle {id} out of range (allocated: {count})"
+            )));
+        }
+        Ok(id as usize)
+    }
+
+    /// Performs the rendezvous data movement of one send/recv pair: the
+    /// payload moves sender -> MPB -> receiver, both cores resuming at the
+    /// completion time. Each side is a `(core, buffer)` pair.
+    fn transfer<C: CoherenceModel, S: TraceSink>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+        sink: &mut S,
+        (src, src_buf): (usize, u64),
+        (dst, dst_buf): (usize, u64),
+        bytes: usize,
+    ) {
+        env.copy_cross((src, src, src_buf), (dst, dst, dst_buf), bytes);
+        let meet = env.units[src].clock.max(env.units[dst].clock);
+        let cost = self.rt.put_get_cost(&env.chip, src, dst, bytes)
+            + self.rt.put_get_cost(&env.chip, dst, dst, bytes);
+        let done = meet + cost;
+        env.units[src].clock = done;
+        env.units[dst].clock = done;
+        // The rendezvous orders both sides against each other.
+        sink.sync(SyncEvent::Message {
+            from: src,
+            to: dst,
+            cycle: done,
+        });
+        sink.sync(SyncEvent::Message {
+            from: dst,
+            to: src,
+            cycle: done,
+        });
+    }
+}
+
+impl SyncModel for RcceSync {
+    fn unit_count(&self) -> usize {
+        self.cores
+    }
+
+    fn space_count(&self) -> usize {
+        self.cores
+    }
+
+    fn heap_slots(&self) -> usize {
+        self.cores
+    }
+
+    fn wtime_slots(&self) -> usize {
+        self.cores
+    }
+
+    fn core_of(&self, unit: usize) -> usize {
+        unit
+    }
+
+    fn heap_slot(&self, unit: usize) -> usize {
+        unit
+    }
+
+    fn stack_base(&self, unit: usize) -> u64 {
+        STACKS_BASE + unit as u64 * STACK_SIZE
+    }
+
+    fn schedule<C: CoherenceModel>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+    ) -> Result<Option<usize>, ExecError> {
+        // Pick the running core with the smallest clock.
+        let next = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == CoreState::Running)
+            .min_by_key(|(i, _)| (env.units[*i].clock, *i))
+            .map(|(i, _)| i);
+        match next {
+            Some(core) => Ok(Some(core)),
+            None => {
+                if self
+                    .states
+                    .iter()
+                    .all(|s| matches!(s, CoreState::Done { .. }))
+                {
+                    Ok(None)
+                } else {
+                    Err(ExecError::new(
+                        "deadlock: no runnable core but not all cores finished",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn charge(&mut self, unit: &mut UnitState, cycles: u64, _kind: Charge) {
+        // RCCE bills everything to the core's local clock; balance is
+        // measured by barrier-arrival time, not busy cycles.
+        unit.clock += cycles;
+    }
+
+    fn syscall<C: CoherenceModel, S: TraceSink>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+        sink: &mut S,
+        unit: usize,
+        intr: Intrinsic,
+        args: &[Value],
+    ) -> Result<Flow, ExecError> {
+        let core = unit;
+        let cores = self.cores;
+        let ret = match intr {
+            Intrinsic::RcceInit => {
+                env.units[core].clock += syscall_cost::RCCE_INIT;
+                Value::I(0)
+            }
+            Intrinsic::RcceFinalize => {
+                env.units[core].clock += syscall_cost::RCCE_FINALIZE;
+                Value::I(0)
+            }
+            Intrinsic::RcceUe => Value::I(core as i64),
+            Intrinsic::RcceNumUes => Value::I(cores as i64),
+            Intrinsic::RcceShmalloc | Intrinsic::RcceMpbMalloc => {
+                let bytes = args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
+                env.units[core].clock += syscall_cost::ALLOC;
+                let seq = self.alloc_seq[core];
+                self.alloc_seq[core] += 1;
+                let addr = if seq < self.alloc_log.len() {
+                    self.alloc_log[seq]
+                } else {
+                    let a = match intr {
+                        Intrinsic::RcceShmalloc => self
+                            .rt
+                            .shmalloc(bytes)
+                            .map_err(|e| ExecError::new(e.to_string()))?,
+                        _ => self
+                            .rt
+                            .mpb_malloc(&mut env.chip, bytes)
+                            .map_err(|e| ExecError::new(e.to_string()))?,
+                    };
+                    self.alloc_log.push(a);
+                    a
+                };
+                Value::I(addr as i64)
+            }
+            Intrinsic::RcceBarrier => {
+                // The software coherence point: translated programs write
+                // their modified shared lines back before waiting.
+                env.coherence
+                    .flush_unit(unit, core, &mut env.spaces, &mut env.chip);
+                let now = env.units[core].clock;
+                self.last_barrier_arrival[core] = now;
+                self.states[core] = CoreState::InBarrier { arrived_at: now };
+                // No syscall_return: the VM stays pending until released.
+                return Ok(Flow::Continue);
+            }
+            Intrinsic::RcceAcquireLock => {
+                let id = args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as usize
+                    % self.lock_owner.len();
+                let trip = env.chip.mesh.mpb_round_trip(core, id).max(2);
+                env.units[core].clock += trip;
+                if self.lock_owner[id].is_none() {
+                    self.lock_owner[id] = Some(core);
+                    sink.sync(SyncEvent::LockAcquire {
+                        unit: core,
+                        lock: id as u64,
+                        cycle: env.units[core].clock,
+                    });
+                    Value::I(0)
+                } else {
+                    self.lock_waiters[id].push_back(core);
+                    self.states[core] = CoreState::WaitingLock { id };
+                    return Ok(Flow::Continue);
+                }
+            }
+            Intrinsic::RcceReleaseLock => {
+                let id = args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as usize
+                    % self.lock_owner.len();
+                let trip = env.chip.mesh.mpb_round_trip(core, id).max(2);
+                env.units[core].clock += trip;
+                if self.lock_owner[id] != Some(core) {
+                    return Err(ExecError::new(format!(
+                        "core {core} released lock {id} it does not hold"
+                    )));
+                }
+                self.lock_owner[id] = None;
+                sink.sync(SyncEvent::LockRelease {
+                    unit: core,
+                    lock: id as u64,
+                    cycle: env.units[core].clock,
+                });
+                if let Some(waiter) = self.lock_waiters[id].pop_front() {
+                    self.lock_owner[id] = Some(waiter);
+                    let grant = env.units[core].clock.max(env.units[waiter].clock)
+                        + env.chip.mesh.mpb_round_trip(waiter, id).max(2);
+                    env.units[waiter].clock = grant;
+                    sink.sync(SyncEvent::LockAcquire {
+                        unit: waiter,
+                        lock: id as u64,
+                        cycle: grant,
+                    });
+                    self.states[waiter] = CoreState::Running;
+                    env.units[waiter].vm.syscall_return(Value::I(0));
+                }
+                Value::I(0)
+            }
+            Intrinsic::RccePut | Intrinsic::RcceGet => {
+                let dst = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                let src = args.get(1).copied().unwrap_or(Value::I(0)).as_addr();
+                let bytes = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
+                let target = args.get(3).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize
+                    % cores.max(1);
+                env.copy_bytes(unit, core, dst, src, bytes);
+                env.units[core].clock += self.rt.put_get_cost(&env.chip, core, target, bytes);
+                Value::I(0)
+            }
+            Intrinsic::Exit => {
+                let code = args.first().copied().unwrap_or(Value::I(0)).as_i();
+                self.states[core] = CoreState::Done { exit: code };
+                return Ok(Flow::Continue);
+            }
+            Intrinsic::RcceFlagAlloc => {
+                env.units[core].clock += syscall_cost::ALLOC;
+                let seq = self.flag_seq[core];
+                self.flag_seq[core] += 1;
+                if seq >= self.flags.len() {
+                    self.flags.push(vec![0; cores]);
+                    self.flag_writer.push(vec![None; cores]);
+                }
+                if let Some(handle) = args.first() {
+                    env.mem_store(
+                        core,
+                        core,
+                        handle.as_addr(),
+                        MemKind::I64,
+                        Value::I(seq as i64),
+                    );
+                }
+                Value::I(0)
+            }
+            Intrinsic::RcceFlagWrite => {
+                // RCCE_flag_write(&flag, value, ue)
+                let id = self.flag_id(env, core, args.first())?;
+                let value = args.get(1).copied().unwrap_or(Value::I(0)).as_i();
+                let ue = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
+                env.units[core].clock += env.chip.mesh.mpb_round_trip(core, ue).max(2)
+                    + env.chip.config.mpb_access_cycles;
+                self.flags[id][ue] = value;
+                self.flag_writer[id][ue] = Some(core);
+                // Wake a waiter spinning on this copy.
+                if self.states[ue] == (CoreState::WaitingFlag { flag: id, value }) {
+                    let wake = env.units[core].clock.max(env.units[ue].clock)
+                        + env.chip.config.mpb_access_cycles;
+                    env.units[ue].clock = wake;
+                    if ue != core {
+                        sink.sync(SyncEvent::Message {
+                            from: core,
+                            to: ue,
+                            cycle: wake,
+                        });
+                    }
+                    self.states[ue] = CoreState::Running;
+                    env.units[ue].vm.syscall_return(Value::I(0));
+                }
+                Value::I(0)
+            }
+            Intrinsic::RcceFlagRead => {
+                // RCCE_flag_read(&flag, &out, ue)
+                let id = self.flag_id(env, core, args.first())?;
+                let ue = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
+                env.units[core].clock += env.chip.mesh.mpb_round_trip(core, ue).max(2)
+                    + env.chip.config.mpb_access_cycles;
+                let v = self.flags[id][ue];
+                // Observing a remote write through a flag read is a hand-off.
+                if let Some(writer) = self.flag_writer[id][ue] {
+                    if writer != core {
+                        sink.sync(SyncEvent::Message {
+                            from: writer,
+                            to: core,
+                            cycle: env.units[core].clock,
+                        });
+                    }
+                }
+                if let Some(out) = args.get(1) {
+                    if out.as_i() != 0 {
+                        env.mem_store(core, core, out.as_addr(), MemKind::I64, Value::I(v));
+                    }
+                }
+                Value::I(v)
+            }
+            Intrinsic::RcceWaitUntil => {
+                // RCCE_wait_until(&flag, value) — spins on the caller's copy.
+                let id = self.flag_id(env, core, args.first())?;
+                let value = args.get(1).copied().unwrap_or(Value::I(0)).as_i();
+                env.units[core].clock += env.chip.config.mpb_access_cycles;
+                if self.flags[id][core] == value {
+                    // Already satisfied: the last writer of this copy handed
+                    // off to us without blocking.
+                    if let Some(writer) = self.flag_writer[id][core] {
+                        if writer != core {
+                            sink.sync(SyncEvent::Message {
+                                from: writer,
+                                to: core,
+                                cycle: env.units[core].clock,
+                            });
+                        }
+                    }
+                    Value::I(0)
+                } else {
+                    self.states[core] = CoreState::WaitingFlag { flag: id, value };
+                    return Ok(Flow::Continue);
+                }
+            }
+            Intrinsic::RcceSend => {
+                // RCCE_send(buf, size, dest) — synchronous rendezvous.
+                let buf = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                let size = args.get(1).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
+                let dst =
+                    args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
+                if let CoreState::WaitingRecv {
+                    src,
+                    buf: rbuf,
+                    size: rsize,
+                } = self.states[dst]
+                {
+                    if src == core {
+                        let n = size.min(rsize);
+                        self.transfer(env, sink, (core, buf), (dst, rbuf), n);
+                        self.states[dst] = CoreState::Running;
+                        env.units[dst].vm.syscall_return(Value::I(0));
+                        Value::I(0)
+                    } else {
+                        self.states[core] = CoreState::WaitingSend { dst, buf, size };
+                        return Ok(Flow::Continue);
+                    }
+                } else {
+                    self.states[core] = CoreState::WaitingSend { dst, buf, size };
+                    return Ok(Flow::Continue);
+                }
+            }
+            Intrinsic::RcceRecv => {
+                // RCCE_recv(buf, size, src).
+                let buf = args.first().copied().unwrap_or(Value::I(0)).as_addr();
+                let size = args.get(1).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
+                let src =
+                    args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
+                if let CoreState::WaitingSend {
+                    dst,
+                    buf: sbuf,
+                    size: ssize,
+                } = self.states[src]
+                {
+                    if dst == core {
+                        let n = size.min(ssize);
+                        self.transfer(env, sink, (src, sbuf), (core, buf), n);
+                        self.states[src] = CoreState::Running;
+                        env.units[src].vm.syscall_return(Value::I(0));
+                        Value::I(0)
+                    } else {
+                        self.states[core] = CoreState::WaitingRecv { src, buf, size };
+                        return Ok(Flow::Continue);
+                    }
+                } else {
+                    self.states[core] = CoreState::WaitingRecv { src, buf, size };
+                    return Ok(Flow::Continue);
+                }
+            }
+            other => {
+                return Err(ExecError::new(format!(
+                    "pthread call {other:?} reached RCCE mode: translation incomplete"
+                )));
+            }
+        };
+        env.units[core].vm.syscall_return(ret);
+        Ok(Flow::Continue)
+    }
+
+    fn finished<C: CoherenceModel, S: TraceSink>(
+        &mut self,
+        _env: &mut ExecEnv<C>,
+        _sink: &mut S,
+        unit: usize,
+        exit: i64,
+    ) -> Result<Flow, ExecError> {
+        self.states[unit] = CoreState::Done { exit };
+        // The run ends when the scheduler finds every core Done.
+        Ok(Flow::Continue)
+    }
+
+    fn post_step<C: CoherenceModel, S: TraceSink>(
+        &mut self,
+        env: &mut ExecEnv<C>,
+        sink: &mut S,
+    ) -> Result<(), ExecError> {
+        // Barrier release check: all live cores waiting?
+        let total = self.states.len();
+        let in_barrier = self
+            .states
+            .iter()
+            .filter(|s| matches!(s, CoreState::InBarrier { .. }))
+            .count();
+        if in_barrier == 0 {
+            return Ok(());
+        }
+        let done = self
+            .states
+            .iter()
+            .filter(|s| matches!(s, CoreState::Done { .. }))
+            .count();
+        // RCCE_barrier(&RCCE_COMM_WORLD) involves every UE: if any core has
+        // already exited, the arrivals can never complete — on silicon the
+        // program would hang.
+        if done > 0 && in_barrier + done == total {
+            return Err(ExecError::new(
+                "barrier deadlock: some cores exited before the barrier",
+            ));
+        }
+        if in_barrier < total {
+            return Ok(());
+        }
+        let latest = self
+            .states
+            .iter()
+            .filter_map(|s| match s {
+                CoreState::InBarrier { arrived_at } => Some(*arrived_at),
+                _ => None,
+            })
+            .max()
+            .expect("at least one in barrier");
+        let release = latest + self.rt.barrier_cost(&env.chip);
+        let epoch = env.barrier_epoch;
+        env.barrier_epoch += 1;
+        for (i, s) in self.states.iter().enumerate() {
+            if let CoreState::InBarrier { arrived_at } = s {
+                sink.sync(SyncEvent::BarrierArrive {
+                    unit: i,
+                    epoch,
+                    cycle: *arrived_at,
+                });
+            }
+        }
+        for (i, s) in self.states.iter_mut().enumerate() {
+            if matches!(s, CoreState::InBarrier { .. }) {
+                sink.sync(SyncEvent::BarrierRelease {
+                    unit: i,
+                    epoch,
+                    cycle: release,
+                });
+                env.units[i].clock = release;
+                *s = CoreState::Running;
+                env.units[i].vm.syscall_return(Value::I(0));
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize<C: CoherenceModel>(&self, env: &ExecEnv<C>) -> (u64, Vec<u64>, i64) {
+        let total = env.units.iter().map(|u| u.clock).max().unwrap_or(0);
+        let per_unit = env
+            .units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                if self.last_barrier_arrival[i] > 0 {
+                    self.last_barrier_arrival[i]
+                } else {
+                    u.clock
+                }
+            })
+            .collect();
+        let exit = match self.states[0] {
+            CoreState::Done { exit } => exit,
+            _ => 0,
+        };
+        (total, per_unit, exit)
+    }
+}
+
+/// Runs `program` on `cores` simulated SCC cores in RCCE mode, under the
+/// [`Coherent`] memory model.
 ///
 /// Every core executes the whole program (the RCCE model: one binary per
 /// UE); they synchronize through barriers and test-and-set locks and share
@@ -89,624 +627,62 @@ pub fn run_rcce_traced<S: TraceSink>(
     config: &SccConfig,
     sink: &mut S,
 ) -> Result<RunResult, ExecError> {
+    run_rcce_model_traced(program, cores, config, ExecModel::Coherent, sink)
+}
+
+/// Runs `program` in RCCE mode under an explicit [`ExecModel`].
+///
+/// # Errors
+///
+/// Same failure modes as [`run_rcce`].
+pub fn run_rcce_model(
+    program: &Program,
+    cores: usize,
+    config: &SccConfig,
+    model: ExecModel,
+) -> Result<RunResult, ExecError> {
+    run_rcce_model_traced(program, cores, config, model, &mut NullSink)
+}
+
+/// [`run_rcce_model`] with every memory access streamed to `sink`.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_rcce`].
+pub fn run_rcce_model_traced<S: TraceSink>(
+    program: &Program,
+    cores: usize,
+    config: &SccConfig,
+    model: ExecModel,
+    sink: &mut S,
+) -> Result<RunResult, ExecError> {
     if cores == 0 || cores > config.cores {
         return Err(ExecError::new(format!(
             "core count {cores} outside 1..={}",
             config.cores
         )));
     }
-    let mut chip = MemorySystem::new(config.clone());
-    let mut rt = RcceRuntime::new(cores, config);
-    let mut spaces = DataSpaces::new(cores);
-    for core in 0..cores {
-        spaces.load_image(core, &program.image);
+    match model {
+        ExecModel::Coherent => ExecutionCore::run(
+            program,
+            config,
+            RcceSync::new(cores, config),
+            Coherent,
+            sink,
+        ),
+        ExecModel::NonCoherentWriteBack => ExecutionCore::run(
+            program,
+            config,
+            RcceSync::new(cores, config),
+            NonCoherentWriteBack::new(config.line_bytes),
+            sink,
+        ),
+        ExecModel::SeqCstReference => ExecutionCore::run(
+            program,
+            config,
+            RcceSync::new(cores, config),
+            SeqCstReference,
+            sink,
+        ),
     }
-
-    let mut cs: Vec<Core> = (0..cores)
-        .map(|i| Core {
-            vm: Vm::new(
-                program,
-                program.entry,
-                vec![],
-                STACKS_BASE + i as u64 * STACK_SIZE,
-            ),
-            clock: 0,
-            state: CoreState::Running,
-            alloc_seq: 0,
-            flag_seq: 0,
-            heap_brk: HEAP_BASE,
-            last_barrier_arrival: 0,
-        })
-        .collect();
-
-    // Symmetric allocation log: the k-th allocation call returns the same
-    // address on every core (RCCE's symmetric heap discipline).
-    let mut alloc_log: Vec<u64> = Vec::new();
-    // Flags: flag id -> per-UE value (each UE owns one copy in its MPB
-    // slice, as in the real library). Allocation is symmetric like the
-    // heap: the k-th RCCE_flag_alloc on every core names the same flag.
-    let mut flags: Vec<Vec<i64>> = Vec::new();
-    // Last core that wrote each flag copy, for the sync-event stream: a
-    // satisfied RCCE_wait_until is a hand-off from that writer.
-    let mut flag_writer: Vec<Vec<Option<usize>>> = Vec::new();
-    // Monotone counter naming barrier episodes in the sync-event stream.
-    let mut barrier_epoch: u64 = 0;
-
-    // Lock state (test-and-set registers, managed at event level so
-    // waiters block instead of spinning the DES).
-    let mut lock_owner: Vec<Option<usize>> = vec![None; config.cores];
-    let mut lock_waiters: Vec<VecDeque<usize>> = vec![VecDeque::new(); config.cores];
-
-    let mut output: Vec<OutputLine> = Vec::new();
-    let mut wtimes = WtimeTracker::new(cores);
-    let mut steps: u64 = 0;
-    const STEP_LIMIT: u64 = 2_000_000_000;
-
-    loop {
-        // Pick the running core with the smallest clock.
-        let next = cs
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.state == CoreState::Running)
-            .min_by_key(|(i, c)| (c.clock, *i))
-            .map(|(i, _)| i);
-        let Some(core) = next else {
-            if cs.iter().all(|c| matches!(c.state, CoreState::Done { .. })) {
-                break;
-            }
-            return Err(ExecError::new(
-                "deadlock: no runnable core but not all cores finished",
-            ));
-        };
-        steps += 1;
-        if steps > STEP_LIMIT {
-            return Err(ExecError::new("simulation exceeded the step limit"));
-        }
-
-        let outcome = cs[core].vm.run_until_event(program)?;
-        match outcome {
-            StepOutcome::Ran { cycles } => cs[core].clock += cycles,
-            StepOutcome::Load { addr, kind, cycles } => {
-                cs[core].clock += cycles;
-                let lat = chip.access(core, addr, false, cs[core].clock);
-                sink.record(TraceEvent {
-                    core,
-                    unit: core,
-                    cycle: cs[core].clock,
-                    addr,
-                    region: MemorySystem::region_of(addr),
-                    latency: lat,
-                    write: false,
-                });
-                cs[core].clock += lat;
-                let v = spaces.load(core, addr, kind);
-                cs[core].vm.provide_load(v);
-            }
-            StepOutcome::Store {
-                addr,
-                kind,
-                value,
-                cycles,
-            } => {
-                cs[core].clock += cycles;
-                let lat = chip.access(core, addr, true, cs[core].clock);
-                sink.record(TraceEvent {
-                    core,
-                    unit: core,
-                    cycle: cs[core].clock,
-                    addr,
-                    region: MemorySystem::region_of(addr),
-                    latency: lat,
-                    write: true,
-                });
-                cs[core].clock += lat;
-                spaces.store(core, addr, kind, value);
-                cs[core].vm.store_done();
-            }
-            StepOutcome::Syscall {
-                intrinsic,
-                args,
-                cycles,
-            } => {
-                cs[core].clock += cycles;
-                handle_syscall(
-                    core,
-                    intrinsic,
-                    &args,
-                    &mut cs,
-                    &mut chip,
-                    &mut rt,
-                    &mut spaces,
-                    &mut alloc_log,
-                    &mut flags,
-                    &mut flag_writer,
-                    &mut lock_owner,
-                    &mut lock_waiters,
-                    &mut output,
-                    &mut wtimes,
-                    cores,
-                    sink,
-                )?;
-            }
-            StepOutcome::Finished { exit } => {
-                cs[core].state = CoreState::Done { exit: exit.as_i() };
-            }
-        }
-
-        // Barrier release check: all live cores waiting?
-        try_release_barrier(&mut cs, &rt, &chip, &mut barrier_epoch, sink)?;
-    }
-
-    let total = cs.iter().map(|c| c.clock).max().unwrap_or(0);
-    let timed = wtimes.widest_interval().unwrap_or(total);
-    output.sort_by_key(|l| (l.at, l.who));
-    let exit_code = match cs[0].state {
-        CoreState::Done { exit } => exit,
-        _ => 0,
-    };
-    Ok(RunResult {
-        total_cycles: total,
-        timed_cycles: timed,
-        output,
-        exit_code,
-        mem_stats: chip.stats(),
-        stats_matrix: chip.stats_matrix().clone(),
-        mpb_high_water: chip.mpb_high_water(),
-        per_unit_cycles: cs
-            .iter()
-            .map(|c| {
-                if c.last_barrier_arrival > 0 {
-                    c.last_barrier_arrival
-                } else {
-                    c.clock
-                }
-            })
-            .collect(),
-    })
-}
-
-fn try_release_barrier<S: TraceSink>(
-    cs: &mut [Core],
-    rt: &RcceRuntime,
-    chip: &MemorySystem,
-    barrier_epoch: &mut u64,
-    sink: &mut S,
-) -> Result<(), ExecError> {
-    let total = cs.len();
-    let in_barrier = cs
-        .iter()
-        .filter(|c| matches!(c.state, CoreState::InBarrier { .. }))
-        .count();
-    if in_barrier == 0 {
-        return Ok(());
-    }
-    let done = cs
-        .iter()
-        .filter(|c| matches!(c.state, CoreState::Done { .. }))
-        .count();
-    // RCCE_barrier(&RCCE_COMM_WORLD) involves every UE: if any core has
-    // already exited, the arrivals can never complete — on silicon the
-    // program would hang.
-    if done > 0 && in_barrier + done == total {
-        return Err(ExecError::new(
-            "barrier deadlock: some cores exited before the barrier",
-        ));
-    }
-    if in_barrier < total {
-        return Ok(());
-    }
-    let latest = cs
-        .iter()
-        .filter_map(|c| match c.state {
-            CoreState::InBarrier { arrived_at } => Some(arrived_at),
-            _ => None,
-        })
-        .max()
-        .expect("at least one in barrier");
-    let release = latest + rt.barrier_cost(chip);
-    let epoch = *barrier_epoch;
-    *barrier_epoch += 1;
-    for (i, c) in cs.iter().enumerate() {
-        if let CoreState::InBarrier { arrived_at } = c.state {
-            sink.sync(SyncEvent::BarrierArrive {
-                unit: i,
-                epoch,
-                cycle: arrived_at,
-            });
-        }
-    }
-    for (i, c) in cs.iter_mut().enumerate() {
-        if matches!(c.state, CoreState::InBarrier { .. }) {
-            sink.sync(SyncEvent::BarrierRelease {
-                unit: i,
-                epoch,
-                cycle: release,
-            });
-            c.clock = release;
-            c.state = CoreState::Running;
-            c.vm.syscall_return(Value::I(0));
-        }
-    }
-    Ok(())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn handle_syscall<S: TraceSink>(
-    core: usize,
-    intr: Intrinsic,
-    args: &[Value],
-    cs: &mut [Core],
-    chip: &mut MemorySystem,
-    rt: &mut RcceRuntime,
-    spaces: &mut DataSpaces,
-    alloc_log: &mut Vec<u64>,
-    flags: &mut Vec<Vec<i64>>,
-    flag_writer: &mut Vec<Vec<Option<usize>>>,
-    lock_owner: &mut [Option<usize>],
-    lock_waiters: &mut [VecDeque<usize>],
-    output: &mut Vec<OutputLine>,
-    wtimes: &mut WtimeTracker,
-    cores: usize,
-    sink: &mut S,
-) -> Result<(), ExecError> {
-    let ret = match intr {
-        Intrinsic::RcceInit => {
-            cs[core].clock += syscall_cost::RCCE_INIT;
-            Value::I(0)
-        }
-        Intrinsic::RcceFinalize => {
-            cs[core].clock += syscall_cost::RCCE_FINALIZE;
-            Value::I(0)
-        }
-        Intrinsic::RcceUe => Value::I(core as i64),
-        Intrinsic::RcceNumUes => Value::I(cores as i64),
-        Intrinsic::RcceShmalloc | Intrinsic::RcceMpbMalloc => {
-            let bytes = args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
-            cs[core].clock += syscall_cost::ALLOC;
-            let seq = cs[core].alloc_seq;
-            cs[core].alloc_seq += 1;
-            let addr = if seq < alloc_log.len() {
-                alloc_log[seq]
-            } else {
-                let a = match intr {
-                    Intrinsic::RcceShmalloc => rt
-                        .shmalloc(bytes)
-                        .map_err(|e| ExecError::new(e.to_string()))?,
-                    _ => rt
-                        .mpb_malloc(chip, bytes)
-                        .map_err(|e| ExecError::new(e.to_string()))?,
-                };
-                alloc_log.push(a);
-                a
-            };
-            Value::I(addr as i64)
-        }
-        Intrinsic::RcceBarrier => {
-            cs[core].last_barrier_arrival = cs[core].clock;
-            cs[core].state = CoreState::InBarrier {
-                arrived_at: cs[core].clock,
-            };
-            // No syscall_return: the VM stays pending until released.
-            return Ok(());
-        }
-        Intrinsic::RcceAcquireLock => {
-            let id = args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as usize
-                % lock_owner.len();
-            let trip = chip.mesh.mpb_round_trip(core, id).max(2);
-            cs[core].clock += trip;
-            if lock_owner[id].is_none() {
-                lock_owner[id] = Some(core);
-                sink.sync(SyncEvent::LockAcquire {
-                    unit: core,
-                    lock: id as u64,
-                    cycle: cs[core].clock,
-                });
-                Value::I(0)
-            } else {
-                lock_waiters[id].push_back(core);
-                cs[core].state = CoreState::WaitingLock { id };
-                return Ok(());
-            }
-        }
-        Intrinsic::RcceReleaseLock => {
-            let id = args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as usize
-                % lock_owner.len();
-            let trip = chip.mesh.mpb_round_trip(core, id).max(2);
-            cs[core].clock += trip;
-            if lock_owner[id] != Some(core) {
-                return Err(ExecError::new(format!(
-                    "core {core} released lock {id} it does not hold"
-                )));
-            }
-            lock_owner[id] = None;
-            sink.sync(SyncEvent::LockRelease {
-                unit: core,
-                lock: id as u64,
-                cycle: cs[core].clock,
-            });
-            if let Some(waiter) = lock_waiters[id].pop_front() {
-                lock_owner[id] = Some(waiter);
-                let grant = cs[core].clock.max(cs[waiter].clock)
-                    + chip.mesh.mpb_round_trip(waiter, id).max(2);
-                cs[waiter].clock = grant;
-                sink.sync(SyncEvent::LockAcquire {
-                    unit: waiter,
-                    lock: id as u64,
-                    cycle: grant,
-                });
-                cs[waiter].state = CoreState::Running;
-                cs[waiter].vm.syscall_return(Value::I(0));
-            }
-            Value::I(0)
-        }
-        Intrinsic::RcceWtime | Intrinsic::Wtime => {
-            wtimes.record(core, cs[core].clock);
-            Value::F(rt.wtime(cs[core].clock))
-        }
-        Intrinsic::RccePut | Intrinsic::RcceGet => {
-            let dst = args.first().copied().unwrap_or(Value::I(0)).as_addr();
-            let src = args.get(1).copied().unwrap_or(Value::I(0)).as_addr();
-            let bytes = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
-            let target =
-                args.get(3).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores.max(1);
-            spaces.copy_bytes(core, dst, src, bytes);
-            cs[core].clock += rt.put_get_cost(chip, core, target, bytes);
-            Value::I(0)
-        }
-        Intrinsic::Printf => {
-            cs[core].clock += syscall_cost::PRINTF;
-            let text = format_printf(core, args, spaces);
-            output.push(OutputLine {
-                at: cs[core].clock,
-                who: core,
-                text,
-            });
-            Value::I(0)
-        }
-        Intrinsic::Malloc => {
-            let bytes = args.first().copied().unwrap_or(Value::I(0)).as_i().max(0) as u64;
-            cs[core].clock += syscall_cost::ALLOC;
-            let addr = cs[core].heap_brk;
-            cs[core].heap_brk += (bytes + 31) & !31;
-            Value::I(addr as i64)
-        }
-        Intrinsic::Exit => {
-            let code = args.first().copied().unwrap_or(Value::I(0)).as_i();
-            cs[core].state = CoreState::Done { exit: code };
-            return Ok(());
-        }
-        Intrinsic::RcceFlagAlloc => {
-            cs[core].clock += syscall_cost::ALLOC;
-            let seq = cs[core].flag_seq;
-            cs[core].flag_seq += 1;
-            if seq >= flags.len() {
-                flags.push(vec![0; cores]);
-                flag_writer.push(vec![None; cores]);
-            }
-            if let Some(handle) = args.first() {
-                spaces.store(
-                    core,
-                    handle.as_addr(),
-                    hsm_vm::MemKind::I64,
-                    Value::I(seq as i64),
-                );
-            }
-            Value::I(0)
-        }
-        Intrinsic::RcceFlagWrite => {
-            // RCCE_flag_write(&flag, value, ue)
-            let id = flag_id(core, args.first(), spaces, flags.len())?;
-            let value = args.get(1).copied().unwrap_or(Value::I(0)).as_i();
-            let ue = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
-            cs[core].clock +=
-                chip.mesh.mpb_round_trip(core, ue).max(2) + chip.config.mpb_access_cycles;
-            flags[id][ue] = value;
-            flag_writer[id][ue] = Some(core);
-            // Wake a waiter spinning on this copy.
-            if cs[ue].state == (CoreState::WaitingFlag { flag: id, value }) {
-                let wake = cs[core].clock.max(cs[ue].clock) + chip.config.mpb_access_cycles;
-                cs[ue].clock = wake;
-                if ue != core {
-                    sink.sync(SyncEvent::Message {
-                        from: core,
-                        to: ue,
-                        cycle: wake,
-                    });
-                }
-                cs[ue].state = CoreState::Running;
-                cs[ue].vm.syscall_return(Value::I(0));
-            }
-            Value::I(0)
-        }
-        Intrinsic::RcceFlagRead => {
-            // RCCE_flag_read(&flag, &out, ue)
-            let id = flag_id(core, args.first(), spaces, flags.len())?;
-            let ue = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
-            cs[core].clock +=
-                chip.mesh.mpb_round_trip(core, ue).max(2) + chip.config.mpb_access_cycles;
-            let v = flags[id][ue];
-            // Observing a remote write through a flag read is a hand-off.
-            if let Some(writer) = flag_writer[id][ue] {
-                if writer != core {
-                    sink.sync(SyncEvent::Message {
-                        from: writer,
-                        to: core,
-                        cycle: cs[core].clock,
-                    });
-                }
-            }
-            if let Some(out) = args.get(1) {
-                if out.as_i() != 0 {
-                    spaces.store(core, out.as_addr(), hsm_vm::MemKind::I64, Value::I(v));
-                }
-            }
-            Value::I(v)
-        }
-        Intrinsic::RcceWaitUntil => {
-            // RCCE_wait_until(&flag, value) — spins on the caller's copy.
-            let id = flag_id(core, args.first(), spaces, flags.len())?;
-            let value = args.get(1).copied().unwrap_or(Value::I(0)).as_i();
-            cs[core].clock += chip.config.mpb_access_cycles;
-            if flags[id][core] == value {
-                // Already satisfied: the last writer of this copy handed
-                // off to us without blocking.
-                if let Some(writer) = flag_writer[id][core] {
-                    if writer != core {
-                        sink.sync(SyncEvent::Message {
-                            from: writer,
-                            to: core,
-                            cycle: cs[core].clock,
-                        });
-                    }
-                }
-                Value::I(0)
-            } else {
-                cs[core].state = CoreState::WaitingFlag { flag: id, value };
-                return Ok(());
-            }
-        }
-        Intrinsic::RcceSend => {
-            // RCCE_send(buf, size, dest) — synchronous rendezvous.
-            let buf = args.first().copied().unwrap_or(Value::I(0)).as_addr();
-            let size = args.get(1).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
-            let dst = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
-            if let CoreState::WaitingRecv {
-                src,
-                buf: rbuf,
-                size: rsize,
-            } = cs[dst].state
-            {
-                if src == core {
-                    let n = size.min(rsize);
-                    transfer(core, buf, dst, rbuf, n, cs, chip, rt, spaces, sink);
-                    cs[dst].state = CoreState::Running;
-                    cs[dst].vm.syscall_return(Value::I(0));
-                    Value::I(0)
-                } else {
-                    cs[core].state = CoreState::WaitingSend { dst, buf, size };
-                    return Ok(());
-                }
-            } else {
-                cs[core].state = CoreState::WaitingSend { dst, buf, size };
-                return Ok(());
-            }
-        }
-        Intrinsic::RcceRecv => {
-            // RCCE_recv(buf, size, src).
-            let buf = args.first().copied().unwrap_or(Value::I(0)).as_addr();
-            let size = args.get(1).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize;
-            let src = args.get(2).copied().unwrap_or(Value::I(0)).as_i().max(0) as usize % cores;
-            if let CoreState::WaitingSend {
-                dst,
-                buf: sbuf,
-                size: ssize,
-            } = cs[src].state
-            {
-                if dst == core {
-                    let n = size.min(ssize);
-                    transfer(src, sbuf, core, buf, n, cs, chip, rt, spaces, sink);
-                    cs[src].state = CoreState::Running;
-                    cs[src].vm.syscall_return(Value::I(0));
-                    Value::I(0)
-                } else {
-                    cs[core].state = CoreState::WaitingRecv { src, buf, size };
-                    return Ok(());
-                }
-            } else {
-                cs[core].state = CoreState::WaitingRecv { src, buf, size };
-                return Ok(());
-            }
-        }
-        Intrinsic::Sqrt | Intrinsic::Fabs => unreachable!("pure intrinsics run inline"),
-        Intrinsic::PthreadCreate
-        | Intrinsic::PthreadJoin
-        | Intrinsic::PthreadExit
-        | Intrinsic::PthreadSelf
-        | Intrinsic::MutexInit
-        | Intrinsic::MutexLock
-        | Intrinsic::MutexUnlock
-        | Intrinsic::MutexDestroy
-        | Intrinsic::BarrierInit
-        | Intrinsic::BarrierWait
-        | Intrinsic::BarrierDestroy => {
-            return Err(ExecError::new(format!(
-                "pthread call {intr:?} reached RCCE mode: translation incomplete"
-            )));
-        }
-    };
-    cs[core].vm.syscall_return(ret);
-    Ok(())
-}
-
-/// Resolves a flag handle argument to a flag id.
-fn flag_id(
-    core: usize,
-    handle: Option<&Value>,
-    spaces: &DataSpaces,
-    count: usize,
-) -> Result<usize, ExecError> {
-    let Some(handle) = handle else {
-        return Err(ExecError::new("flag call without a flag handle"));
-    };
-    let id = spaces
-        .load(core, handle.as_addr(), hsm_vm::MemKind::I64)
-        .as_i();
-    if id < 0 || id as usize >= count {
-        return Err(ExecError::new(format!(
-            "flag handle {id} out of range (allocated: {count})"
-        )));
-    }
-    Ok(id as usize)
-}
-
-/// Performs the rendezvous data movement of one send/recv pair: the
-/// payload moves sender -> MPB -> receiver, both cores resuming at the
-/// completion time.
-#[allow(clippy::too_many_arguments)]
-fn transfer<S: TraceSink>(
-    src: usize,
-    src_buf: u64,
-    dst: usize,
-    dst_buf: u64,
-    bytes: usize,
-    cs: &mut [Core],
-    chip: &mut MemorySystem,
-    rt: &RcceRuntime,
-    spaces: &mut DataSpaces,
-    sink: &mut S,
-) {
-    spaces.copy_cross(src, src_buf, dst, dst_buf, bytes);
-    let meet = cs[src].clock.max(cs[dst].clock);
-    let cost = rt.put_get_cost(chip, src, dst, bytes) + rt.put_get_cost(chip, dst, dst, bytes);
-    let done = meet + cost;
-    cs[src].clock = done;
-    cs[dst].clock = done;
-    // The rendezvous orders both sides against each other.
-    sink.sync(SyncEvent::Message {
-        from: src,
-        to: dst,
-        cycle: done,
-    });
-    sink.sync(SyncEvent::Message {
-        from: dst,
-        to: src,
-        cycle: done,
-    });
-}
-
-/// Formats a printf syscall, resolving the format string and any `%s`
-/// arguments from the caller's visible memory.
-pub(crate) fn format_printf(core: usize, args: &[Value], spaces: &DataSpaces) -> String {
-    let Some(fmt_addr) = args.first() else {
-        return String::new();
-    };
-    let fmt = spaces.read_cstr(core, fmt_addr.as_addr());
-    let rest = &args[1..];
-    let string_positions = printf::count_string_args(&fmt);
-    let strings: Vec<String> = string_positions
-        .iter()
-        .filter_map(|&i| rest.get(i))
-        .map(|v| spaces.read_cstr(core, v.as_addr()))
-        .collect();
-    printf::format(&fmt, rest, &strings)
 }

@@ -111,6 +111,23 @@ impl Cache {
         }
     }
 
+    /// Writes back every dirty line (clearing its dirty bit but keeping it
+    /// valid), returning how many lines streamed out. Each write-back is
+    /// counted in [`Cache::stats`].
+    pub fn flush_dirty(&mut self) -> usize {
+        let mut flushed = 0;
+        for set in &mut self.sets {
+            for line in set {
+                if line.valid && line.dirty {
+                    line.dirty = false;
+                    flushed += 1;
+                }
+            }
+        }
+        self.writebacks += flushed as u64;
+        flushed
+    }
+
     /// (hits, misses, writebacks) so far.
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.hits, self.misses, self.writebacks)
@@ -152,6 +169,19 @@ impl CacheHierarchy {
             l1_hit_cycles: config.l1_hit_cycles,
             l2_hit_cycles: config.l2_hit_cycles,
         }
+    }
+
+    /// Writes back every dirty line in both levels, returning the total
+    /// line count (the software-managed coherence "flush" primitive).
+    pub fn flush_dirty(&mut self) -> usize {
+        self.l1.flush_dirty() + self.l2.flush_dirty()
+    }
+
+    /// Invalidates both levels (flush-and-invalidate completes a
+    /// software-managed coherence handoff).
+    pub fn invalidate(&mut self) {
+        self.l1.invalidate_all();
+        self.l2.invalidate_all();
     }
 
     /// Performs a private-memory access, returning the level that served
@@ -228,6 +258,19 @@ mod tests {
                 dirty_victim: false
             }
         );
+    }
+
+    #[test]
+    fn flush_dirty_writes_back_but_keeps_lines() {
+        let mut c = Cache::new(1024, 2, 32);
+        c.access(0x100, true);
+        c.access(0x200, false);
+        assert_eq!(c.flush_dirty(), 1, "one dirty line");
+        // The line stays valid: the next access hits without a write-back.
+        assert_eq!(c.access(0x100, false), CacheOutcome::Hit);
+        let (_, _, wb) = c.stats();
+        assert_eq!(wb, 1, "the flush itself was the only write-back");
+        assert_eq!(c.flush_dirty(), 0, "already clean");
     }
 
     #[test]

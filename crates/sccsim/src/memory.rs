@@ -179,6 +179,63 @@ impl MemorySystem {
         latency
     }
 
+    /// Performs one access on a hypothetical *flat* machine: private
+    /// addresses bypass the caches and pay the full mesh + memory
+    /// controller cost on every access, exactly like shared DRAM. Shared
+    /// and MPB addresses behave as in [`MemorySystem::access`].
+    ///
+    /// This is the timing backend of the sequentially-consistent reference
+    /// model used for differential testing: with no caches there is no
+    /// stale copy to observe, at the price of uniform DRAM latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access_flat(&mut self, core: usize, addr: u64, write: bool, now: u64) -> u64 {
+        let region = Self::region_of(addr);
+        if region != Region::Private {
+            return self.access(core, addr, write, now);
+        }
+        self.stats.per_core[core].private_dram += 1;
+        let mc = self.mesh.mc_of(core);
+        let trip = self.mesh.mc_round_trip(core, mc);
+        let resp = self.dram.request(mc, now + trip / 2);
+        self.stats.per_core[core].mc_queue_cycles += resp.queued_for;
+        let latency = if write {
+            self.config.posted_write_cycles + resp.queued_for
+        } else {
+            trip + resp.queued_for + self.config.dram_service_cycles
+        };
+        self.stats.record(core, region, write, latency);
+        latency
+    }
+
+    /// The cache line size in bytes (the granularity of the line-level
+    /// flush/invalidate hooks).
+    pub fn line_bytes(&self) -> usize {
+        self.config.line_bytes
+    }
+
+    /// Writes back every dirty line in `core`'s private hierarchy,
+    /// returning the line count (see [`CacheHierarchy::flush_dirty`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn flush_core(&mut self, core: usize) -> usize {
+        self.caches[core].flush_dirty()
+    }
+
+    /// Invalidates `core`'s private hierarchy (both levels), so subsequent
+    /// accesses refill from memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn invalidate_core(&mut self, core: usize) {
+        self.caches[core].invalidate();
+    }
+
     /// Accumulated chip-global statistics, aggregated over all cores.
     pub fn stats(&self) -> MemStats {
         let mut agg = MemStats::default();
@@ -291,6 +348,32 @@ mod tests {
                                                                // Core 47 sits on its MC tile: zero mesh trip, so pure service.
         assert!(b <= a);
         assert_eq!(m.stats().mc_queue_cycles, 0);
+    }
+
+    #[test]
+    fn flat_access_never_caches_private() {
+        let mut m = sys();
+        let a = m.access_flat(0, 0x1000, false, 0);
+        let b = m.access_flat(0, 0x1000, false, 10_000);
+        assert_eq!(a, b, "no cache: reaccess pays full price");
+        assert_eq!(m.stats().l1_hits, 0);
+        assert_eq!(m.stats().private_dram, 2);
+        // Shared addresses route through the normal path.
+        m.access_flat(0, SHARED_DRAM_BASE, false, 20_000);
+        assert_eq!(m.stats().shared_dram, 1);
+    }
+
+    #[test]
+    fn flush_and_invalidate_core_round_trip() {
+        let mut m = sys();
+        m.access(0, 0x1000, true, 0); // dirty line in core 0's hierarchy
+        assert!(m.flush_core(0) >= 1);
+        assert_eq!(m.flush_core(0), 0, "second flush finds nothing dirty");
+        // After invalidation the same address misses again.
+        let warm = m.access(0, 0x1000, false, 100);
+        m.invalidate_core(0);
+        let cold = m.access(0, 0x1000, false, 200);
+        assert!(cold > warm, "cold {cold} vs warm {warm}");
     }
 
     #[test]

@@ -51,4 +51,4 @@ pub mod vm;
 pub use compile::{compile, CompileError, Program};
 pub use instr::{Instr, Intrinsic};
 pub use value::{MemKind, Value};
-pub use vm::{StepOutcome, Vm, VmError};
+pub use vm::{StepOutcome, UnitVm, Vm, VmError};

@@ -495,6 +495,62 @@ fn compare(instr: Instr, l: Value, r: Value) -> Value {
     Value::I(i64::from(res))
 }
 
+/// The narrowed per-unit interface an execution engine drives: construct a
+/// context, advance it to the next event, and answer the three pending
+/// event kinds (load, store, syscall).
+///
+/// Engines that interleave many contexts (one per thread or per core)
+/// should hold `UnitVm`s rather than [`Vm`]s: the wrapper exposes exactly
+/// the resume surface the scheduling loop needs, so introspection methods
+/// like [`Vm::depth`] cannot leak into scheduling decisions.
+#[derive(Debug, Clone)]
+pub struct UnitVm(Vm);
+
+impl UnitVm {
+    /// Creates a context poised at `func` with `args`, using the private
+    /// stack region starting at `stack_region_base`.
+    pub fn new(program: &Program, func: u32, args: Vec<Value>, stack_region_base: u64) -> Self {
+        UnitVm(Vm::new(program, func, args, stack_region_base))
+    }
+
+    /// Runs until something needs the engine (memory access, syscall, or
+    /// completion). See [`Vm::run_until_event`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on stack underflow or malformed bytecode.
+    pub fn run_until_event(&mut self, program: &Program) -> Result<StepOutcome, VmError> {
+        self.0.run_until_event(program)
+    }
+
+    /// Completes a pending load with the value the memory model resolved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no load is pending.
+    pub fn provide_load(&mut self, v: Value) {
+        self.0.provide_load(v);
+    }
+
+    /// Completes a pending store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no store is pending.
+    pub fn store_done(&mut self) {
+        self.0.store_done();
+    }
+
+    /// Completes a pending syscall, pushing its return value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no syscall is pending.
+    pub fn syscall_return(&mut self, v: Value) {
+        self.0.syscall_return(v);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
