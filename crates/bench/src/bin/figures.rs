@@ -16,7 +16,8 @@
 //! figures stream.kernels   # per-kernel Stream bandwidth
 //! figures dvfs             # frequency sweep (memory wall)
 //! figures ext.jacobi       # barrier-heavy stencil extension
-//! figures --json           # write the BENCH_pipeline.json run manifest
+//! figures --json           # write the bench-out/BENCH_pipeline.json run manifest
+//! figures --host-timing    # write bench-out/BENCH_interp.json (steps/sec)
 //! figures --check-sharing  # run the corpus under the soundness oracle
 //! ```
 //!
@@ -32,6 +33,15 @@
 //! the memory model the manifest entries execute under; the default is
 //! the coherent ground truth the goldens pin.
 //!
+//! `--host-timing` measures interpreter throughput (VM steps per host
+//! second) for every corpus program × mode × model, prints the table and
+//! writes `bench-out/BENCH_interp.json`; `--timing-runs N` overrides the
+//! repetition count. `scripts/check_bench.py` diffs that file against the
+//! committed `BENCH_interp.json` baseline in CI.
+//!
+//! All machine-readable artifacts land under `bench-out/` (gitignored;
+//! created on demand) so repeated runs never dirty the work tree.
+//!
 //! If manifest generation fails, the manifest file is still written, as an
 //! error document naming the failing pipeline stage:
 //! `{"schema_version": 3, "error": {"stage": "parse", "message": …}}`.
@@ -40,8 +50,14 @@ use hsm_bench::json::Json;
 use std::env;
 use std::process::ExitCode;
 
+/// Output directory for machine-readable artifacts (gitignored).
+const BENCH_OUT_DIR: &str = "bench-out";
+
 /// Output file of `--json`.
-const MANIFEST_FILE: &str = "BENCH_pipeline.json";
+const MANIFEST_FILE: &str = "bench-out/BENCH_pipeline.json";
+
+/// Output file of `--host-timing`.
+const INTERP_FILE: &str = "bench-out/BENCH_interp.json";
 
 /// The error document `--json` writes when the sweep fails: the failing
 /// stage name (from `PipelineError::stage`) plus the rendered error chain.
@@ -65,6 +81,17 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
     let emit_json = args.iter().any(|a| a == "--json");
     let check_sharing = args.iter().any(|a| a == "--check-sharing");
+    let host_timing = args.iter().any(|a| a == "--host-timing");
+    let mut timing_runs = 0usize;
+    if let Some(i) = args.iter().position(|a| a == "--timing-runs") {
+        let value = args.get(i + 1).and_then(|v| v.parse().ok());
+        let Some(value) = value else {
+            eprintln!("figures: --timing-runs needs a number");
+            return ExitCode::FAILURE;
+        };
+        timing_runs = value;
+        args.drain(i..=i + 1);
+    }
     let mut workers = 0usize;
     if let Some(i) = args.iter().position(|a| a == "--workers") {
         let value = args.get(i + 1).and_then(|v| v.parse().ok());
@@ -86,8 +113,8 @@ fn main() -> ExitCode {
         exec_model = value;
         args.drain(i..=i + 1);
     }
-    args.retain(|a| a != "--json" && a != "--check-sharing");
-    let all = args.is_empty() && !emit_json && !check_sharing;
+    args.retain(|a| a != "--json" && a != "--check-sharing" && a != "--host-timing");
+    let all = args.is_empty() && !emit_json && !check_sharing && !host_timing;
     let want = |name: &str| all || args.iter().any(|a| a == name);
     let mut failed = false;
 
@@ -128,10 +155,22 @@ fn main() -> ExitCode {
                 error_manifest(&e)
             }
         };
-        match std::fs::write(MANIFEST_FILE, manifest.render()) {
-            Ok(()) => println!("wrote {MANIFEST_FILE}"),
+        if write_artifact(MANIFEST_FILE, &manifest.render()).is_err() {
+            failed = true;
+        }
+    }
+
+    if host_timing {
+        match hsm_bench::interp::interp_points(timing_runs) {
+            Ok(points) => {
+                println!("{}", hsm_bench::interp::render_interp_table(&points));
+                let doc = hsm_bench::interp::interp_json(&points);
+                if write_artifact(INTERP_FILE, &doc.render()).is_err() {
+                    failed = true;
+                }
+            }
             Err(e) => {
-                eprintln!("writing {MANIFEST_FILE} failed: {e}");
+                eprintln!("host-timing sweep failed: {e}");
                 failed = true;
             }
         }
@@ -254,6 +293,25 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Writes a machine-readable artifact under `bench-out/`, creating the
+/// directory on demand.
+fn write_artifact(path: &str, content: &str) -> Result<(), ()> {
+    if let Err(e) = std::fs::create_dir_all(BENCH_OUT_DIR) {
+        eprintln!("creating {BENCH_OUT_DIR}/ failed: {e}");
+        return Err(());
+    }
+    match std::fs::write(path, content) {
+        Ok(()) => {
+            println!("wrote {path}");
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("writing {path} failed: {e}");
+            Err(())
+        }
     }
 }
 

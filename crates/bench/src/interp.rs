@@ -1,0 +1,208 @@
+//! Host-side interpreter throughput: the `figures --host-timing` report.
+//!
+//! Where `BENCH_pipeline.json` pins *simulated* behaviour (cycle counts,
+//! cache counters — deterministic, golden-diffed), `BENCH_interp.json`
+//! records how fast the simulator itself executes on the host: VM
+//! steps/sec per benchmark × execution mode × memory model. It is the
+//! repo's perf trajectory for the interpreter hot path; `scripts/
+//! check_bench.py` gates CI on it regressing more than 30 % against the
+//! committed baseline.
+//!
+//! Every number except the `host_*` timings and `steps_per_sec` is
+//! deterministic: the instruction and event counts come from the same
+//! [`hsm_exec::RunResult`] the goldens pin, so a dispatch-layer change
+//! that alters *what* executes (rather than how fast) shows up as a
+//! counter diff, not just a timing blip.
+
+use crate::json::Json;
+use crate::manifest::{corpus_source, MANIFEST_PROGRAMS};
+use hsm_core::{Pipeline, PipelineError};
+use hsm_exec::ExecModel;
+use scc_sim::SccConfig;
+use std::fmt::Write as _;
+
+/// Timed runs behind each point (plus `time_median`'s one warm-up).
+pub const INTERP_TIMING_RUNS: usize = 5;
+
+/// Version of the `BENCH_interp.json` layout.
+pub const INTERP_SCHEMA_VERSION: u64 = 1;
+
+/// One benchmark × mode × model throughput measurement.
+#[derive(Debug, Clone)]
+pub struct InterpPoint {
+    /// Corpus program name.
+    pub name: String,
+    /// Execution mode: `pthread` (baseline program) or `rcce` (translated).
+    pub mode: &'static str,
+    /// Memory model label.
+    pub exec_model: &'static str,
+    /// Core/thread count.
+    pub cores: usize,
+    /// Bytecode instructions retired per run (deterministic).
+    pub instructions: u64,
+    /// Scheduler events per run (deterministic).
+    pub events: u64,
+    /// Timed runs.
+    pub runs: usize,
+    /// Median host wall time of one run, nanoseconds.
+    pub median_nanos: u64,
+    /// Fastest run, nanoseconds.
+    pub min_nanos: u64,
+    /// Throughput: instructions per host second (from the median).
+    pub steps_per_sec: u64,
+}
+
+/// Measures every corpus program under both modes and all three memory
+/// models, `runs` timed repetitions each (0 = [`INTERP_TIMING_RUNS`]).
+///
+/// # Errors
+///
+/// Propagates pipeline failures (parse/translate/compile/run).
+pub fn interp_points(runs: usize) -> Result<Vec<InterpPoint>, PipelineError> {
+    let runs = if runs == 0 { INTERP_TIMING_RUNS } else { runs };
+    let config = SccConfig::table_6_1();
+    let mut points = Vec::new();
+    for (name, cores) in MANIFEST_PROGRAMS {
+        // One session per program: both modes and all models share the
+        // parsed unit and compiled binaries through the session cache.
+        let session = Pipeline::new(corpus_source(name))
+            .cores(cores)
+            .config(config.clone());
+        let baseline = session.baseline_program()?;
+        let hsm = session.program()?;
+        for model in ExecModel::ALL {
+            for (mode, is_rcce) in [("pthread", false), ("rcce", true)] {
+                let run_once = || -> Result<_, PipelineError> {
+                    if is_rcce {
+                        Ok(hsm_exec::run_rcce_model(&hsm, cores, &config, model)?)
+                    } else {
+                        Ok(hsm_exec::run_pthread_model(&baseline, &config, model)?)
+                    }
+                };
+                let result = run_once()?;
+                let label = format!("{name}/{mode}/{}", model.label());
+                let timing = testkit::timing::time_median(&label, runs, || {
+                    run_once().expect("timed run repeats a run that already succeeded");
+                });
+                let median_nanos = u64::try_from(timing.median_nanos).unwrap_or(u64::MAX);
+                let steps_per_sec = if median_nanos == 0 {
+                    0
+                } else {
+                    (result.instructions as f64 * 1e9 / median_nanos as f64) as u64
+                };
+                points.push(InterpPoint {
+                    name: name.to_string(),
+                    mode,
+                    exec_model: model.label(),
+                    cores,
+                    instructions: result.instructions,
+                    events: result.events,
+                    runs,
+                    median_nanos,
+                    min_nanos: u64::try_from(timing.min_nanos).unwrap_or(u64::MAX),
+                    steps_per_sec,
+                });
+            }
+        }
+    }
+    Ok(points)
+}
+
+/// Renders the measured points as the `BENCH_interp.json` document.
+pub fn interp_json(points: &[InterpPoint]) -> Json {
+    Json::obj(vec![
+        ("schema_version", Json::UInt(INTERP_SCHEMA_VERSION)),
+        ("points", Json::Arr(points.iter().map(point_json).collect())),
+    ])
+}
+
+fn point_json(p: &InterpPoint) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(p.name.as_str())),
+        ("mode", Json::str(p.mode)),
+        ("exec_model", Json::str(p.exec_model)),
+        ("cores", Json::UInt(p.cores as u64)),
+        ("instructions", Json::UInt(p.instructions)),
+        ("events", Json::UInt(p.events)),
+        ("host_runs", Json::UInt(p.runs as u64)),
+        ("host_median_nanos", Json::UInt(p.median_nanos)),
+        ("host_min_nanos", Json::UInt(p.min_nanos)),
+        ("steps_per_sec", Json::UInt(p.steps_per_sec)),
+    ])
+}
+
+/// Human-readable throughput table for the terminal.
+pub fn render_interp_table(points: &[InterpPoint]) -> String {
+    let mut out = String::from("Interpreter throughput — VM steps per host second\n\n");
+    let _ = writeln!(
+        out,
+        "{:<20}{:<10}{:<18}{:>14}{:>14}{:>14}",
+        "Program", "Mode", "Model", "Instrs", "Median ms", "Steps/sec"
+    );
+    out.push_str(&"-".repeat(90));
+    out.push('\n');
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<20}{:<10}{:<18}{:>14}{:>14.3}{:>14}",
+            p.name,
+            p.mode,
+            p.exec_model,
+            p.instructions,
+            p.median_nanos as f64 / 1e6,
+            p.steps_per_sec
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One cheap point end to end: counters are populated, deterministic
+    /// across the timed repetitions, and the JSON layout is stable.
+    #[test]
+    fn interp_points_measure_and_serialize() {
+        let config = SccConfig::table_6_1();
+        let session = Pipeline::new(corpus_source("example_4_1"))
+            .cores(3)
+            .config(config.clone());
+        let program = session.baseline_program().expect("compile");
+        let a = hsm_exec::run_pthread_model(&program, &config, ExecModel::Coherent).expect("run");
+        let b = hsm_exec::run_pthread_model(&program, &config, ExecModel::Coherent).expect("run");
+        assert!(a.instructions > 0, "instruction counter never advanced");
+        assert!(a.events > 0, "event counter never advanced");
+        assert!(
+            a.instructions <= a.events * 4096,
+            "more instructions than the safety valve allows per event"
+        );
+        assert_eq!(a.instructions, b.instructions, "counter is deterministic");
+        assert_eq!(a.events, b.events, "event count is deterministic");
+
+        let point = InterpPoint {
+            name: "example_4_1".into(),
+            mode: "pthread",
+            exec_model: "coherent",
+            cores: 3,
+            instructions: a.instructions,
+            events: a.events,
+            runs: 1,
+            median_nanos: 1_000_000,
+            min_nanos: 900_000,
+            steps_per_sec: a.instructions * 1000,
+        };
+        let doc = interp_json(std::slice::from_ref(&point));
+        assert_eq!(doc.get("schema_version"), Some(&Json::UInt(1)));
+        let Some(Json::Arr(points)) = doc.get("points") else {
+            panic!("points array missing");
+        };
+        assert_eq!(points[0].get("name"), Some(&Json::str("example_4_1")));
+        assert_eq!(
+            points[0].get("instructions"),
+            Some(&Json::UInt(a.instructions))
+        );
+        let table = render_interp_table(std::slice::from_ref(&point));
+        assert!(table.contains("example_4_1"));
+    }
+}

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod interp;
 pub mod json;
 pub mod manifest;
 pub mod sharing;

@@ -145,6 +145,10 @@ impl CoherenceModel for Coherent {
         ExecModel::Coherent.label()
     }
 
+    // The golden-path model is a zero-sized pass-through: `#[inline]` lets
+    // the monomorphized engine collapse a coherent load/store into a
+    // direct `DataSpaces` access with no model-layer frame.
+    #[inline]
     fn load(
         &mut self,
         _unit: usize,
@@ -156,6 +160,7 @@ impl CoherenceModel for Coherent {
         spaces.load(core, addr, kind)
     }
 
+    #[inline]
     fn store(
         &mut self,
         _unit: usize,

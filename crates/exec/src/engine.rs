@@ -347,6 +347,7 @@ impl ExecutionCore {
 
         let (total_cycles, per_unit_cycles, exit_code) = model.finalize(&env);
         let timed = env.wtimes.widest_interval().unwrap_or(total_cycles);
+        let instructions = env.units.iter().map(|u| u.vm.instructions_retired()).sum();
         env.output.sort_by_key(|l| (l.at, l.who));
         Ok(RunResult {
             total_cycles,
@@ -357,6 +358,8 @@ impl ExecutionCore {
             stats_matrix: env.chip.stats_matrix().clone(),
             mpb_high_water: env.chip.mpb_high_water(),
             per_unit_cycles,
+            instructions,
+            events: steps,
         })
     }
 
@@ -379,15 +382,20 @@ impl ExecutionCore {
         model.charge(&mut env.units[unit], cycles, Charge::Progress);
         let now = env.units[unit].clock;
         let lat = env.coherence.latency(&mut env.chip, core, addr, write, now);
-        sink.record(TraceEvent {
-            core,
-            unit,
-            cycle: now,
-            addr,
-            region: MemorySystem::region_of(addr),
-            latency: lat,
-            write,
-        });
+        // `ENABLED` is a compile-time constant of the sink type: with the
+        // default `NullSink` the event (and its region classification) is
+        // never even built.
+        if S::ENABLED {
+            sink.record(TraceEvent {
+                core,
+                unit,
+                cycle: now,
+                addr,
+                region: MemorySystem::region_of(addr),
+                latency: lat,
+                write,
+            });
+        }
         model.charge(&mut env.units[unit], lat, Charge::Progress);
         match store {
             Some(value) => {

@@ -63,6 +63,7 @@ impl DataSpaces {
     }
 
     /// Loads a value, routing by address region.
+    #[inline]
     pub fn load(&self, core: usize, addr: u64, kind: MemKind) -> Value {
         match MemorySystem::region_of(addr) {
             Region::Private => self.private[core].load(addr, kind),
@@ -72,6 +73,7 @@ impl DataSpaces {
     }
 
     /// Stores a value, routing by address region.
+    #[inline]
     pub fn store(&mut self, core: usize, addr: u64, kind: MemKind, v: Value) {
         match MemorySystem::region_of(addr) {
             Region::Private => self.private[core].store(addr, kind, v),
@@ -157,6 +159,12 @@ pub struct RunResult {
     /// Final local clock per core (RCCE mode) or busy cycles per thread
     /// (pthread mode) — the load-balance picture.
     pub per_unit_cycles: Vec<u64>,
+    /// Bytecode instructions retired across all units — the denominator
+    /// of the host-performance steps/sec metric (`figures --host-timing`).
+    /// Deterministic, but not part of the simulated timing model.
+    pub instructions: u64,
+    /// Scheduler events processed (VM resumptions) by the execution core.
+    pub events: u64,
 }
 
 impl RunResult {
@@ -298,6 +306,8 @@ mod tests {
             mem_stats: MemStats::default(),
             stats_matrix: StatsMatrix::default(),
             mpb_high_water: 0,
+            instructions: 0,
+            events: 0,
         };
         assert_eq!(r.output_sorted(), vec!["a", "b"]);
         assert_eq!(r.output_text(), "b\na\n");

@@ -145,6 +145,13 @@ pub enum SyncEvent {
 /// The run loops are monomorphized over the sink type, so a no-op
 /// implementation costs nothing.
 pub trait TraceSink {
+    /// Compile-time switch the engine checks before *building* events:
+    /// sinks that discard everything (the default [`NullSink`]) set this
+    /// to `false`, so the untraced hot path skips event construction
+    /// entirely rather than constructing and then discarding. Observing
+    /// sinks keep the default `true`.
+    const ENABLED: bool = true;
+
     /// Observes one memory access.
     fn record(&mut self, event: TraceEvent);
 
@@ -159,6 +166,8 @@ pub trait TraceSink {
 pub struct NullSink;
 
 impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
     #[inline(always)]
     fn record(&mut self, _event: TraceEvent) {}
 }

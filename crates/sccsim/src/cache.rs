@@ -18,9 +18,14 @@ pub enum CacheOutcome {
 }
 
 /// One set-associative write-back cache.
+///
+/// Lines live in a single flat `sets × ways` allocation (set-major): a
+/// 48-core chip instantiates 96 caches per run, so per-set boxing would
+/// put ~100k allocations on the constructor path and dominate short
+/// simulations.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<Line>>,
+    lines: Vec<Line>,
     ways: usize,
     line_shift: u32,
     set_mask: u64,
@@ -53,7 +58,7 @@ impl Cache {
         let sets = lines / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
-            sets: vec![vec![Line::default(); ways]; sets],
+            lines: vec![Line::default(); sets * ways],
             ways,
             line_shift: line_bytes.trailing_zeros(),
             set_mask: (sets - 1) as u64,
@@ -66,12 +71,13 @@ impl Cache {
 
     /// Looks up `addr`; on a miss the line is filled. `write` marks the
     /// line dirty on hit or fill (write-allocate).
+    #[inline]
     pub fn access(&mut self, addr: u64, write: bool) -> CacheOutcome {
         self.tick += 1;
         let line_addr = addr >> self.line_shift;
         let set_idx = (line_addr & self.set_mask) as usize;
         let tag = line_addr >> self.set_mask.count_ones();
-        let set = &mut self.sets[set_idx];
+        let set = &mut self.lines[set_idx * self.ways..set_idx * self.ways + self.ways];
 
         for line in set.iter_mut() {
             if line.valid && line.tag == tag {
@@ -103,11 +109,9 @@ impl Cache {
 
     /// Invalidates the whole cache (used by RCCE's MPB flush semantics).
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                line.valid = false;
-                line.dirty = false;
-            }
+        for line in &mut self.lines {
+            line.valid = false;
+            line.dirty = false;
         }
     }
 
@@ -116,12 +120,10 @@ impl Cache {
     /// counted in [`Cache::stats`].
     pub fn flush_dirty(&mut self) -> usize {
         let mut flushed = 0;
-        for set in &mut self.sets {
-            for line in set {
-                if line.valid && line.dirty {
-                    line.dirty = false;
-                    flushed += 1;
-                }
+        for line in &mut self.lines {
+            if line.valid && line.dirty {
+                line.dirty = false;
+                flushed += 1;
             }
         }
         self.writebacks += flushed as u64;

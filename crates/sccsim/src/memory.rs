@@ -67,7 +67,11 @@ pub struct MemorySystem {
     pub mpb: Mpb,
     /// Test-and-set registers.
     pub tas: TasBank,
-    caches: Vec<CacheHierarchy>,
+    /// Per-core private hierarchies, built on first access: a 48-core
+    /// chip carries ~10 MB of line metadata, but most runs touch a
+    /// handful of cores, and an untouched cache is indistinguishable
+    /// from a freshly built one.
+    caches: Vec<Option<CacheHierarchy>>,
     stats: StatsMatrix,
 }
 
@@ -78,9 +82,7 @@ impl MemorySystem {
         let dram = DramBank::new(config.memory_controllers, config.dram_occupancy_cycles);
         let mpb = Mpb::new(&config);
         let tas = TasBank::new(config.cores);
-        let caches = (0..config.cores)
-            .map(|_| CacheHierarchy::new(&config))
-            .collect();
+        let caches = (0..config.cores).map(|_| None).collect();
         MemorySystem {
             mesh,
             dram,
@@ -93,6 +95,7 @@ impl MemorySystem {
     }
 
     /// Classifies an address.
+    #[inline]
     pub fn region_of(addr: u64) -> Region {
         if addr >= MPB_BASE {
             Region::Mpb
@@ -115,7 +118,7 @@ impl MemorySystem {
             Region::Private => {
                 // Fold the core id into the private address so each core's
                 // private pages are distinct cache contents.
-                let (level, cache_cycles) = self.caches[core].access(addr, write);
+                let (level, cache_cycles) = self.cache_of(core).access(addr, write);
                 match level {
                     ServiceLevel::L1 => {
                         self.stats.per_core[core].l1_hits += 1;
@@ -216,6 +219,15 @@ impl MemorySystem {
         self.config.line_bytes
     }
 
+    /// `core`'s private hierarchy, built on first use.
+    fn cache_of(&mut self, core: usize) -> &mut CacheHierarchy {
+        if self.caches[core].is_none() {
+            let built = CacheHierarchy::new(&self.config);
+            self.caches[core] = Some(built);
+        }
+        self.caches[core].as_mut().expect("initialized above")
+    }
+
     /// Writes back every dirty line in `core`'s private hierarchy,
     /// returning the line count (see [`CacheHierarchy::flush_dirty`]).
     ///
@@ -223,7 +235,8 @@ impl MemorySystem {
     ///
     /// Panics if `core` is out of range.
     pub fn flush_core(&mut self, core: usize) -> usize {
-        self.caches[core].flush_dirty()
+        // An unbuilt hierarchy holds no lines: nothing to write back.
+        self.caches[core].as_mut().map_or(0, |c| c.flush_dirty())
     }
 
     /// Invalidates `core`'s private hierarchy (both levels), so subsequent
@@ -233,7 +246,9 @@ impl MemorySystem {
     ///
     /// Panics if `core` is out of range.
     pub fn invalidate_core(&mut self, core: usize) {
-        self.caches[core].invalidate();
+        if let Some(c) = self.caches[core].as_mut() {
+            c.invalidate();
+        }
     }
 
     /// Accumulated chip-global statistics, aggregated over all cores.

@@ -29,6 +29,7 @@ impl ByteMemory {
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
         match self.pages.get(&(addr >> PAGE_SHIFT)) {
             Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
@@ -37,27 +38,53 @@ impl ByteMemory {
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, v: u8) {
         self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = v;
     }
 
-    /// Reads `n <= 8` bytes little-endian.
+    /// Reads `n <= 8` bytes little-endian. Accesses that stay within one
+    /// page (the overwhelmingly common case: scalars are aligned and pages
+    /// are 4 KB) take a single map lookup and slice copy; straddling
+    /// accesses fall back to the byte loop.
+    #[inline]
     fn read_le(&self, addr: u64, n: usize) -> u64 {
-        let mut out = 0u64;
-        for i in 0..n {
-            out |= u64::from(self.read_u8(addr + i as u64)) << (8 * i);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + n <= PAGE_SIZE {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..n].copy_from_slice(&p[off..off + n]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            }
+        } else {
+            let mut out = 0u64;
+            for i in 0..n {
+                out |= u64::from(self.read_u8(addr + i as u64)) << (8 * i);
+            }
+            out
         }
-        out
     }
 
-    /// Writes `n <= 8` bytes little-endian.
+    /// Writes `n <= 8` bytes little-endian (single-page fast path like
+    /// [`ByteMemory::read_le`]).
+    #[inline]
     fn write_le(&mut self, addr: u64, n: usize, v: u64) {
-        for i in 0..n {
-            self.write_u8(addr + i as u64, (v >> (8 * i)) as u8);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + n <= PAGE_SIZE {
+            let bytes = v.to_le_bytes();
+            self.page_mut(addr)[off..off + n].copy_from_slice(&bytes[..n]);
+        } else {
+            for i in 0..n {
+                self.write_u8(addr + i as u64, (v >> (8 * i)) as u8);
+            }
         }
     }
 
     /// Loads a typed value.
+    #[inline]
     pub fn load(&self, addr: u64, kind: MemKind) -> Value {
         match kind {
             MemKind::I8 => Value::I(self.read_le(addr, 1) as i8 as i64),
@@ -70,6 +97,7 @@ impl ByteMemory {
     }
 
     /// Stores a typed value.
+    #[inline]
     pub fn store(&mut self, addr: u64, kind: MemKind, v: Value) {
         match kind {
             MemKind::I8 => self.write_le(addr, 1, v.as_i() as u64),
@@ -81,10 +109,17 @@ impl ByteMemory {
         }
     }
 
-    /// Copies a byte slice in (program images, string tables).
+    /// Copies a byte slice in (program images, string tables), page-sized
+    /// chunks at a time.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr as usize) & (PAGE_SIZE - 1);
+            let n = rest.len().min(PAGE_SIZE - off);
+            self.page_mut(addr)[off..off + n].copy_from_slice(&rest[..n]);
+            addr += n as u64;
+            rest = &rest[n..];
         }
     }
 
@@ -149,6 +184,23 @@ mod tests {
         m.store(addr, MemKind::I64, Value::I(0x0102_0304_0506_0708));
         assert_eq!(m.load(addr, MemKind::I64), Value::I(0x0102_0304_0506_0708));
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn straddling_and_aligned_accesses_agree_with_byte_interface() {
+        // Walk an 8-byte window across the page boundary: the single-page
+        // fast path and the per-byte fallback must produce the same bytes.
+        for delta in 0..16u64 {
+            let addr = PAGE_SIZE as u64 - 8 + delta;
+            let mut m = ByteMemory::new();
+            m.store(addr, MemKind::I64, Value::I(0x0102_0304_0506_0708));
+            assert_eq!(m.load(addr, MemKind::I64), Value::I(0x0102_0304_0506_0708));
+            let mut got = 0u64;
+            for i in 0..8 {
+                got |= u64::from(m.read_u8(addr + i)) << (8 * i);
+            }
+            assert_eq!(got as i64, 0x0102_0304_0506_0708, "offset {delta}");
+        }
     }
 
     #[test]

@@ -49,6 +49,6 @@ pub mod value;
 pub mod vm;
 
 pub use compile::{compile, CompileError, Program};
-pub use instr::{Instr, Intrinsic};
+pub use instr::{Instr, Intrinsic, Op};
 pub use value::{MemKind, Value};
 pub use vm::{StepOutcome, UnitVm, Vm, VmError};

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Gate interpreter throughput against the committed baseline.
+
+Usage: check_bench.py bench-out/BENCH_interp.json crates/bench/goldens/BENCH_interp.json
+
+`figures --host-timing` measures VM steps per host second for every corpus
+program × execution mode × memory model and writes the fresh report; the
+baseline is the committed snapshot of the same document. This script:
+
+  * requires the two reports to cover the same (name, mode, exec_model)
+    points with identical deterministic counters (instructions, events,
+    cores) — a counter diff means the dispatch layer changed *what*
+    executes, which the goldens must adjudicate, so regenerate the
+    baseline deliberately;
+  * always prints a per-point steps/sec delta table (speedups included —
+    the point is a visible perf trajectory, not just a tripwire);
+  * fails if any point regresses more than REGRESSION_LIMIT versus the
+    baseline's steps/sec.
+
+Host timings are noisy and CI machines differ from the machine that
+recorded the baseline, hence the deliberately wide 30 % margin. The gate
+also compares the fresh report's *best* run (min nanos) against the
+baseline's median-derived steps/sec: a genuine regression slows every
+run, while scheduler jitter only slows some, so this catches "the fast
+path fell off a cliff" without tripping on a noisy neighbour. The
+printed table still shows median-vs-median deltas.
+
+Regenerate the baseline with:
+  cargo build --release -p hsm-bench --bin figures
+  ./target/release/figures --host-timing
+  cp bench-out/BENCH_interp.json crates/bench/goldens/BENCH_interp.json
+"""
+
+import json
+import sys
+
+# Fail when fresh steps/sec drops below (1 - REGRESSION_LIMIT) × baseline.
+REGRESSION_LIMIT = 0.30
+
+# Deterministic per-point fields that must match the baseline exactly.
+EXACT_KEYS = ("cores", "instructions", "events")
+
+
+def load_points(path):
+    """Returns {(name, mode, exec_model): point} for one report."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')!r}")
+    points = {}
+    for p in doc.get("points", []):
+        points[(p["name"], p["mode"], p["exec_model"])] = p
+    if not points:
+        sys.exit(f"{path}: no measurement points")
+    return points
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} FRESH_REPORT BASELINE_REPORT")
+    fresh_path, base_path = sys.argv[1], sys.argv[2]
+    fresh = load_points(fresh_path)
+    base = load_points(base_path)
+
+    problems = []
+    if set(fresh) != set(base):
+        missing = sorted(set(base) - set(fresh))
+        extra = sorted(set(fresh) - set(base))
+        for key in missing:
+            problems.append(f"point {key} in baseline but not in fresh report")
+        for key in extra:
+            problems.append(f"point {key} measured but absent from baseline")
+
+    rows = []
+    for key in sorted(set(fresh) & set(base)):
+        fp, bp = fresh[key], base[key]
+        for field in EXACT_KEYS:
+            if fp.get(field) != bp.get(field):
+                problems.append(
+                    f"point {key}: deterministic counter {field!r} changed "
+                    f"({bp.get(field)} -> {fp.get(field)})"
+                )
+        got, want = fp["steps_per_sec"], bp["steps_per_sec"]
+        delta = (got - want) / want if want else 0.0
+        # Gate on the fresh best run: immune to one slow, noisy repetition.
+        min_nanos = fp.get("host_min_nanos", 0)
+        best = fp["instructions"] * 1e9 / min_nanos if min_nanos else got
+        regressed = want > 0 and best < want * (1.0 - REGRESSION_LIMIT)
+        if regressed:
+            problems.append(
+                f"point {key}: steps/sec regressed {-delta:.1%} "
+                f"({want} -> {got}), limit is {REGRESSION_LIMIT:.0%}"
+            )
+        rows.append((key, want, got, delta, regressed))
+
+    name_w = max((len("/".join(k)) for k, *_ in rows), default=10) + 2
+    print(f"{'Point':<{name_w}}{'Baseline':>14}{'Fresh':>14}{'Delta':>9}")
+    print("-" * (name_w + 37))
+    for key, want, got, delta, regressed in rows:
+        flag = "  REGRESSED" if regressed else ""
+        print(f"{'/'.join(key):<{name_w}}{want:>14}{got:>14}{delta:>+9.1%}{flag}")
+
+    if problems:
+        listing = "\n".join(f"  {p}" for p in problems)
+        sys.exit(
+            f"{fresh_path} failed the bench gate:\n{listing}\n"
+            "If the change is intentional, regenerate the baseline:\n"
+            "  ./target/release/figures --host-timing\n"
+            f"  cp {fresh_path} {base_path}"
+        )
+    print(f"\n{fresh_path}: {len(rows)} points within {REGRESSION_LIMIT:.0%} of {base_path}")
+
+
+if __name__ == "__main__":
+    main()
