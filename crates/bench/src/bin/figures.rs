@@ -17,6 +17,7 @@
 //! figures dvfs             # frequency sweep (memory wall)
 //! figures ext.jacobi       # barrier-heavy stencil extension
 //! figures --json           # write the bench-out/BENCH_pipeline.json run manifest
+//! figures --json --opt-level O2   # … with entries executed at O2
 //! figures --host-timing    # write bench-out/BENCH_interp.json (steps/sec)
 //! figures --check-sharing  # run the corpus under the soundness oracle
 //! ```
@@ -31,7 +32,11 @@
 //! count produces the same manifest modulo `host_*` timing fields.
 //! `--exec-model NAME` (coherent, non_coherent_wb, seq_cst_ref) switches
 //! the memory model the manifest entries execute under; the default is
-//! the coherent ground truth the goldens pin.
+//! the coherent ground truth the goldens pin. `--opt-level LEVEL` (O0,
+//! O1, O2) switches the bytecode optimization level the entries execute
+//! at (default O0); the manifest's `opt` section always reports the
+//! per-program `O0`-vs-`O2` instruction and simulated-cycle deltas
+//! regardless.
 //!
 //! `--host-timing` measures interpreter throughput (VM steps per host
 //! second) for every corpus program × mode × model, prints the table and
@@ -113,6 +118,17 @@ fn main() -> ExitCode {
         exec_model = value;
         args.drain(i..=i + 1);
     }
+    let mut opt_level = hsm_core::OptLevel::O0;
+    if let Some(i) = args.iter().position(|a| a == "--opt-level") {
+        let value = args.get(i + 1).and_then(|v| hsm_core::OptLevel::parse(v));
+        let Some(value) = value else {
+            let labels: Vec<&str> = hsm_core::OptLevel::ALL.iter().map(|l| l.label()).collect();
+            eprintln!("figures: --opt-level needs one of: {}", labels.join(", "));
+            return ExitCode::FAILURE;
+        };
+        opt_level = value;
+        args.drain(i..=i + 1);
+    }
     args.retain(|a| a != "--json" && a != "--check-sharing" && a != "--host-timing");
     let all = args.is_empty() && !emit_json && !check_sharing && !host_timing;
     let want = |name: &str| all || args.iter().any(|a| a == name);
@@ -140,6 +156,7 @@ fn main() -> ExitCode {
         let opts = hsm_bench::manifest::ManifestOptions {
             workers,
             exec_model,
+            opt_level,
             ..Default::default()
         };
         let manifest = match hsm_bench::manifest::full_manifest(opts) {

@@ -18,7 +18,7 @@
 use crate::json::Json;
 use hsm_core::experiment::{sweep, Mode, SweepMatrix, SweepReport, SweepTask, TimingStats};
 use hsm_core::metrics::PipelineMetrics;
-use hsm_core::{PipelineError, StageCounters};
+use hsm_core::{OptLevel, Pipeline, PipelineError, StageCounters};
 use hsm_exec::{ExecModel, RunResult};
 use scc_sim::{Region, SccConfig};
 use std::path::PathBuf;
@@ -29,8 +29,11 @@ use std::sync::Arc;
 /// (artifact-cache counters plus host parallelism figures) and moved the
 /// per-entry `host_timing` block onto the sweep's cache-hot re-runs.
 /// Version 3 records the memory model each entry executed under in a
-/// per-entry `exec_model` field.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 3;
+/// per-entry `exec_model` field. Version 4 records the bytecode
+/// optimization level in a per-entry `opt_level` field and adds the
+/// top-level `opt` section with per-program `O0`-vs-`O2` instruction and
+/// simulated-cycle deltas.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 4;
 
 /// The corpus programs the manifest replays, with the core counts the
 /// corpus integration tests use.
@@ -61,6 +64,11 @@ pub struct ManifestOptions {
     /// coherent ground truth; the goldens pin it, and `figures
     /// --exec-model` switches it for differential studies.
     pub exec_model: ExecModel,
+    /// Bytecode optimization level every entry executes at. The default
+    /// is `O0` (the goldens pin unoptimized numbers); `figures
+    /// --opt-level` switches it. The `opt` delta section always compares
+    /// `O0` against `O2` regardless of this setting.
+    pub opt_level: OptLevel,
 }
 
 impl Default for ManifestOptions {
@@ -69,6 +77,7 @@ impl Default for ManifestOptions {
             include_host_timings: true,
             workers: 0,
             exec_model: ExecModel::Coherent,
+            opt_level: OptLevel::O0,
         }
     }
 }
@@ -275,6 +284,7 @@ fn manifest_matrix(
                 cores,
             )
             .model(opts.exec_model)
+            .opt(opts.opt_level)
             .timed_point(
                 format!("{name}/hsm"),
                 src,
@@ -282,7 +292,8 @@ fn manifest_matrix(
                 cores,
                 timing_runs,
             )
-            .model(opts.exec_model);
+            .model(opts.exec_model)
+            .opt(opts.opt_level);
     }
     matrix
 }
@@ -311,6 +322,7 @@ fn entry_json(
         ("name", Json::str(name)),
         ("cores", Json::UInt(cores as u64)),
         ("exec_model", Json::str(opts.exec_model.label())),
+        ("opt_level", Json::str(opts.opt_level.label())),
         ("pipeline", metrics_json(&hsm.1, opts)),
         ("baseline_pipeline", metrics_json(&base.1, opts)),
         ("baseline", run_json(&base.0)),
@@ -342,6 +354,67 @@ pub fn program_entry(
     Ok(entry_json(name, cores, base, hsm, opts))
 }
 
+/// One optimization level's measurement of one program's HSM run:
+/// static instruction count of the compiled program, dynamically retired
+/// instructions, and simulated timed cycles.
+fn opt_level_json(pipeline: &Pipeline) -> Result<Json, PipelineError> {
+    let program = pipeline.program()?;
+    let run = pipeline.run()?;
+    Ok(Json::obj(vec![
+        ("instr_static", Json::UInt(program.code_len() as u64)),
+        ("instructions", Json::UInt(run.instructions)),
+        ("timed_cycles", Json::UInt(run.timed_cycles)),
+    ]))
+}
+
+/// The `opt` section: for every program, the HSM run measured at `O0`
+/// and at `O2` (same exec model as the rest of the manifest) plus the
+/// dynamic instruction and timed-cycle deltas. All pipelines share one
+/// private cache, so each program is parsed, analyzed, partitioned and
+/// translated once — only the compile stage forks per level.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn opt_json(
+    programs: &[(&str, usize)],
+    opts: ManifestOptions,
+    config: &SccConfig,
+) -> Result<Json, PipelineError> {
+    let cache = hsm_core::ArtifactCache::shared();
+    let mut entries = Vec::with_capacity(programs.len());
+    for &(name, cores) in programs {
+        let session = Pipeline::new(corpus_source(name))
+            .cores(cores)
+            .config(config.clone())
+            .exec_model(opts.exec_model)
+            .cache(Arc::clone(&cache));
+        let o0 = opt_level_json(&session.clone().opt_level(OptLevel::O0))?;
+        let o2 = opt_level_json(&session.opt_level(OptLevel::O2))?;
+        let delta = |field: &str| {
+            let a = match o0.get(field) {
+                Some(&Json::UInt(v)) => v,
+                _ => 0,
+            };
+            let b = match o2.get(field) {
+                Some(&Json::UInt(v)) => v,
+                _ => 0,
+            };
+            Json::Int(a as i64 - b as i64)
+        };
+        entries.push(Json::obj(vec![
+            ("name", Json::str(name)),
+            ("cores", Json::UInt(cores as u64)),
+            ("instr_static_delta", delta("instr_static")),
+            ("instructions_delta", delta("instructions")),
+            ("timed_cycles_delta", delta("timed_cycles")),
+            ("O0", o0),
+            ("O2", o2),
+        ]));
+    }
+    Ok(Json::Arr(entries))
+}
+
 /// Builds a manifest for an explicit program list by sweeping every
 /// program's points in parallel over one shared artifact cache.
 ///
@@ -362,10 +435,12 @@ pub fn manifest_for(
         let hsm = metered_run(outcomes.next().expect("hsm point"))?;
         entries.push(entry_json(name, cores, base, hsm, opts));
     }
+    let opt_section = opt_json(programs, opts, &config)?;
     Ok(Json::obj(vec![
         ("schema_version", Json::UInt(MANIFEST_SCHEMA_VERSION)),
         ("config", config_json(&config)),
         ("sweep", sweep_section),
+        ("opt", opt_section),
         ("programs", Json::Arr(entries)),
     ]))
 }
@@ -394,6 +469,7 @@ pub fn golden_manifest() -> Result<Json, PipelineError> {
             include_host_timings: false,
             workers: 0,
             exec_model: ExecModel::Coherent,
+            opt_level: OptLevel::O0,
         },
     )
 }

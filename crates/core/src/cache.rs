@@ -28,6 +28,7 @@ use hsm_analysis::ProgramAnalysis;
 use hsm_cir::TranslationUnit;
 use hsm_partition::{MemorySpec, PartitionPlan, Policy};
 use hsm_translate::Translation;
+use hsm_vm::OptLevel;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,13 +74,16 @@ pub struct TranslationKey {
 
 /// Key of a compiled [`hsm_vm::Program`]: the untranslated pthread
 /// baseline depends only on the source, the translated program on the
-/// full translation key.
+/// full translation key. Both carry the [`OptLevel`] the bytecode was
+/// optimized at, so artifacts for different levels coexist in one cache
+/// (an `O0`-vs-`O2` sweep shares every stage up to translation and only
+/// compiles twice).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProgramKey {
     /// Bytecode of the unmodified pthread program.
-    Baseline(u64),
+    Baseline(u64, OptLevel),
     /// Bytecode of the translated RCCE program.
-    Translated(TranslationKey),
+    Translated(TranslationKey, OptLevel),
 }
 
 /// Hit/miss counters of one artifact kind.

@@ -39,6 +39,7 @@ use std::fmt;
 pub use cache::{ArtifactCache, CacheStats, StageCounters};
 pub use hsm_exec::ExecModel;
 pub use hsm_partition::{MemorySpec, Policy};
+pub use hsm_vm::OptLevel;
 pub use metrics::{StageMetric, STAGE_NAMES};
 pub use pipeline::Pipeline;
 

@@ -40,6 +40,7 @@ use hsm_cir::TranslationUnit;
 use hsm_exec::{ExecModel, RunResult};
 use hsm_partition::{MemorySpec, PartitionPlan, Policy};
 use hsm_translate::{TranslateOptions, Translation};
+use hsm_vm::OptLevel;
 use scc_sim::SccConfig;
 use std::sync::Arc;
 
@@ -54,6 +55,7 @@ pub struct Pipeline {
     spec: Option<MemorySpec>,
     config: SccConfig,
     exec_model: ExecModel,
+    opt_level: OptLevel,
     cache: Arc<ArtifactCache>,
 }
 
@@ -72,6 +74,7 @@ impl Pipeline {
             spec: None,
             config: SccConfig::table_6_1(),
             exec_model: ExecModel::Coherent,
+            opt_level: OptLevel::O0,
             cache: ArtifactCache::shared(),
         }
     }
@@ -115,6 +118,16 @@ impl Pipeline {
         self
     }
 
+    /// Selects the bytecode optimization level programs compile at
+    /// (default [`OptLevel::O0`]). The level is part of the compiled
+    /// artifact's cache key, so sessions at different levels coexist in
+    /// one cache while still sharing every stage up to translation.
+    #[must_use]
+    pub fn opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
+        self
+    }
+
     /// Attaches a shared [`ArtifactCache`] so several sessions reuse each
     /// other's artifacts.
     #[must_use]
@@ -146,6 +159,11 @@ impl Pipeline {
     /// The memory model runs execute under.
     pub fn configured_exec_model(&self) -> ExecModel {
         self.exec_model
+    }
+
+    /// The bytecode optimization level programs compile at.
+    pub fn configured_opt_level(&self) -> OptLevel {
+        self.opt_level
     }
 
     /// The partition spec in effect: the explicit override, or the SCC
@@ -228,10 +246,17 @@ impl Pipeline {
 
     /// Bytecode of an already-computed translation (one `compile` lookup).
     fn program_of(&self, translation: &Translation) -> Result<Arc<hsm_vm::Program>, PipelineError> {
-        self.cache
-            .program_with(ProgramKey::Translated(self.translation_key()), || {
-                Ok(hsm_vm::compile(&translation.unit)?)
-            })
+        let level = self.opt_level;
+        self.cache.program_with(
+            ProgramKey::Translated(self.translation_key(), level),
+            || {
+                let program = hsm_vm::compile(&translation.unit)?;
+                Ok(match level {
+                    OptLevel::O0 => program,
+                    _ => hsm_vm::optimize(&program, level),
+                })
+            },
+        )
     }
 
     /// Baseline bytecode of an already-parsed unit (one `compile` lookup).
@@ -239,9 +264,14 @@ impl Pipeline {
         &self,
         unit: &TranslationUnit,
     ) -> Result<Arc<hsm_vm::Program>, PipelineError> {
+        let level = self.opt_level;
         self.cache
-            .program_with(ProgramKey::Baseline(self.src_hash), || {
-                Ok(hsm_vm::compile(unit)?)
+            .program_with(ProgramKey::Baseline(self.src_hash, level), || {
+                let program = hsm_vm::compile(unit)?;
+                Ok(match level {
+                    OptLevel::O0 => program,
+                    _ => hsm_vm::optimize(&program, level),
+                })
             })
     }
 

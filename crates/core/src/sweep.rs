@@ -20,6 +20,7 @@ use crate::experiment::Mode;
 use crate::metrics::PipelineMetrics;
 use crate::{Pipeline, PipelineError, Policy, SharingCheck};
 use hsm_exec::{ExecModel, RunResult};
+use hsm_vm::OptLevel;
 use hsm_workloads::Bench;
 use scc_sim::SccConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -82,6 +83,10 @@ pub struct SweepPoint {
     /// [`ExecModel::Coherent`]; not part of any artifact key, so a
     /// multi-model sweep of one benchmark compiles it once).
     pub exec_model: ExecModel,
+    /// Bytecode optimization level (default [`OptLevel::O0`]; part of
+    /// the compiled artifact's cache key, so an `O0`-vs-`O2` sweep
+    /// compiles twice but shares everything up to translation).
+    pub opt_level: OptLevel,
     /// Extra cache-hot re-runs to time after the point completes
     /// (0 = none). Feeds the manifest's `host_timing` block.
     pub timing_runs: usize,
@@ -155,6 +160,7 @@ impl SweepMatrix {
             cores,
             policy: task.default_policy(),
             exec_model: ExecModel::Coherent,
+            opt_level: OptLevel::O0,
             timing_runs,
         });
         self
@@ -167,6 +173,17 @@ impl SweepMatrix {
     pub fn model(mut self, exec_model: ExecModel) -> Self {
         if let Some(point) = self.points.last_mut() {
             point.exec_model = exec_model;
+        }
+        self
+    }
+
+    /// Sets the bytecode optimization level of the most recently
+    /// appended point, so an opt sweep reads as `.point(..).opt(..)`
+    /// chains. No-op on an empty matrix.
+    #[must_use]
+    pub fn opt(mut self, opt_level: OptLevel) -> Self {
+        if let Some(point) = self.points.last_mut() {
+            point.opt_level = opt_level;
         }
         self
     }
@@ -325,6 +342,7 @@ fn run_point(point: &SweepPoint, config: &SccConfig, cache: &Arc<ArtifactCache>)
         .cores(point.cores)
         .policy(point.policy)
         .exec_model(point.exec_model)
+        .opt_level(point.opt_level)
         .config(config.clone())
         .cache(Arc::clone(cache));
     let result = match point.task {

@@ -11,45 +11,79 @@ use std::fmt;
 /// Library calls resolved by the execution engine (or inline by the VM for
 /// the pure-math ones).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[allow(missing_docs)]
 pub enum Intrinsic {
     // Common C library.
+    /// `printf(fmt, ...)` — formatted output through the engine.
     Printf,
+    /// `sqrt(x)` — pure math, evaluated inline by the VM.
     Sqrt,
+    /// `fabs(x)` — pure math, evaluated inline by the VM.
     Fabs,
+    /// `exit(code)` — terminate the program.
     Exit,
+    /// `malloc(size)` — simulated-heap allocation.
     Malloc,
+    /// `wtime()` — simulated wall-clock in seconds.
     Wtime,
     // Pthread API (meaningful in pthread execution mode).
+    /// `pthread_create(&tid, attr, fn, arg)`.
     PthreadCreate,
+    /// `pthread_join(tid, retp)`.
     PthreadJoin,
+    /// `pthread_exit(ret)`.
     PthreadExit,
+    /// `pthread_self()`.
     PthreadSelf,
+    /// `pthread_mutex_init(&m, attr)`.
     MutexInit,
+    /// `pthread_mutex_lock(&m)`.
     MutexLock,
+    /// `pthread_mutex_unlock(&m)`.
     MutexUnlock,
+    /// `pthread_mutex_destroy(&m)`.
     MutexDestroy,
+    /// `pthread_barrier_init(&b, attr, count)`.
     BarrierInit,
+    /// `pthread_barrier_wait(&b)`.
     BarrierWait,
+    /// `pthread_barrier_destroy(&b)`.
     BarrierDestroy,
     // RCCE API (meaningful in RCCE execution mode).
+    /// `RCCE_init(&argc, &argv)`.
     RcceInit,
+    /// `RCCE_finalize()`.
     RcceFinalize,
+    /// `RCCE_ue()` — this unit's id.
     RcceUe,
+    /// `RCCE_num_ues()` — unit count.
     RcceNumUes,
+    /// `RCCE_shmalloc(size)` — shared off-chip DRAM allocation.
     RcceShmalloc,
+    /// `RCCE_malloc(size)` — on-chip MPB allocation.
     RcceMpbMalloc,
+    /// `RCCE_barrier(&comm)`.
     RcceBarrier,
+    /// `RCCE_acquire_lock(ue)` — test-and-set lock acquire.
     RcceAcquireLock,
+    /// `RCCE_release_lock(ue)`.
     RcceReleaseLock,
+    /// `RCCE_wtime()`.
     RcceWtime,
+    /// `RCCE_put(dst, src, size, ue)` — push into a remote MPB.
     RccePut,
+    /// `RCCE_get(dst, src, size, ue)` — pull from a remote MPB.
     RcceGet,
+    /// `RCCE_flag_alloc(&flag)`.
     RcceFlagAlloc,
+    /// `RCCE_flag_write(&flag, value, ue)`.
     RcceFlagWrite,
+    /// `RCCE_flag_read(&flag, &value, ue)`.
     RcceFlagRead,
+    /// `RCCE_wait_until(flag, value)` — spin until a flag matches.
     RcceWaitUntil,
+    /// `RCCE_send(buf, size, ue)` — blocking MPB send.
     RcceSend,
+    /// `RCCE_recv(buf, size, ue)` — blocking MPB receive.
     RcceRecv,
 }
 
@@ -106,7 +140,6 @@ impl Intrinsic {
 
 /// One bytecode instruction.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[allow(missing_docs)]
 pub enum Instr {
     /// Push an integer (also used for addresses and function indices).
     PushI(i64),
@@ -124,29 +157,51 @@ pub enum Instr {
     /// `keep` is true the stored value is pushed back (assignment used as
     /// an expression).
     Store(MemKind, bool),
+    /// Duplicate the top of stack.
     Dup,
+    /// Discard the top of stack.
     Pop,
+    /// Exchange the top two values.
     Swap,
     /// Rotate the top three values: `a b c` → `b c a`.
     Rot3,
+    /// `a + b` (wrapping on integers, C promotion when either is float).
     Add,
+    /// `a - b` (wrapping / promoting like [`Instr::Add`]).
     Sub,
+    /// `a * b` (wrapping / promoting like [`Instr::Add`]).
     Mul,
+    /// `a / b`; integer division by zero faults the VM.
     Div,
+    /// `a % b`; integer remainder by zero faults the VM.
     Rem,
+    /// `a << b` (operands coerce to integers, shift amount wraps).
     Shl,
+    /// `a >> b` (arithmetic; coercion as [`Instr::Shl`]).
     Shr,
+    /// `a & b` (integer coercion).
     BitAnd,
+    /// `a | b` (integer coercion).
     BitOr,
+    /// `a ^ b` (integer coercion).
     BitXor,
+    /// Arithmetic negation (wrapping on integers).
     Neg,
+    /// Logical not: pushes `1` when the operand is falsy, else `0`.
     Not,
+    /// Bitwise complement (integer coercion).
     BitNot,
+    /// `a < b` → `0`/`1` (C usual arithmetic conversions).
     CmpLt,
+    /// `a <= b` → `0`/`1`.
     CmpLe,
+    /// `a > b` → `0`/`1`.
     CmpGt,
+    /// `a >= b` → `0`/`1`.
     CmpGe,
+    /// `a == b` → `0`/`1`.
     CmpEq,
+    /// `a != b` → `0`/`1`.
     CmpNe,
     /// Convert int → float.
     I2F,
@@ -166,6 +221,7 @@ pub enum Instr {
     Ret,
     /// Return with an implicit 0.
     RetVoid,
+    /// Do nothing (placeholder; the optimizer removes these).
     Nop,
 }
 
@@ -178,47 +234,86 @@ pub enum Instr {
 /// set and agrees with the reference match-based dispatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
-#[allow(missing_docs)]
 pub enum Op {
+    /// Opcode of [`Instr::PushI`].
     PushI = 0,
+    /// Opcode of [`Instr::PushF`].
     PushF,
+    /// Opcode of [`Instr::LocalGet`].
     LocalGet,
+    /// Opcode of [`Instr::LocalSet`].
     LocalSet,
+    /// Opcode of [`Instr::LocalMemAddr`].
     LocalMemAddr,
+    /// Opcode of [`Instr::Load`].
     Load,
+    /// Opcode of [`Instr::Store`].
     Store,
+    /// Opcode of [`Instr::Dup`].
     Dup,
+    /// Opcode of [`Instr::Pop`].
     Pop,
+    /// Opcode of [`Instr::Swap`].
     Swap,
+    /// Opcode of [`Instr::Rot3`].
     Rot3,
+    /// Opcode of [`Instr::Add`].
     Add,
+    /// Opcode of [`Instr::Sub`].
     Sub,
+    /// Opcode of [`Instr::Mul`].
     Mul,
+    /// Opcode of [`Instr::Div`].
     Div,
+    /// Opcode of [`Instr::Rem`].
     Rem,
+    /// Opcode of [`Instr::Shl`].
     Shl,
+    /// Opcode of [`Instr::Shr`].
     Shr,
+    /// Opcode of [`Instr::BitAnd`].
     BitAnd,
+    /// Opcode of [`Instr::BitOr`].
     BitOr,
+    /// Opcode of [`Instr::BitXor`].
     BitXor,
+    /// Opcode of [`Instr::Neg`].
     Neg,
+    /// Opcode of [`Instr::Not`].
     Not,
+    /// Opcode of [`Instr::BitNot`].
     BitNot,
+    /// Opcode of [`Instr::CmpLt`].
     CmpLt,
+    /// Opcode of [`Instr::CmpLe`].
     CmpLe,
+    /// Opcode of [`Instr::CmpGt`].
     CmpGt,
+    /// Opcode of [`Instr::CmpGe`].
     CmpGe,
+    /// Opcode of [`Instr::CmpEq`].
     CmpEq,
+    /// Opcode of [`Instr::CmpNe`].
     CmpNe,
+    /// Opcode of [`Instr::I2F`].
     I2F,
+    /// Opcode of [`Instr::F2I`].
     F2I,
+    /// Opcode of [`Instr::Jump`].
     Jump,
+    /// Opcode of [`Instr::JumpIfZero`].
     JumpIfZero,
+    /// Opcode of [`Instr::JumpIfNotZero`].
     JumpIfNotZero,
+    /// Opcode of [`Instr::Call`].
     Call,
+    /// Opcode of [`Instr::CallIntrinsic`].
     CallIntrinsic,
+    /// Opcode of [`Instr::Ret`].
     Ret,
+    /// Opcode of [`Instr::RetVoid`].
     RetVoid,
+    /// Opcode of [`Instr::Nop`].
     Nop,
 }
 

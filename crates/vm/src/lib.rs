@@ -10,6 +10,8 @@
 //! * [`compile()`] — CIR → bytecode ([`compile::Program`]), register
 //!   allocation for scalar locals, memory residence for arrays and
 //!   address-taken locals, constant global images.
+//! * [`opt`] — the optional bytecode optimizer ([`optimize`] at an
+//!   [`OptLevel`]), run between compilation and execution.
 //! * [`vm`] — the interpreter ([`vm::Vm`]).
 //! * [`data`] — byte-addressable simulated memory contents.
 //! * [`value`] / [`instr`] — runtime values and the instruction set.
@@ -45,10 +47,12 @@
 pub mod compile;
 pub mod data;
 pub mod instr;
+pub mod opt;
 pub mod value;
 pub mod vm;
 
 pub use compile::{compile, CompileError, Program};
 pub use instr::{Instr, Intrinsic, Op};
+pub use opt::{optimize, optimize_with_stats, OptLevel, OptStats};
 pub use value::{MemKind, Value};
 pub use vm::{StepOutcome, UnitVm, Vm, VmError};

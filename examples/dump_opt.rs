@@ -1,0 +1,54 @@
+//! Disassembles a corpus program at `O0` and `O2` side by side.
+//!
+//! The before/after listings in `docs/OPTIMIZER.md` were produced with
+//! this tool. Usage (from the repo root):
+//!
+//! ```text
+//! cargo run --release --example dump_opt [FILE [CORES [FUNC]]]
+//! # e.g. cargo run --release --example dump_opt example_4_1.c 3 RCCE_APP
+//! ```
+//!
+//! `FILE` is relative to `corpus/` (default `example_4_1.c`), `CORES`
+//! is the translation core count (default 3), and an optional `FUNC`
+//! restricts the dump to one function by name.
+
+use hsm_core::{OptLevel, Pipeline};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "example_4_1.c".into());
+    let cores: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let func = std::env::args().nth(3);
+    let src = std::fs::read_to_string(format!("corpus/{name}")).expect("read corpus program");
+    let o0 = Pipeline::new(src.clone())
+        .cores(cores)
+        .program()
+        .expect("compile at O0");
+    let o2 = Pipeline::new(src)
+        .cores(cores)
+        .opt_level(OptLevel::O2)
+        .program()
+        .expect("compile at O2");
+    for (f0, f2) in o0.funcs.iter().zip(o2.funcs.iter()) {
+        if let Some(want) = &func {
+            if &f0.name != want {
+                continue;
+            }
+        }
+        println!(
+            "==== fn {} ({} -> {} instrs) ====",
+            f0.name,
+            f0.code.len(),
+            f2.code.len()
+        );
+        println!("---- O0 ----");
+        println!("{}", hsm_vm::opt::disassemble(&f0.code));
+        println!("---- O2 ----");
+        println!("{}", hsm_vm::opt::disassemble(&f2.code));
+    }
+    println!("total static: {} -> {}", o0.code_len(), o2.code_len());
+}

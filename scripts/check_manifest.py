@@ -49,6 +49,51 @@ def describe_diff(path, got, want, out):
         out.append(f"{path}: {got!r} != {want!r}")
 
 
+def check_opt_axis(fresh, fresh_path):
+    """Validates the schema-v4 `opt` section of the full fresh manifest.
+
+    Two invariants, checked over the *whole* corpus before restricting to
+    the golden program set:
+
+    * the O2 optimizer must actually pay for itself — at least three
+      programs must show a strictly positive dynamic instruction-count
+      reduction (`instructions_delta > 0`);
+    * optimization must never cost simulated time — every program's O2
+      `timed_cycles` must be <= its O0 `timed_cycles`.
+    """
+    opt = fresh.get("opt")
+    if not isinstance(opt, list) or not opt:
+        sys.exit(f"{fresh_path}: missing or empty `opt` section (schema v4)")
+
+    wins = []
+    for entry in opt:
+        name = entry.get("name", "<unnamed>")
+        for key in ("instr_static_delta", "instructions_delta", "timed_cycles_delta"):
+            if not isinstance(entry.get(key), int):
+                sys.exit(f"{fresh_path}: opt entry {name!r} lacks integer {key!r}")
+        for level in ("O0", "O2"):
+            if not isinstance(entry.get(level), dict):
+                sys.exit(f"{fresh_path}: opt entry {name!r} lacks {level!r} metrics")
+        if entry["instructions_delta"] > 0:
+            wins.append(name)
+        o0, o2 = entry["O0"]["timed_cycles"], entry["O2"]["timed_cycles"]
+        if o2 > o0:
+            sys.exit(
+                f"{fresh_path}: opt entry {name!r} regressed simulated time: "
+                f"O2 timed_cycles {o2} > O0 {o0}"
+            )
+
+    if len(wins) < 3:
+        sys.exit(
+            f"{fresh_path}: only {len(wins)} program(s) show a strictly "
+            f"positive O2 instruction reduction ({wins}); need >= 3"
+        )
+    print(
+        f"{fresh_path}: opt axis ok — {len(wins)}/{len(opt)} programs reduce "
+        "dynamic instructions at O2, none regress simulated cycles"
+    )
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(f"usage: {sys.argv[0]} FRESH_MANIFEST GOLDEN_MANIFEST")
@@ -74,6 +119,8 @@ def main():
     if cache.get("total_misses", 0) <= 0:
         sys.exit(f"{fresh_path}: sweep cache recorded no misses: {cache}")
 
+    check_opt_axis(fresh, fresh_path)
+
     # The `sweep` section is compared only via the hit/miss assertions
     # above: its counter totals legitimately differ between the full
     # 5-program manifest and the 2-program golden.
@@ -81,6 +128,7 @@ def main():
     restricted = {
         "schema_version": fresh["schema_version"],
         "config": fresh["config"],
+        "opt": [o for o in fresh["opt"] if o["name"] in golden_names],
         "programs": [p for p in fresh["programs"] if p["name"] in golden_names],
     }
     restricted = strip_host_keys(restricted)
@@ -88,6 +136,7 @@ def main():
         {
             "schema_version": golden["schema_version"],
             "config": golden["config"],
+            "opt": golden["opt"],
             "programs": golden["programs"],
         }
     )
