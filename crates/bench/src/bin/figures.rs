@@ -18,8 +18,11 @@
 //! figures ext.jacobi       # barrier-heavy stencil extension
 //! figures --json           # write the bench-out/BENCH_pipeline.json run manifest
 //! figures --json --opt-level O2   # … with entries executed at O2
+//! figures --json --cache-dir DIR  # … over a persistent artifact store
 //! figures --host-timing    # write bench-out/BENCH_interp.json (steps/sec)
 //! figures --check-sharing  # run the corpus under the soundness oracle
+//! figures --client ADDR    # sweep the corpus on a running hsmd server
+//! figures --client ADDR --shutdown  # … then stop the server
 //! ```
 //!
 //! `--json` composes with the table selectors: `figures fig6.1 --json`
@@ -36,7 +39,16 @@
 //! O1, O2) switches the bytecode optimization level the entries execute
 //! at (default O0); the manifest's `opt` section always reports the
 //! per-program `O0`-vs-`O2` instruction and simulated-cycle deltas
-//! regardless.
+//! regardless. These execution flags (plus `--cache-dir DIR`, which
+//! backs the sweep's artifact cache with a persistent content-addressed
+//! store so a second run recompiles nothing) all parse into one
+//! [`hsm_core::spec::SweepSpec`] — the same value an `hsmd` sweep job
+//! carries.
+//!
+//! `--client ADDR` runs the corpus sweep on a running `hsmd` server
+//! instead of in-process: it ships the spec as a sweep job, prints one
+//! row per point as the server streams them back, and with `--shutdown`
+//! stops the server afterwards.
 //!
 //! `--host-timing` measures interpreter throughput (VM steps per host
 //! second) for every corpus program × mode × model, prints the table and
@@ -54,9 +66,6 @@
 use hsm_bench::json::Json;
 use std::env;
 use std::process::ExitCode;
-
-/// Output directory for machine-readable artifacts (gitignored).
-const BENCH_OUT_DIR: &str = "bench-out";
 
 /// Output file of `--json`.
 const MANIFEST_FILE: &str = "bench-out/BENCH_pipeline.json";
@@ -97,39 +106,42 @@ fn main() -> ExitCode {
         timing_runs = value;
         args.drain(i..=i + 1);
     }
-    let mut workers = 0usize;
-    if let Some(i) = args.iter().position(|a| a == "--workers") {
-        let value = args.get(i + 1).and_then(|v| v.parse().ok());
-        let Some(value) = value else {
-            eprintln!("figures: --workers needs a number");
+    // The execution axes (--workers, --exec-model, --opt-level,
+    // --cache-dir) all live in one SweepSpec — the value the manifest
+    // consumes and a `--client` sweep job ships.
+    let mut spec = hsm_core::spec::SweepSpec::default();
+    if let Err(e) = spec.take_cli_flags(&mut args) {
+        eprintln!("figures: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = spec.open_cache() {
+        eprintln!("figures: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut client_addr = None;
+    if let Some(i) = args.iter().position(|a| a == "--client") {
+        let Some(value) = args.get(i + 1).cloned() else {
+            eprintln!("figures: --client needs a server address");
             return ExitCode::FAILURE;
         };
-        workers = value;
+        client_addr = Some(value);
         args.drain(i..=i + 1);
     }
-    let mut exec_model = hsm_core::ExecModel::Coherent;
-    if let Some(i) = args.iter().position(|a| a == "--exec-model") {
-        let value = args.get(i + 1).and_then(|v| hsm_core::ExecModel::parse(v));
-        let Some(value) = value else {
-            let labels: Vec<&str> = hsm_core::ExecModel::ALL.iter().map(|m| m.label()).collect();
-            eprintln!("figures: --exec-model needs one of: {}", labels.join(", "));
-            return ExitCode::FAILURE;
+    let client_shutdown = args.iter().any(|a| a == "--shutdown");
+    args.retain(|a| {
+        a != "--json" && a != "--check-sharing" && a != "--host-timing" && a != "--shutdown"
+    });
+
+    if let Some(addr) = client_addr {
+        return match run_client(&addr, &spec, client_shutdown) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("figures: {e}");
+                ExitCode::FAILURE
+            }
         };
-        exec_model = value;
-        args.drain(i..=i + 1);
     }
-    let mut opt_level = hsm_core::OptLevel::O0;
-    if let Some(i) = args.iter().position(|a| a == "--opt-level") {
-        let value = args.get(i + 1).and_then(|v| hsm_core::OptLevel::parse(v));
-        let Some(value) = value else {
-            let labels: Vec<&str> = hsm_core::OptLevel::ALL.iter().map(|l| l.label()).collect();
-            eprintln!("figures: --opt-level needs one of: {}", labels.join(", "));
-            return ExitCode::FAILURE;
-        };
-        opt_level = value;
-        args.drain(i..=i + 1);
-    }
-    args.retain(|a| a != "--json" && a != "--check-sharing" && a != "--host-timing");
+    let workers = spec.workers;
     let all = args.is_empty() && !emit_json && !check_sharing && !host_timing;
     let want = |name: &str| all || args.iter().any(|a| a == name);
     let mut failed = false;
@@ -154,12 +166,10 @@ fn main() -> ExitCode {
 
     if emit_json {
         let opts = hsm_bench::manifest::ManifestOptions {
-            workers,
-            exec_model,
-            opt_level,
+            spec: spec.clone(),
             ..Default::default()
         };
-        let manifest = match hsm_bench::manifest::full_manifest(opts) {
+        let manifest = match hsm_bench::manifest::full_manifest(&opts) {
             Ok(mut m) => {
                 if let (Some(sharing), Json::Obj(pairs)) = (sharing_section.take(), &mut m) {
                     pairs.push(("sharing".to_string(), sharing));
@@ -314,13 +324,10 @@ fn main() -> ExitCode {
 }
 
 /// Writes a machine-readable artifact under `bench-out/`, creating the
-/// directory on demand.
+/// directory on demand (the create-on-demand behaviour itself lives in
+/// and is unit-tested by `hsm_bench::write_artifact`).
 fn write_artifact(path: &str, content: &str) -> Result<(), ()> {
-    if let Err(e) = std::fs::create_dir_all(BENCH_OUT_DIR) {
-        eprintln!("creating {BENCH_OUT_DIR}/ failed: {e}");
-        return Err(());
-    }
-    match std::fs::write(path, content) {
+    match hsm_bench::write_artifact(path, content) {
         Ok(()) => {
             println!("wrote {path}");
             Ok(())
@@ -330,6 +337,49 @@ fn write_artifact(path: &str, content: &str) -> Result<(), ()> {
             Err(())
         }
     }
+}
+
+/// Runs the corpus sweep as a job on a running `hsmd` server, printing
+/// one row per point as the server streams them back (matrix order).
+fn run_client(addr: &str, spec: &hsm_core::spec::SweepSpec, shutdown: bool) -> Result<(), String> {
+    use hsm_core::api::{Client, SpecProgram};
+    let mut spec = spec.clone();
+    if spec.programs.is_empty() {
+        spec.programs = hsm_bench::manifest::MANIFEST_PROGRAMS
+            .iter()
+            .map(|&(name, cores)| SpecProgram::corpus(name, cores))
+            .collect();
+    }
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    println!("sweeping {} programs on {addr}\n", spec.programs.len());
+    println!("{:<32}{:>6}{:>14}  Output FNV", "Point", "Exit", "Cycles");
+    println!("{}", "-".repeat(72));
+    let rows = client
+        .sweep_streaming(&spec, None, |row| match &row.error {
+            Some(e) => println!("{:<32}  ERROR: {e}", row.name),
+            None => println!(
+                "{:<32}{:>6}{:>14}  {}",
+                row.name,
+                row.exit_code.unwrap_or(-1),
+                row.timed_cycles.unwrap_or(0),
+                row.output_fnv
+                    .map(|v| format!("{v:016x}"))
+                    .unwrap_or_default(),
+            ),
+        })
+        .map_err(|e| format!("sweep failed: {e}"))?;
+    let failed = rows.iter().filter(|r| r.error.is_some()).count();
+    println!("\n{} points, {failed} failed", rows.len());
+    if shutdown {
+        client
+            .shutdown()
+            .map_err(|e| format!("shutdown failed: {e}"))?;
+        println!("server shut down");
+    }
+    if failed > 0 {
+        return Err(format!("{failed} sweep points failed"));
+    }
+    Ok(())
 }
 
 /// Prints the sharing-oracle verdict table for `--check-sharing`.

@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 
 pub mod interp;
-pub mod json;
+/// The order-preserving JSON value (now shared with the core crate's
+/// spec/protocol layer; re-exported so `hsm_bench::json` keeps working).
+pub use hsm_core::json;
 pub mod manifest;
 pub mod sharing;
 
@@ -21,6 +23,25 @@ use std::fmt::Write as _;
 
 /// The evaluation's core/thread count (Table 6.1: 32).
 pub const EVAL_UNITS: usize = 32;
+
+/// Output directory for machine-readable artifacts (gitignored).
+pub const BENCH_OUT_DIR: &str = "bench-out";
+
+/// Writes a machine-readable artifact, creating its parent directory on
+/// demand — `figures --json` must work in a fresh checkout where
+/// `bench-out/` does not exist yet.
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn write_artifact(path: &str, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, content)
+}
 
 /// The paper's running example (Example Code 4.1).
 pub const EXAMPLE_4_1: &str = r#"
@@ -471,4 +492,24 @@ pub fn render_example_4_2() -> String {
     )
     .expect("example translates")
     .to_source()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn write_artifact_creates_missing_output_directories() {
+        let root = std::env::temp_dir().join(format!("hsm-bench-out-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let path = root.join("nested/BENCH_test.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        super::write_artifact(path, "{}\n").expect("writes through missing dirs");
+        assert_eq!(std::fs::read_to_string(path).expect("readable"), "{}\n");
+        // Overwrites in place on the second run.
+        super::write_artifact(path, "{\"v\": 2}\n").expect("rewrites");
+        assert_eq!(
+            std::fs::read_to_string(path).expect("readable"),
+            "{\"v\": 2}\n"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
 }

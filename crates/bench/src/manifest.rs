@@ -18,7 +18,8 @@
 use crate::json::Json;
 use hsm_core::experiment::{sweep, Mode, SweepMatrix, SweepReport, SweepTask, TimingStats};
 use hsm_core::metrics::PipelineMetrics;
-use hsm_core::{OptLevel, Pipeline, PipelineError, StageCounters};
+use hsm_core::spec::SweepSpec;
+use hsm_core::{ArtifactCache, OptLevel, Pipeline, PipelineError, StageCounters};
 use hsm_exec::{ExecModel, RunResult};
 use scc_sim::{Region, SccConfig};
 use std::path::PathBuf;
@@ -52,34 +53,50 @@ pub const GOLDEN_PROGRAMS: [(&str, usize); 2] = [("example_4_1", 3), ("matrix_ve
 /// Timed runs behind each entry's `host_timing` block.
 const HOST_TIMING_RUNS: usize = 3;
 
-/// Manifest generation knobs.
-#[derive(Debug, Clone, Copy)]
+/// Manifest generation knobs. The execution axes — worker threads, the
+/// memory model and optimization level every entry executes under, and
+/// the optional persistent cache directory — live in the embedded
+/// [`SweepSpec`], the same value the `figures` CLI parses its flags into
+/// and `hsmd` jobs carry (the spec's own program list is ignored here:
+/// the manifest's corpus is its own pinned axis). The defaults pin what
+/// the goldens pin: coherent, `O0`, no store. The `opt` delta section
+/// always compares `O0` against `O2` regardless of the spec's level.
+#[derive(Debug, Clone)]
 pub struct ManifestOptions {
     /// Include host wall-clock timings (`host_*` fields). These vary run
     /// to run; goldens are built without them.
     pub include_host_timings: bool,
-    /// Sweep worker threads (0 = one per available host core).
-    pub workers: usize,
-    /// Memory model every entry executes under. The default is the
-    /// coherent ground truth; the goldens pin it, and `figures
-    /// --exec-model` switches it for differential studies.
-    pub exec_model: ExecModel,
-    /// Bytecode optimization level every entry executes at. The default
-    /// is `O0` (the goldens pin unoptimized numbers); `figures
-    /// --opt-level` switches it. The `opt` delta section always compares
-    /// `O0` against `O2` regardless of this setting.
-    pub opt_level: OptLevel,
+    /// The execution knobs (workers, exec model, opt level, cache dir).
+    pub spec: SweepSpec,
 }
 
 impl Default for ManifestOptions {
     fn default() -> Self {
         ManifestOptions {
             include_host_timings: true,
-            workers: 0,
-            exec_model: ExecModel::Coherent,
-            opt_level: OptLevel::O0,
+            spec: SweepSpec::default(),
         }
     }
+}
+
+impl ManifestOptions {
+    /// The memory model manifest entries execute under.
+    fn exec_model(&self) -> ExecModel {
+        self.spec.exec_model
+    }
+
+    /// The optimization level manifest entries execute at.
+    fn opt_level(&self) -> OptLevel {
+        self.spec.opt_level
+    }
+}
+
+/// Opens the spec's artifact cache. A failing store directory is a host
+/// environment error, reported like a missing corpus file (the `figures`
+/// CLI validates the directory before building a manifest).
+fn open_cache(spec: &SweepSpec) -> Arc<ArtifactCache> {
+    spec.open_cache()
+        .unwrap_or_else(|e| panic!("opening the artifact store failed: {e}"))
 }
 
 /// Absolute path of a corpus program.
@@ -187,7 +204,7 @@ pub fn run_json(r: &RunResult) -> Json {
 
 /// The per-stage pipeline block (region sizes always; wall times only when
 /// requested, since they are host-dependent).
-pub fn metrics_json(m: &PipelineMetrics, opts: ManifestOptions) -> Json {
+pub fn metrics_json(m: &PipelineMetrics, opts: &ManifestOptions) -> Json {
     Json::Arr(
         m.stages
             .iter()
@@ -214,9 +231,11 @@ fn counters_json(c: StageCounters) -> Json {
 }
 
 /// The `sweep` section: the shared artifact cache's hit/miss counters
-/// (deterministic — identical for every worker count) plus, when host
-/// timings are requested, the host-side parallelism figures.
-pub fn sweep_json(report: &SweepReport, opts: ManifestOptions) -> Json {
+/// (deterministic — identical for every worker count, and unchanged by a
+/// persistent store, which only intercepts misses) plus, when host
+/// timings are requested, the host-side parallelism figures and the
+/// `host_store` disk-traffic block (present only with a `--cache-dir`).
+pub fn sweep_json(report: &SweepReport, opts: &ManifestOptions) -> Json {
     let c = report.cache;
     let mut pairs = vec![(
         "cache",
@@ -237,6 +256,18 @@ pub fn sweep_json(report: &SweepReport, opts: ManifestOptions) -> Json {
             "host_wall_nanos",
             Json::UInt(u64::try_from(report.host_wall_nanos).unwrap_or(u64::MAX)),
         ));
+        if let Some(s) = c.store {
+            pairs.push((
+                "host_store",
+                Json::obj(vec![
+                    ("loads", Json::UInt(s.total_loads())),
+                    ("misses", Json::UInt(s.total_misses())),
+                    ("writes", Json::UInt(s.total_writes())),
+                    ("corrupt", Json::UInt(s.total_corrupt())),
+                    ("evictions", Json::UInt(s.evictions)),
+                ]),
+            ));
+        }
     }
     Json::obj(pairs)
 }
@@ -265,15 +296,18 @@ fn timing_json(t: TimingStats) -> Json {
 /// timing re-runs when host timings are requested).
 fn manifest_matrix(
     programs: &[(&str, usize)],
-    opts: ManifestOptions,
+    opts: &ManifestOptions,
     config: &SccConfig,
+    cache: &Arc<ArtifactCache>,
 ) -> SweepMatrix {
     let timing_runs = if opts.include_host_timings {
         HOST_TIMING_RUNS
     } else {
         0
     };
-    let mut matrix = SweepMatrix::new(config.clone()).workers(opts.workers);
+    let mut matrix = SweepMatrix::new(config.clone())
+        .workers(opts.spec.workers)
+        .cache(Arc::clone(cache));
     for &(name, cores) in programs {
         let src = corpus_source(name);
         matrix = matrix
@@ -283,8 +317,8 @@ fn manifest_matrix(
                 SweepTask::RunMetered(Mode::PthreadBaseline),
                 cores,
             )
-            .model(opts.exec_model)
-            .opt(opts.opt_level)
+            .model(opts.exec_model())
+            .opt(opts.opt_level())
             .timed_point(
                 format!("{name}/hsm"),
                 src,
@@ -292,8 +326,8 @@ fn manifest_matrix(
                 cores,
                 timing_runs,
             )
-            .model(opts.exec_model)
-            .opt(opts.opt_level);
+            .model(opts.exec_model())
+            .opt(opts.opt_level());
     }
     matrix
 }
@@ -316,13 +350,13 @@ fn entry_json(
     cores: usize,
     base: (RunResult, PipelineMetrics, Option<TimingStats>),
     hsm: (RunResult, PipelineMetrics, Option<TimingStats>),
-    opts: ManifestOptions,
+    opts: &ManifestOptions,
 ) -> Json {
     let mut pairs = vec![
         ("name", Json::str(name)),
         ("cores", Json::UInt(cores as u64)),
-        ("exec_model", Json::str(opts.exec_model.label())),
-        ("opt_level", Json::str(opts.opt_level.label())),
+        ("exec_model", Json::str(opts.exec_model().label())),
+        ("opt_level", Json::str(opts.opt_level().label())),
         ("pipeline", metrics_json(&hsm.1, opts)),
         ("baseline_pipeline", metrics_json(&base.1, opts)),
         ("baseline", run_json(&base.0)),
@@ -345,9 +379,10 @@ pub fn program_entry(
     name: &str,
     cores: usize,
     config: &SccConfig,
-    opts: ManifestOptions,
+    opts: &ManifestOptions,
 ) -> Result<Json, PipelineError> {
-    let report = sweep(&manifest_matrix(&[(name, cores)], opts, config));
+    let cache = open_cache(&opts.spec);
+    let report = sweep(&manifest_matrix(&[(name, cores)], opts, config, &cache));
     let mut outcomes = report.outcomes.into_iter();
     let base = metered_run(outcomes.next().expect("baseline point"))?;
     let hsm = metered_run(outcomes.next().expect("hsm point"))?;
@@ -369,26 +404,27 @@ fn opt_level_json(pipeline: &Pipeline) -> Result<Json, PipelineError> {
 
 /// The `opt` section: for every program, the HSM run measured at `O0`
 /// and at `O2` (same exec model as the rest of the manifest) plus the
-/// dynamic instruction and timed-cycle deltas. All pipelines share one
-/// private cache, so each program is parsed, analyzed, partitioned and
-/// translated once — only the compile stage forks per level.
+/// dynamic instruction and timed-cycle deltas. All pipelines share the
+/// manifest sweep's cache (and its store, when one is attached), so each
+/// program is parsed, analyzed, partitioned and translated once — only
+/// the compile stage forks per level.
 ///
 /// # Errors
 ///
 /// Propagates pipeline failures.
 pub fn opt_json(
     programs: &[(&str, usize)],
-    opts: ManifestOptions,
+    opts: &ManifestOptions,
     config: &SccConfig,
+    cache: &Arc<ArtifactCache>,
 ) -> Result<Json, PipelineError> {
-    let cache = hsm_core::ArtifactCache::shared();
     let mut entries = Vec::with_capacity(programs.len());
     for &(name, cores) in programs {
         let session = Pipeline::new(corpus_source(name))
             .cores(cores)
             .config(config.clone())
-            .exec_model(opts.exec_model)
-            .cache(Arc::clone(&cache));
+            .exec_model(opts.exec_model())
+            .cache(Arc::clone(cache));
         let o0 = opt_level_json(&session.clone().opt_level(OptLevel::O0))?;
         let o2 = opt_level_json(&session.opt_level(OptLevel::O2))?;
         let delta = |field: &str| {
@@ -423,10 +459,14 @@ pub fn opt_json(
 /// Propagates pipeline failures.
 pub fn manifest_for(
     programs: &[(&str, usize)],
-    opts: ManifestOptions,
+    opts: &ManifestOptions,
 ) -> Result<Json, PipelineError> {
     let config = SccConfig::table_6_1();
-    let report = sweep(&manifest_matrix(programs, opts, &config));
+    let cache = open_cache(&opts.spec);
+    let report = sweep(&manifest_matrix(programs, opts, &config, &cache));
+    // The sweep section snapshots the counters here, before the `opt`
+    // section reuses the cache, so the pinned `sweep.cache` numbers keep
+    // meaning "the manifest sweep alone" (what the goldens fix).
     let sweep_section = sweep_json(&report, opts);
     let mut outcomes = report.outcomes.into_iter();
     let mut entries = Vec::with_capacity(programs.len());
@@ -435,7 +475,7 @@ pub fn manifest_for(
         let hsm = metered_run(outcomes.next().expect("hsm point"))?;
         entries.push(entry_json(name, cores, base, hsm, opts));
     }
-    let opt_section = opt_json(programs, opts, &config)?;
+    let opt_section = opt_json(programs, opts, &config, &cache)?;
     Ok(Json::obj(vec![
         ("schema_version", Json::UInt(MANIFEST_SCHEMA_VERSION)),
         ("config", config_json(&config)),
@@ -450,7 +490,7 @@ pub fn manifest_for(
 /// # Errors
 ///
 /// Propagates pipeline failures.
-pub fn full_manifest(opts: ManifestOptions) -> Result<Json, PipelineError> {
+pub fn full_manifest(opts: &ManifestOptions) -> Result<Json, PipelineError> {
     manifest_for(&MANIFEST_PROGRAMS, opts)
 }
 
@@ -465,11 +505,9 @@ pub fn full_manifest(opts: ManifestOptions) -> Result<Json, PipelineError> {
 pub fn golden_manifest() -> Result<Json, PipelineError> {
     manifest_for(
         &GOLDEN_PROGRAMS,
-        ManifestOptions {
+        &ManifestOptions {
             include_host_timings: false,
-            workers: 0,
-            exec_model: ExecModel::Coherent,
-            opt_level: OptLevel::O0,
+            spec: SweepSpec::default(),
         },
     )
 }
@@ -478,17 +516,20 @@ pub fn golden_manifest() -> Result<Json, PipelineError> {
 mod tests {
     use super::*;
 
+    /// Options with the given worker count and no host timings.
+    fn quiet_opts(workers: usize) -> ManifestOptions {
+        ManifestOptions {
+            include_host_timings: false,
+            spec: SweepSpec {
+                workers,
+                ..SweepSpec::default()
+            },
+        }
+    }
+
     #[test]
     fn manifest_structure_is_versioned_and_complete() {
-        let m = manifest_for(
-            &[("example_4_1", 3)],
-            ManifestOptions {
-                include_host_timings: false,
-                workers: 1,
-                ..ManifestOptions::default()
-            },
-        )
-        .expect("manifest");
+        let m = manifest_for(&[("example_4_1", 3)], &quiet_opts(1)).expect("manifest");
         assert_eq!(
             m.get("schema_version"),
             Some(&Json::UInt(MANIFEST_SCHEMA_VERSION))
@@ -528,15 +569,7 @@ mod tests {
         );
         assert!(matches!(cache.get("total_hits"), Some(Json::UInt(h)) if *h > 0));
         // Without host timings the rendering is deterministic.
-        let again = manifest_for(
-            &[("example_4_1", 3)],
-            ManifestOptions {
-                include_host_timings: false,
-                workers: 1,
-                ..ManifestOptions::default()
-            },
-        )
-        .expect("manifest");
+        let again = manifest_for(&[("example_4_1", 3)], &quiet_opts(1)).expect("manifest");
         assert_eq!(m.render(), again.render());
     }
 
@@ -544,22 +577,15 @@ mod tests {
     fn host_timings_are_opt_in() {
         let base_opts = ManifestOptions {
             include_host_timings: true,
-            workers: 1,
-            ..ManifestOptions::default()
+            spec: SweepSpec {
+                workers: 1,
+                ..SweepSpec::default()
+            },
         };
         let with =
-            program_entry("example_4_1", 3, &SccConfig::table_6_1(), base_opts).expect("entry");
-        let without = program_entry(
-            "example_4_1",
-            3,
-            &SccConfig::table_6_1(),
-            ManifestOptions {
-                include_host_timings: false,
-                workers: 1,
-                ..ManifestOptions::default()
-            },
-        )
-        .expect("entry");
+            program_entry("example_4_1", 3, &SccConfig::table_6_1(), &base_opts).expect("entry");
+        let without = program_entry("example_4_1", 3, &SccConfig::table_6_1(), &quiet_opts(1))
+            .expect("entry");
         assert!(with.render().contains("host_wall_nanos"));
         assert!(with.render().contains("host_timing"));
         assert!(!without.render().contains("host_wall_nanos"));
@@ -571,13 +597,33 @@ mod tests {
     /// host timings are excluded — including the cache counters.
     #[test]
     fn manifest_is_worker_count_invariant() {
-        let opts = |workers| ManifestOptions {
-            include_host_timings: false,
-            workers,
-            ..ManifestOptions::default()
-        };
-        let serial = manifest_for(&GOLDEN_PROGRAMS, opts(1)).expect("serial");
-        let parallel = manifest_for(&GOLDEN_PROGRAMS, opts(4)).expect("parallel");
+        let serial = manifest_for(&GOLDEN_PROGRAMS, &quiet_opts(1)).expect("serial");
+        let parallel = manifest_for(&GOLDEN_PROGRAMS, &quiet_opts(4)).expect("parallel");
         assert_eq!(serial.render(), parallel.render());
+    }
+
+    /// The tentpole's warm-cache guarantee at the manifest level: two
+    /// manifests built over the same store directory render identically
+    /// (host timings off), and the warm build never misses the store.
+    #[test]
+    fn manifest_is_byte_identical_cold_vs_warm() {
+        let dir = std::env::temp_dir().join(format!("hsm-manifest-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ManifestOptions {
+            include_host_timings: false,
+            spec: SweepSpec {
+                workers: 1,
+                cache_dir: Some(dir.to_string_lossy().into_owned()),
+                ..SweepSpec::default()
+            },
+        };
+        let cold = manifest_for(&[("example_4_1", 3)], &opts).expect("cold");
+        let warm = manifest_for(&[("example_4_1", 3)], &opts).expect("warm");
+        assert_eq!(cold.render(), warm.render());
+        // And against a storeless build: the store must not leak into
+        // the deterministic sections.
+        let plain = manifest_for(&[("example_4_1", 3)], &quiet_opts(1)).expect("plain");
+        assert_eq!(plain.render(), warm.render());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -24,9 +24,15 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod cache;
+pub mod json;
 pub mod metrics;
 mod pipeline;
+pub mod protocol;
+pub mod server;
+pub mod spec;
+pub mod store;
 pub mod sweep;
 
 use hsm_exec::{ExecError, RunResult};
@@ -36,7 +42,7 @@ use metrics::PipelineMetrics;
 use scc_sim::SccConfig;
 use std::fmt;
 
-pub use cache::{ArtifactCache, CacheStats, StageCounters};
+pub use cache::{ArtifactCache, ArtifactKey, CacheStats, StageCounters, StoreCounters, StoreStats};
 pub use hsm_exec::ExecModel;
 pub use hsm_partition::{MemorySpec, Policy};
 pub use hsm_vm::OptLevel;
@@ -57,17 +63,21 @@ pub enum PipelineError {
     Compile(hsm_vm::CompileError),
     /// Simulation failure.
     Exec(ExecError),
+    /// The run was cancelled before it completed (a sweep shutting down,
+    /// or a job server enforcing a deadline).
+    Cancelled,
 }
 
 impl PipelineError {
     /// The name of the pipeline stage that failed (`"parse"`,
-    /// `"translate"`, `"compile"` or `"exec"`).
+    /// `"translate"`, `"compile"` or `"exec"`), or `"cancelled"`.
     pub fn stage(&self) -> &'static str {
         match self {
             PipelineError::Parse(_) => "parse",
             PipelineError::Translate(_) => "translate",
             PipelineError::Compile(_) => "compile",
             PipelineError::Exec(_) => "exec",
+            PipelineError::Cancelled => "cancelled",
         }
     }
 }
@@ -79,6 +89,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Translate(e) => write!(f, "translate stage: {e}"),
             PipelineError::Compile(e) => write!(f, "compile stage: {e}"),
             PipelineError::Exec(e) => write!(f, "exec stage: {e}"),
+            PipelineError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
@@ -90,6 +101,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Translate(e) => Some(e),
             PipelineError::Compile(e) => Some(e),
             PipelineError::Exec(e) => Some(e),
+            PipelineError::Cancelled => None,
         }
     }
 }
@@ -134,8 +146,8 @@ pub mod experiment {
     use std::sync::Arc;
 
     pub use crate::sweep::{
-        sweep, SweepMatrix, SweepOutcome, SweepPayload, SweepPoint, SweepReport, SweepTask,
-        TimingStats,
+        sweep, sweep_with, SweepMatrix, SweepOptions, SweepOutcome, SweepPayload, SweepPoint,
+        SweepReport, SweepTask, TimingStats,
     };
 
     /// The three evaluated configurations.
@@ -150,6 +162,9 @@ pub mod experiment {
     }
 
     impl Mode {
+        /// All three modes, in the canonical baseline/offchip/hsm order.
+        pub const ALL: [Mode; 3] = [Mode::PthreadBaseline, Mode::RcceOffChip, Mode::RcceHsm];
+
         /// The placement policy the mode implies (the baseline never
         /// partitions; it reports the HSM default).
         pub fn policy(self) -> Policy {
@@ -157,6 +172,21 @@ pub mod experiment {
                 Mode::RcceOffChip => Policy::OffChipOnly,
                 Mode::PthreadBaseline | Mode::RcceHsm => Policy::SizeAscending,
             }
+        }
+
+        /// The stable wire/CLI spelling (`"baseline"`, `"offchip"`,
+        /// `"hsm"`) used by sweep specs and the `hsmd` protocol.
+        pub fn label(self) -> &'static str {
+            match self {
+                Mode::PthreadBaseline => "baseline",
+                Mode::RcceOffChip => "offchip",
+                Mode::RcceHsm => "hsm",
+            }
+        }
+
+        /// Inverse of [`Mode::label`].
+        pub fn parse(label: &str) -> Option<Mode> {
+            Mode::ALL.into_iter().find(|m| m.label() == label)
         }
     }
 

@@ -32,7 +32,7 @@
 //! translator produces, so a multi-model sweep of one benchmark still
 //! parses, analyzes, translates and compiles exactly once.
 
-use crate::cache::{source_hash, ArtifactCache, PlanKey, ProgramKey, TranslationKey};
+use crate::cache::{source_hash, ArtifactCache, ArtifactKey};
 use crate::metrics::PipelineMetrics;
 use crate::{PipelineError, SharingCheck};
 use hsm_analysis::ProgramAnalysis;
@@ -178,8 +178,8 @@ impl Pipeline {
         Arc::clone(&self.cache)
     }
 
-    fn translation_key(&self) -> TranslationKey {
-        TranslationKey {
+    fn translation_key(&self) -> ArtifactKey {
+        ArtifactKey::Translation {
             src: self.src_hash,
             cores: self.cores,
             policy: self.policy,
@@ -201,19 +201,19 @@ impl Pipeline {
     /// Propagates parse failures.
     pub fn unit(&self) -> Result<Arc<TranslationUnit>, PipelineError> {
         self.cache
-            .unit_with(self.src_hash, || Ok(hsm_cir::parse(&self.src)?))
+            .unit_with(self.src_hash, &self.src, || Ok(hsm_cir::parse(&self.src)?))
     }
 
     /// Stage 1–3 over an already-parsed unit (one `analyze` lookup).
     fn analysis_of(&self, unit: &TranslationUnit) -> Result<Arc<ProgramAnalysis>, PipelineError> {
         self.cache
-            .analysis_with(self.src_hash, || Ok(ProgramAnalysis::analyze(unit)))
+            .analysis_with(self.src_hash, unit, || Ok(ProgramAnalysis::analyze(unit)))
     }
 
     /// Stage 4 over an already-computed analysis (one `partition` lookup).
     fn plan_of(&self, analysis: &ProgramAnalysis) -> Result<Arc<PartitionPlan>, PipelineError> {
         let spec = self.effective_spec();
-        let key = PlanKey {
+        let key = ArtifactKey::Plan {
             src: self.src_hash,
             policy: self.policy,
             spec,
@@ -231,32 +231,37 @@ impl Pipeline {
         analysis: &ProgramAnalysis,
         plan: &PartitionPlan,
     ) -> Result<Arc<Translation>, PipelineError> {
-        self.cache.translation_with(self.translation_key(), || {
-            Ok(hsm_translate::translate_with_plan(
-                unit,
-                analysis,
-                plan,
-                TranslateOptions {
-                    cores: self.cores,
-                    policy: self.policy,
-                },
-            )?)
-        })
+        self.cache
+            .translation_with(self.translation_key(), analysis, plan, || {
+                Ok(hsm_translate::translate_with_plan(
+                    unit,
+                    analysis,
+                    plan,
+                    TranslateOptions {
+                        cores: self.cores,
+                        policy: self.policy,
+                    },
+                )?)
+            })
     }
 
     /// Bytecode of an already-computed translation (one `compile` lookup).
     fn program_of(&self, translation: &Translation) -> Result<Arc<hsm_vm::Program>, PipelineError> {
         let level = self.opt_level;
-        self.cache.program_with(
-            ProgramKey::Translated(self.translation_key(), level),
-            || {
-                let program = hsm_vm::compile(&translation.unit)?;
-                Ok(match level {
-                    OptLevel::O0 => program,
-                    _ => hsm_vm::optimize(&program, level),
-                })
-            },
-        )
+        let key = ArtifactKey::TranslatedProgram {
+            src: self.src_hash,
+            cores: self.cores,
+            policy: self.policy,
+            spec: self.effective_spec(),
+            opt: level,
+        };
+        self.cache.program_with(key, || {
+            let program = hsm_vm::compile(&translation.unit)?;
+            Ok(match level {
+                OptLevel::O0 => program,
+                _ => hsm_vm::optimize(&program, level),
+            })
+        })
     }
 
     /// Baseline bytecode of an already-parsed unit (one `compile` lookup).
@@ -265,14 +270,17 @@ impl Pipeline {
         unit: &TranslationUnit,
     ) -> Result<Arc<hsm_vm::Program>, PipelineError> {
         let level = self.opt_level;
-        self.cache
-            .program_with(ProgramKey::Baseline(self.src_hash, level), || {
-                let program = hsm_vm::compile(unit)?;
-                Ok(match level {
-                    OptLevel::O0 => program,
-                    _ => hsm_vm::optimize(&program, level),
-                })
+        let key = ArtifactKey::BaselineProgram {
+            src: self.src_hash,
+            opt: level,
+        };
+        self.cache.program_with(key, || {
+            let program = hsm_vm::compile(unit)?;
+            Ok(match level {
+                OptLevel::O0 => program,
+                _ => hsm_vm::optimize(&program, level),
             })
+        })
     }
 
     /// The Stage 1–3 analysis (memoized per source).

@@ -1,0 +1,599 @@
+//! The `hsmd` wire protocol: line-delimited JSON jobs and responses.
+//!
+//! One connection carries a sequence of jobs. The client writes one
+//! [`Job`] per line ([`encode_job`]); the server answers with one or more
+//! [`JobResponse`] lines ([`encode_response`]), each tagged with the
+//! job's id so responses interleave safely when a client pipelines jobs.
+//! A sweep job streams one [`JobResponse::Row`] per sweep point — in
+//! matrix order, as points complete — and closes with
+//! [`JobResponse::SweepDone`]; every other job produces exactly one
+//! response line.
+//!
+//! The payloads reuse the crate's own JSON type ([`crate::json::Json`]),
+//! so the protocol needs no external dependency and both directions are
+//! parsed by the same code the manifests are written with.
+
+use crate::experiment::Mode;
+use crate::json::{Json, JsonError};
+use crate::spec::SweepSpec;
+use crate::store::fnv1a_bytes;
+use crate::sweep::SweepOutcome;
+use crate::{ExecModel, OptLevel};
+use hsm_exec::RunResult;
+use std::fmt;
+
+/// A malformed protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// What was wrong with the line.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> Self {
+        ProtocolError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<JsonError> for ProtocolError {
+    fn from(e: JsonError) -> Self {
+        ProtocolError::new(e.to_string())
+    }
+}
+
+/// One job as submitted by a client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Client-chosen id echoed on every response to this job.
+    pub id: u64,
+    /// Per-job deadline in milliseconds; `None` uses the server default.
+    pub timeout_ms: Option<u64>,
+    /// What to do.
+    pub request: JobRequest,
+}
+
+/// The operations the job server accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobRequest {
+    /// Liveness probe; answered with [`JobResponse::Pong`].
+    Ping,
+    /// Translate one program to RCCE C and return the emitted source.
+    Translate {
+        /// Program name (labels responses).
+        name: String,
+        /// The C source.
+        source: String,
+        /// Participating core count.
+        cores: usize,
+    },
+    /// Run one program in one mode and return its row.
+    Simulate {
+        /// Program name (labels the row).
+        name: String,
+        /// The C source.
+        source: String,
+        /// Participating core count.
+        cores: usize,
+        /// The mode to run in.
+        mode: Mode,
+        /// Memory model to execute under.
+        exec_model: ExecModel,
+        /// Bytecode optimization level.
+        opt_level: OptLevel,
+    },
+    /// Run a whole sweep, streaming one row per point.
+    Sweep {
+        /// The sweep description.
+        spec: SweepSpec,
+    },
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+impl JobRequest {
+    /// The operation's wire name.
+    pub fn op(&self) -> &'static str {
+        match self {
+            JobRequest::Ping => "ping",
+            JobRequest::Translate { .. } => "translate",
+            JobRequest::Simulate { .. } => "simulate",
+            JobRequest::Sweep { .. } => "sweep",
+            JobRequest::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One executed sweep point as streamed to a client: the deterministic
+/// fields of the run (or its error), never host timings — two clients
+/// sweeping the same spec receive byte-identical rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepRow {
+    /// The point's name (`"{program}/{mode label}"`).
+    pub name: String,
+    /// The task label (`"baseline"`, `"offchip"`, `"hsm"`, …).
+    pub task: String,
+    /// Core count the point ran at.
+    pub cores: u64,
+    /// Memory model label.
+    pub exec_model: String,
+    /// Optimization level label.
+    pub opt_level: String,
+    /// The run's exit code (absent on error).
+    pub exit_code: Option<i64>,
+    /// Simulated cycles between `timer_start`/`timer_stop` (absent on
+    /// error).
+    pub timed_cycles: Option<u64>,
+    /// Total simulated cycles (absent on error).
+    pub total_cycles: Option<u64>,
+    /// Dynamically retired instructions (absent on error).
+    pub instructions: Option<u64>,
+    /// FNV-1a hash of the sorted program output (absent on error).
+    pub output_fnv: Option<u64>,
+    /// The pipeline error, when the point failed.
+    pub error: Option<String>,
+}
+
+impl SweepRow {
+    /// The deterministic output fingerprint rows carry.
+    pub fn output_hash(result: &RunResult) -> u64 {
+        fnv1a_bytes(result.output_sorted().join("\n").as_bytes())
+    }
+
+    /// Builds the row of one completed sweep point. `exec_model` and
+    /// `opt_level` come from the sweep's spec (uniform across points).
+    pub fn from_outcome(
+        outcome: &SweepOutcome,
+        exec_model: ExecModel,
+        opt_level: OptLevel,
+    ) -> Self {
+        let mut row = SweepRow {
+            name: outcome.name.clone(),
+            task: outcome.task.label().to_string(),
+            cores: outcome.cores as u64,
+            exec_model: exec_model.label().to_string(),
+            opt_level: opt_level.label().to_string(),
+            exit_code: None,
+            timed_cycles: None,
+            total_cycles: None,
+            instructions: None,
+            output_fnv: None,
+            error: None,
+        };
+        match &outcome.result {
+            Ok(payload) => {
+                if let Some(r) = payload.run_result() {
+                    row.exit_code = Some(r.exit_code);
+                    row.timed_cycles = Some(r.timed_cycles);
+                    row.total_cycles = Some(r.total_cycles);
+                    row.instructions = Some(r.instructions);
+                    row.output_fnv = Some(Self::output_hash(r));
+                }
+            }
+            Err(e) => row.error = Some(e.to_string()),
+        }
+        row
+    }
+
+    /// The row as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("task", Json::Str(self.task.clone())),
+            ("cores", Json::UInt(self.cores)),
+            ("exec_model", Json::Str(self.exec_model.clone())),
+            ("opt_level", Json::Str(self.opt_level.clone())),
+        ];
+        if let Some(v) = self.exit_code {
+            pairs.push(("exit_code", Json::Int(v)));
+        }
+        if let Some(v) = self.timed_cycles {
+            pairs.push(("timed_cycles", Json::UInt(v)));
+        }
+        if let Some(v) = self.total_cycles {
+            pairs.push(("total_cycles", Json::UInt(v)));
+        }
+        if let Some(v) = self.instructions {
+            pairs.push(("instructions", Json::UInt(v)));
+        }
+        if let Some(v) = self.output_fnv {
+            pairs.push(("output_fnv", Json::UInt(v)));
+        }
+        if let Some(e) = &self.error {
+            pairs.push(("error", Json::Str(e.clone())));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Parses a row object.
+    ///
+    /// # Errors
+    ///
+    /// Rejects objects missing the required identity fields.
+    pub fn from_json(doc: &Json) -> Result<Self, ProtocolError> {
+        let field_str = |key: &str| match doc.get(key) {
+            Some(Json::Str(s)) => Ok(s.clone()),
+            _ => Err(ProtocolError::new(format!("row missing `{key}`"))),
+        };
+        Ok(SweepRow {
+            name: field_str("name")?,
+            task: field_str("task")?,
+            cores: doc
+                .get("cores")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ProtocolError::new("row missing `cores`"))?,
+            exec_model: field_str("exec_model")?,
+            opt_level: field_str("opt_level")?,
+            exit_code: doc.get("exit_code").and_then(Json::as_i64),
+            timed_cycles: doc.get("timed_cycles").and_then(Json::as_u64),
+            total_cycles: doc.get("total_cycles").and_then(Json::as_u64),
+            instructions: doc.get("instructions").and_then(Json::as_u64),
+            output_fnv: doc.get("output_fnv").and_then(Json::as_u64),
+            error: match doc.get("error") {
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            },
+        })
+    }
+}
+
+/// One server response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobResponse {
+    /// Answer to [`JobRequest::Ping`].
+    Pong,
+    /// Answer to [`JobRequest::Translate`]: the emitted RCCE source.
+    Translated {
+        /// The program's name.
+        name: String,
+        /// The translated source.
+        source: String,
+    },
+    /// One streamed sweep point (also the single answer to
+    /// [`JobRequest::Simulate`]).
+    Row(SweepRow),
+    /// A sweep finished; `rows` rows were streamed before this.
+    SweepDone {
+        /// Number of rows streamed.
+        rows: u64,
+    },
+    /// The job failed (malformed request, pipeline failure, timeout).
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Answer to [`JobRequest::Shutdown`], sent before the server exits.
+    ShuttingDown,
+}
+
+impl JobResponse {
+    /// The response's wire kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobResponse::Pong => "pong",
+            JobResponse::Translated { .. } => "translated",
+            JobResponse::Row(_) => "row",
+            JobResponse::SweepDone { .. } => "sweep_done",
+            JobResponse::Error { .. } => "error",
+            JobResponse::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// Encodes a job as one protocol line (no trailing newline).
+pub fn encode_job(job: &Job) -> String {
+    let mut pairs = vec![("id", Json::UInt(job.id))];
+    if let Some(t) = job.timeout_ms {
+        pairs.push(("timeout_ms", Json::UInt(t)));
+    }
+    pairs.push(("op", Json::str(job.request.op())));
+    match &job.request {
+        JobRequest::Ping | JobRequest::Shutdown => {}
+        JobRequest::Translate {
+            name,
+            source,
+            cores,
+        } => {
+            pairs.push(("name", Json::Str(name.clone())));
+            pairs.push(("source", Json::Str(source.clone())));
+            pairs.push(("cores", Json::UInt(*cores as u64)));
+        }
+        JobRequest::Simulate {
+            name,
+            source,
+            cores,
+            mode,
+            exec_model,
+            opt_level,
+        } => {
+            pairs.push(("name", Json::Str(name.clone())));
+            pairs.push(("source", Json::Str(source.clone())));
+            pairs.push(("cores", Json::UInt(*cores as u64)));
+            pairs.push(("mode", Json::str(mode.label())));
+            pairs.push(("exec_model", Json::str(exec_model.label())));
+            pairs.push(("opt_level", Json::str(opt_level.label())));
+        }
+        JobRequest::Sweep { spec } => {
+            pairs.push(("spec", spec.to_json()));
+        }
+    }
+    Json::obj(pairs).render_compact()
+}
+
+/// Parses one job line.
+///
+/// # Errors
+///
+/// Rejects malformed JSON, unknown ops and missing fields.
+pub fn parse_job(line: &str) -> Result<Job, ProtocolError> {
+    let doc = Json::parse(line)?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtocolError::new("job missing `id`"))?;
+    let timeout_ms = doc.get("timeout_ms").and_then(Json::as_u64);
+    let op = match doc.get("op") {
+        Some(Json::Str(s)) => s.as_str(),
+        _ => return Err(ProtocolError::new("job missing `op`")),
+    };
+    let field_str = |key: &str| match doc.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        _ => Err(ProtocolError::new(format!("`{op}` job missing `{key}`"))),
+    };
+    let field_cores = || {
+        doc.get("cores")
+            .and_then(Json::as_u64)
+            .filter(|&n| n > 0)
+            .map(|n| n as usize)
+            .ok_or_else(|| ProtocolError::new(format!("`{op}` job needs a positive `cores`")))
+    };
+    let request = match op {
+        "ping" => JobRequest::Ping,
+        "shutdown" => JobRequest::Shutdown,
+        "translate" => JobRequest::Translate {
+            name: field_str("name")?,
+            source: field_str("source")?,
+            cores: field_cores()?,
+        },
+        "simulate" => {
+            let mode_label = field_str("mode")?;
+            let mode = Mode::parse(&mode_label)
+                .ok_or_else(|| ProtocolError::new(format!("unknown mode `{mode_label}`")))?;
+            let exec_model = match doc.get("exec_model") {
+                None => ExecModel::Coherent,
+                Some(Json::Str(s)) => ExecModel::parse(s)
+                    .ok_or_else(|| ProtocolError::new(format!("unknown exec model `{s}`")))?,
+                Some(_) => return Err(ProtocolError::new("`exec_model` must be a string")),
+            };
+            let opt_level = match doc.get("opt_level") {
+                None => OptLevel::O0,
+                Some(Json::Str(s)) => OptLevel::parse(s)
+                    .ok_or_else(|| ProtocolError::new(format!("unknown opt level `{s}`")))?,
+                Some(_) => return Err(ProtocolError::new("`opt_level` must be a string")),
+            };
+            JobRequest::Simulate {
+                name: field_str("name")?,
+                source: field_str("source")?,
+                cores: field_cores()?,
+                mode,
+                exec_model,
+                opt_level,
+            }
+        }
+        "sweep" => {
+            let spec = doc
+                .get("spec")
+                .ok_or_else(|| ProtocolError::new("`sweep` job missing `spec`"))?;
+            JobRequest::Sweep {
+                spec: SweepSpec::from_json(spec).map_err(|e| ProtocolError::new(e.to_string()))?,
+            }
+        }
+        other => return Err(ProtocolError::new(format!("unknown op `{other}`"))),
+    };
+    Ok(Job {
+        id,
+        timeout_ms,
+        request,
+    })
+}
+
+/// Encodes a response to job `id` as one protocol line (no trailing
+/// newline).
+pub fn encode_response(id: u64, response: &JobResponse) -> String {
+    let mut pairs = vec![("id", Json::UInt(id)), ("kind", Json::str(response.kind()))];
+    match response {
+        JobResponse::Pong | JobResponse::ShuttingDown => {}
+        JobResponse::Translated { name, source } => {
+            pairs.push(("name", Json::Str(name.clone())));
+            pairs.push(("source", Json::Str(source.clone())));
+        }
+        JobResponse::Row(row) => pairs.push(("row", row.to_json())),
+        JobResponse::SweepDone { rows } => pairs.push(("rows", Json::UInt(*rows))),
+        JobResponse::Error { message } => pairs.push(("message", Json::Str(message.clone()))),
+    }
+    Json::obj(pairs).render_compact()
+}
+
+/// Parses one response line into the job id it answers and the response.
+///
+/// # Errors
+///
+/// Rejects malformed JSON, unknown kinds and missing fields.
+pub fn parse_response(line: &str) -> Result<(u64, JobResponse), ProtocolError> {
+    let doc = Json::parse(line)?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtocolError::new("response missing `id`"))?;
+    let kind = match doc.get("kind") {
+        Some(Json::Str(s)) => s.as_str(),
+        _ => return Err(ProtocolError::new("response missing `kind`")),
+    };
+    let field_str = |key: &str| match doc.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        _ => Err(ProtocolError::new(format!(
+            "`{kind}` response missing `{key}`"
+        ))),
+    };
+    let response = match kind {
+        "pong" => JobResponse::Pong,
+        "shutting_down" => JobResponse::ShuttingDown,
+        "translated" => JobResponse::Translated {
+            name: field_str("name")?,
+            source: field_str("source")?,
+        },
+        "row" => {
+            let row = doc
+                .get("row")
+                .ok_or_else(|| ProtocolError::new("`row` response missing `row`"))?;
+            JobResponse::Row(SweepRow::from_json(row)?)
+        }
+        "sweep_done" => JobResponse::SweepDone {
+            rows: doc
+                .get("rows")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ProtocolError::new("`sweep_done` response missing `rows`"))?,
+        },
+        "error" => JobResponse::Error {
+            message: field_str("message")?,
+        },
+        other => return Err(ProtocolError::new(format!("unknown kind `{other}`"))),
+    };
+    Ok((id, response))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecProgram;
+
+    #[test]
+    fn jobs_round_trip_through_the_wire_form() {
+        let jobs = vec![
+            Job {
+                id: 1,
+                timeout_ms: None,
+                request: JobRequest::Ping,
+            },
+            Job {
+                id: 2,
+                timeout_ms: Some(5_000),
+                request: JobRequest::Translate {
+                    name: "tiny".to_string(),
+                    source: "int main() { return 0; }".to_string(),
+                    cores: 4,
+                },
+            },
+            Job {
+                id: 3,
+                timeout_ms: Some(60_000),
+                request: JobRequest::Sweep {
+                    spec: SweepSpec {
+                        programs: vec![SpecProgram::corpus("example_4_1", 3)],
+                        ..SweepSpec::default()
+                    },
+                },
+            },
+            Job {
+                id: 4,
+                timeout_ms: None,
+                request: JobRequest::Simulate {
+                    name: "tiny".to_string(),
+                    source: "int main() { return 1; }".to_string(),
+                    cores: 2,
+                    mode: Mode::RcceHsm,
+                    exec_model: ExecModel::Coherent,
+                    opt_level: OptLevel::O1,
+                },
+            },
+            Job {
+                id: 5,
+                timeout_ms: None,
+                request: JobRequest::Shutdown,
+            },
+        ];
+        for job in jobs {
+            let line = encode_job(&job);
+            assert!(!line.contains('\n'), "one line per job: {line}");
+            let back = parse_job(&line).expect("parses");
+            assert_eq!(job, back);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_form() {
+        let row = SweepRow {
+            name: "example_4_1/hsm".to_string(),
+            task: "hsm".to_string(),
+            cores: 3,
+            exec_model: "coherent".to_string(),
+            opt_level: "O0".to_string(),
+            exit_code: Some(24),
+            timed_cycles: Some(123_456),
+            total_cycles: Some(234_567),
+            instructions: Some(99_000),
+            output_fnv: Some(0xdead_beef),
+            error: None,
+        };
+        let responses = vec![
+            JobResponse::Pong,
+            JobResponse::Translated {
+                name: "tiny".to_string(),
+                source: "RCCE_APP(int argc, char **argv) { return 0; }".to_string(),
+            },
+            JobResponse::Row(row),
+            JobResponse::SweepDone { rows: 4 },
+            JobResponse::Error {
+                message: "parse stage: unexpected token".to_string(),
+            },
+            JobResponse::ShuttingDown,
+        ];
+        for response in responses {
+            let line = encode_response(9, &response);
+            assert!(!line.contains('\n'), "one line per response: {line}");
+            let (id, back) = parse_response(&line).expect("parses");
+            assert_eq!(id, 9);
+            assert_eq!(response, back);
+        }
+    }
+
+    #[test]
+    fn failed_row_carries_the_error_instead_of_numbers() {
+        let row = SweepRow {
+            name: "bad/hsm".to_string(),
+            task: "hsm".to_string(),
+            cores: 2,
+            exec_model: "coherent".to_string(),
+            opt_level: "O0".to_string(),
+            exit_code: None,
+            timed_cycles: None,
+            total_cycles: None,
+            instructions: None,
+            output_fnv: None,
+            error: Some("parse stage: unexpected `{`".to_string()),
+        };
+        let line = encode_response(1, &JobResponse::Row(row.clone()));
+        let (_, back) = parse_response(&line).expect("parses");
+        assert_eq!(back, JobResponse::Row(row));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_context() {
+        assert!(parse_job("not json").is_err());
+        let err = parse_job(r#"{"id": 1, "op": "warp"}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown op `warp`"), "{err}");
+        let err = parse_job(r#"{"op": "ping"}"#).unwrap_err();
+        assert!(err.to_string().contains("missing `id`"), "{err}");
+        let err = parse_response(r#"{"id": 1, "kind": "???"}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown kind"), "{err}");
+    }
+}

@@ -1,0 +1,483 @@
+//! The serializable sweep specification.
+//!
+//! A [`SweepSpec`] names everything a sweep varies — corpus programs ×
+//! modes × exec model × opt level — plus the execution knobs (worker
+//! threads, persistent cache directory) that used to be plumbed through
+//! ad-hoc CLI flags. One spec value flows unchanged through all three
+//! consumers: the `figures` CLI parses its flags into one
+//! ([`SweepSpec::take_cli_flags`]), the `hsmd` job server receives one as
+//! JSON inside a sweep job ([`SweepSpec::from_json`]), and library
+//! callers build the [`SweepMatrix`] it
+//! describes with [`SweepSpec::to_matrix`].
+//!
+//! Programs are corpus names by default (resolved against the
+//! repository's `corpus/` directory); a program may instead carry its
+//! source inline, which is how remote `hsmd` clients ship programs the
+//! server has no file for.
+
+use crate::experiment::{Mode, SweepMatrix, SweepTask};
+use crate::json::{Json, JsonError};
+use crate::{ArtifactCache, ExecModel, OptLevel};
+use scc_sim::SccConfig;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// One program of a [`SweepSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecProgram {
+    /// The program's name (a corpus file stem, and the prefix of its
+    /// sweep point names).
+    pub name: String,
+    /// Participating core count.
+    pub cores: usize,
+    /// Inline C source. `None` resolves `name` against the corpus
+    /// directory when the matrix is built.
+    pub source: Option<String>,
+}
+
+impl SpecProgram {
+    /// A corpus program reference (source resolved at matrix build).
+    pub fn corpus(name: impl Into<String>, cores: usize) -> Self {
+        SpecProgram {
+            name: name.into(),
+            cores,
+            source: None,
+        }
+    }
+
+    /// A program with inline source (what remote clients send).
+    pub fn inline(name: impl Into<String>, cores: usize, source: impl Into<String>) -> Self {
+        SpecProgram {
+            name: name.into(),
+            cores,
+            source: Some(source.into()),
+        }
+    }
+}
+
+/// A serializable description of one sweep: which programs, in which
+/// modes, under which model and optimization level, with which execution
+/// knobs. See the module docs for the consumers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// The programs to sweep.
+    pub programs: Vec<SpecProgram>,
+    /// The modes each program runs in (point names are
+    /// `"{program}/{mode label}"`, in this order).
+    pub modes: Vec<Mode>,
+    /// Memory model every point executes under.
+    pub exec_model: ExecModel,
+    /// Bytecode optimization level every point executes at.
+    pub opt_level: OptLevel,
+    /// Sweep worker threads (0 = one per available host core).
+    pub workers: usize,
+    /// Persistent artifact-store directory ([`SweepSpec::open_cache`]
+    /// attaches it); `None` = in-memory cache only.
+    pub cache_dir: Option<String>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            programs: Vec::new(),
+            modes: vec![Mode::PthreadBaseline, Mode::RcceHsm],
+            exec_model: ExecModel::Coherent,
+            opt_level: OptLevel::O0,
+            workers: 0,
+            cache_dir: None,
+        }
+    }
+}
+
+/// A [`SweepSpec`] validation, parse or resolution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sweep spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<JsonError> for SpecError {
+    fn from(e: JsonError) -> Self {
+        SpecError::new(e.to_string())
+    }
+}
+
+/// The repository's corpus directory (compile-time anchored, like the
+/// bench crate's corpus loader).
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+impl SweepSpec {
+    /// The spec as a JSON document (the wire form `hsmd` sweep jobs
+    /// carry, and the inverse of [`SweepSpec::from_json`]).
+    pub fn to_json(&self) -> Json {
+        let programs = self
+            .programs
+            .iter()
+            .map(|p| {
+                let mut pairs = vec![
+                    ("name", Json::Str(p.name.clone())),
+                    ("cores", Json::UInt(p.cores as u64)),
+                ];
+                if let Some(src) = &p.source {
+                    pairs.push(("source", Json::Str(src.clone())));
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        let modes = self.modes.iter().map(|m| Json::str(m.label())).collect();
+        let mut pairs = vec![
+            ("programs", Json::Arr(programs)),
+            ("modes", Json::Arr(modes)),
+            ("exec_model", Json::str(self.exec_model.label())),
+            ("opt_level", Json::str(self.opt_level.label())),
+            ("workers", Json::UInt(self.workers as u64)),
+        ];
+        if let Some(dir) = &self.cache_dir {
+            pairs.push(("cache_dir", Json::Str(dir.clone())));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Parses a spec from its JSON document. Missing fields take the
+    /// [`Default`] values, so `{"programs": [...]}` is a valid spec.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown mode/model/level labels and malformed programs.
+    pub fn from_json(doc: &Json) -> Result<Self, SpecError> {
+        let mut spec = SweepSpec::default();
+        if let Some(programs) = doc.get("programs") {
+            let Json::Arr(items) = programs else {
+                return Err(SpecError::new("`programs` must be an array"));
+            };
+            spec.programs = items
+                .iter()
+                .map(|item| {
+                    let name = match item.get("name") {
+                        Some(Json::Str(s)) => s.clone(),
+                        _ => return Err(SpecError::new("program without a `name` string")),
+                    };
+                    let cores = match item.get("cores") {
+                        Some(Json::UInt(n)) if *n > 0 => *n as usize,
+                        _ => {
+                            return Err(SpecError::new(format!(
+                                "program `{name}` needs a positive `cores` count"
+                            )))
+                        }
+                    };
+                    let source = match item.get("source") {
+                        None => None,
+                        Some(Json::Str(s)) => Some(s.clone()),
+                        Some(_) => {
+                            return Err(SpecError::new(format!(
+                                "program `{name}`: `source` must be a string"
+                            )))
+                        }
+                    };
+                    Ok(SpecProgram {
+                        name,
+                        cores,
+                        source,
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(modes) = doc.get("modes") {
+            let Json::Arr(items) = modes else {
+                return Err(SpecError::new("`modes` must be an array"));
+            };
+            spec.modes = items
+                .iter()
+                .map(|item| match item {
+                    Json::Str(label) => Mode::parse(label)
+                        .ok_or_else(|| SpecError::new(format!("unknown mode `{label}`"))),
+                    _ => Err(SpecError::new("`modes` entries must be strings")),
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(model) = doc.get("exec_model") {
+            spec.exec_model = match model {
+                Json::Str(label) => ExecModel::parse(label)
+                    .ok_or_else(|| SpecError::new(format!("unknown exec model `{label}`")))?,
+                _ => return Err(SpecError::new("`exec_model` must be a string")),
+            };
+        }
+        if let Some(level) = doc.get("opt_level") {
+            spec.opt_level = match level {
+                Json::Str(label) => OptLevel::parse(label)
+                    .ok_or_else(|| SpecError::new(format!("unknown opt level `{label}`")))?,
+                _ => return Err(SpecError::new("`opt_level` must be a string")),
+            };
+        }
+        if let Some(workers) = doc.get("workers") {
+            spec.workers = match workers {
+                Json::UInt(n) => *n as usize,
+                _ => return Err(SpecError::new("`workers` must be a non-negative integer")),
+            };
+        }
+        if let Some(dir) = doc.get("cache_dir") {
+            spec.cache_dir = match dir {
+                Json::Str(s) => Some(s.clone()),
+                _ => return Err(SpecError::new("`cache_dir` must be a string")),
+            };
+        }
+        Ok(spec)
+    }
+
+    /// Resolves one program's source: inline if present, the corpus file
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Reports an unreadable corpus file.
+    pub fn resolve_source(program: &SpecProgram) -> Result<Arc<str>, SpecError> {
+        if let Some(src) = &program.source {
+            return Ok(Arc::from(src.as_str()));
+        }
+        let path = corpus_dir().join(format!("{}.c", program.name));
+        std::fs::read_to_string(&path).map(Arc::from).map_err(|e| {
+            SpecError::new(format!(
+                "program `{}`: reading {} failed: {e}",
+                program.name,
+                path.display()
+            ))
+        })
+    }
+
+    /// Builds the [`SweepMatrix`] the spec describes: every program ×
+    /// mode as a point named `"{program}/{mode label}"`, carrying the
+    /// spec's model, opt level and worker count. The caller attaches the
+    /// cache (typically from [`SweepSpec::open_cache`]) and the chip
+    /// config stays a separate argument — it describes the simulated
+    /// machine, not the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty program or mode list and unresolvable sources.
+    pub fn to_matrix(&self, config: &SccConfig) -> Result<SweepMatrix, SpecError> {
+        if self.programs.is_empty() {
+            return Err(SpecError::new("no programs to sweep"));
+        }
+        if self.modes.is_empty() {
+            return Err(SpecError::new("no modes to sweep"));
+        }
+        let mut matrix = SweepMatrix::new(config.clone()).workers(self.workers);
+        for program in &self.programs {
+            let src = Self::resolve_source(program)?;
+            for &mode in &self.modes {
+                let task = SweepTask::Run(mode);
+                matrix = matrix
+                    .point(
+                        format!("{}/{}", program.name, task.label()),
+                        Arc::clone(&src),
+                        task,
+                        program.cores,
+                    )
+                    .model(self.exec_model)
+                    .opt(self.opt_level);
+            }
+        }
+        Ok(matrix)
+    }
+
+    /// Opens the artifact cache the spec asks for: persistent over
+    /// `cache_dir` when set, a fresh in-memory cache otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Reports store-directory creation failures.
+    pub fn open_cache(&self) -> Result<Arc<ArtifactCache>, SpecError> {
+        match &self.cache_dir {
+            Some(dir) => ArtifactCache::persistent(dir)
+                .map_err(|e| SpecError::new(format!("opening cache dir `{dir}` failed: {e}"))),
+            None => Ok(ArtifactCache::shared()),
+        }
+    }
+
+    /// Extracts the spec-owned CLI flags out of `args` (removing each
+    /// flag and its value): `--workers N`, `--exec-model NAME`,
+    /// `--opt-level LEVEL`, `--cache-dir PATH`. Unrelated arguments are
+    /// left in place. This replaces the per-flag parsing the `figures`
+    /// binary used to duplicate.
+    ///
+    /// # Errors
+    ///
+    /// Reports missing or unparsable flag values, naming the valid
+    /// labels.
+    pub fn take_cli_flags(&mut self, args: &mut Vec<String>) -> Result<(), SpecError> {
+        if let Some(value) = take_flag(args, "--workers")? {
+            self.workers = value
+                .parse()
+                .map_err(|_| SpecError::new("--workers needs a number"))?;
+        }
+        if let Some(value) = take_flag(args, "--exec-model")? {
+            self.exec_model = ExecModel::parse(&value).ok_or_else(|| {
+                let labels: Vec<&str> = ExecModel::ALL.iter().map(|m| m.label()).collect();
+                SpecError::new(format!("--exec-model needs one of: {}", labels.join(", ")))
+            })?;
+        }
+        if let Some(value) = take_flag(args, "--opt-level")? {
+            self.opt_level = OptLevel::parse(&value).ok_or_else(|| {
+                let labels: Vec<&str> = OptLevel::ALL.iter().map(|l| l.label()).collect();
+                SpecError::new(format!("--opt-level needs one of: {}", labels.join(", ")))
+            })?;
+        }
+        if let Some(value) = take_flag(args, "--cache-dir")? {
+            self.cache_dir = Some(value);
+        }
+        Ok(())
+    }
+}
+
+/// Removes `flag` and its value from `args`, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, SpecError> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(SpecError::new(format!("{flag} needs a value")));
+    }
+    let value = args[i + 1].clone();
+    args.drain(i..=i + 1);
+    Ok(Some(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepSpec {
+        SweepSpec {
+            programs: vec![
+                SpecProgram::corpus("example_4_1", 3),
+                SpecProgram::inline("inline_ret", 2, "int main() { return 5; }"),
+            ],
+            modes: vec![Mode::PthreadBaseline, Mode::RcceHsm],
+            exec_model: ExecModel::Coherent,
+            opt_level: OptLevel::O2,
+            workers: 2,
+            cache_dir: Some("/tmp/hsm-store".to_string()),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let spec = sample();
+        let doc = spec.to_json();
+        let back = SweepSpec::from_json(&doc).expect("parses");
+        assert_eq!(spec, back);
+        // And through the textual wire form.
+        let wire = doc.render_compact();
+        let reparsed = Json::parse(&wire).expect("wire parses");
+        assert_eq!(SweepSpec::from_json(&reparsed).expect("spec"), spec);
+    }
+
+    #[test]
+    fn minimal_document_takes_defaults() {
+        let doc =
+            Json::parse(r#"{"programs": [{"name": "example_4_1", "cores": 3}]}"#).expect("parses");
+        let spec = SweepSpec::from_json(&doc).expect("spec");
+        assert_eq!(spec.modes, vec![Mode::PthreadBaseline, Mode::RcceHsm]);
+        assert_eq!(spec.exec_model, ExecModel::Coherent);
+        assert_eq!(spec.opt_level, OptLevel::O0);
+        assert_eq!(spec.workers, 0);
+        assert_eq!(spec.cache_dir, None);
+    }
+
+    #[test]
+    fn bad_labels_are_rejected_with_context() {
+        let doc = Json::parse(r#"{"modes": ["warp"]}"#).expect("parses");
+        let err = SweepSpec::from_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("unknown mode `warp`"), "{err}");
+        let doc = Json::parse(r#"{"opt_level": "O9"}"#).expect("parses");
+        let err = SweepSpec::from_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("unknown opt level"), "{err}");
+    }
+
+    #[test]
+    fn matrix_covers_programs_times_modes() {
+        let mut spec = sample();
+        spec.cache_dir = None;
+        let matrix = spec.to_matrix(&SccConfig::table_6_1()).expect("matrix");
+        let names: Vec<&str> = matrix.points.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "example_4_1/baseline",
+                "example_4_1/hsm",
+                "inline_ret/baseline",
+                "inline_ret/hsm",
+            ]
+        );
+        assert!(matrix
+            .points
+            .iter()
+            .all(|p| p.opt_level == OptLevel::O2 && p.exec_model == ExecModel::Coherent));
+        assert_eq!(matrix.workers, 2);
+        // The inline program's source came from the spec, not a file.
+        assert!(matrix.points[2].src.contains("return 5"));
+    }
+
+    #[test]
+    fn empty_spec_is_rejected() {
+        let spec = SweepSpec::default();
+        let err = spec.to_matrix(&SccConfig::table_6_1()).unwrap_err();
+        assert!(err.to_string().contains("no programs"), "{err}");
+    }
+
+    #[test]
+    fn cli_flags_are_extracted_in_place() {
+        let mut spec = SweepSpec::default();
+        let mut args: Vec<String> = [
+            "fig6.1",
+            "--workers",
+            "3",
+            "--opt-level",
+            "O2",
+            "--cache-dir",
+            "/tmp/store",
+            "--json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        spec.take_cli_flags(&mut args).expect("flags");
+        assert_eq!(spec.workers, 3);
+        assert_eq!(spec.opt_level, OptLevel::O2);
+        assert_eq!(spec.cache_dir.as_deref(), Some("/tmp/store"));
+        assert_eq!(args, vec!["fig6.1", "--json"]);
+    }
+
+    #[test]
+    fn bad_cli_values_name_the_valid_labels() {
+        let mut spec = SweepSpec::default();
+        let mut args: Vec<String> = ["--exec-model", "quantum"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = spec.take_cli_flags(&mut args).unwrap_err();
+        assert!(err.to_string().contains("coherent"), "{err}");
+        let mut args: Vec<String> = vec!["--workers".to_string()];
+        let err = spec.take_cli_flags(&mut args).unwrap_err();
+        assert!(err.to_string().contains("needs a value"), "{err}");
+    }
+}

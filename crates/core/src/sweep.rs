@@ -402,6 +402,38 @@ fn time_reruns(pipeline: &Pipeline, task: SweepTask, runs: usize) -> TimingStats
     }
 }
 
+/// Controls and callbacks for [`sweep_with`]. The plain [`sweep`] is
+/// `sweep_with(matrix, SweepOptions::default())`.
+#[derive(Clone, Copy, Default)]
+pub struct SweepOptions<'a> {
+    /// Cooperative cancellation, checked before each point starts (a
+    /// running simulation is never interrupted mid-flight). Once it
+    /// returns true, every remaining point completes immediately with
+    /// [`PipelineError::Cancelled`] — the report still has one outcome
+    /// per point, in order. The `hsmd` server uses this to enforce
+    /// per-job deadlines.
+    pub cancel: Option<&'a (dyn Fn() -> bool + Sync)>,
+    /// Streaming hook: called exactly once per point with its index and
+    /// outcome, in matrix order, as soon as the point *and every earlier
+    /// one* have completed (a reorder buffer hides out-of-order worker
+    /// completion). Calls are serialized; the `hsmd` server streams
+    /// manifest rows to its client from here.
+    pub on_row: Option<RowHook<'a>>,
+}
+
+/// The row-streaming callback type of [`SweepOptions::on_row`]: point
+/// index plus the finished outcome, invoked in matrix order.
+pub type RowHook<'a> = &'a (dyn Fn(usize, &SweepOutcome) + Sync);
+
+impl std::fmt::Debug for SweepOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepOptions")
+            .field("cancel", &self.cancel.is_some())
+            .field("on_row", &self.on_row.is_some())
+            .finish()
+    }
+}
+
 /// Executes every point of `matrix` across its worker threads and
 /// collects the outcomes in matrix order.
 ///
@@ -412,11 +444,20 @@ fn time_reruns(pipeline: &Pipeline, task: SweepTask, runs: usize) -> TimingStats
 /// payloads and cache counters are identical for every worker count —
 /// only the host wall times vary.
 pub fn sweep(matrix: &SweepMatrix) -> SweepReport {
+    sweep_with(matrix, SweepOptions::default())
+}
+
+/// [`sweep`] with cooperative cancellation and ordered row streaming —
+/// the engine behind the `hsmd` job server. See [`SweepOptions`].
+pub fn sweep_with(matrix: &SweepMatrix, opts: SweepOptions<'_>) -> SweepReport {
     let cache = matrix.cache.clone().unwrap_or_else(ArtifactCache::shared);
     let total = matrix.points.len();
     let workers = effective_workers(matrix.workers, total);
     let started = Instant::now();
     let next = AtomicUsize::new(0);
+    // Reorder buffer cursor: index of the next outcome to hand to
+    // `on_row`. Workers advance it under the lock after filling a slot.
+    let next_emit = Mutex::new(0usize);
     let slots: Vec<Mutex<Option<SweepOutcome>>> = (0..total).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -425,8 +466,31 @@ pub fn sweep(matrix: &SweepMatrix) -> SweepReport {
                 if i >= total {
                     break;
                 }
-                let outcome = run_point(&matrix.points[i], &matrix.config, &cache);
+                let point = &matrix.points[i];
+                let outcome = if opts.cancel.is_some_and(|cancelled| cancelled()) {
+                    SweepOutcome {
+                        name: point.name.clone(),
+                        task: point.task,
+                        cores: point.cores,
+                        result: Err(PipelineError::Cancelled),
+                        host_wall_nanos: 0,
+                        timing: None,
+                    }
+                } else {
+                    run_point(point, &matrix.config, &cache)
+                };
                 *slots[i].lock().expect("result slot") = Some(outcome);
+                if let Some(on_row) = opts.on_row {
+                    let mut cursor = next_emit.lock().expect("emit cursor");
+                    while *cursor < total {
+                        let slot = slots[*cursor].lock().expect("result slot");
+                        match slot.as_ref() {
+                            Some(done) => on_row(*cursor, done),
+                            None => break,
+                        }
+                        *cursor += 1;
+                    }
+                }
             });
         }
     });
@@ -514,6 +578,49 @@ mod tests {
         assert!(!report.all_ok());
         let err = report.outcomes[0].result.as_ref().unwrap_err();
         assert_eq!(err.stage(), "parse");
+    }
+
+    #[test]
+    fn streamed_rows_arrive_in_matrix_order() {
+        let matrix = tiny_pi_matrix(3);
+        let seen: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let on_row = |i: usize, o: &SweepOutcome| {
+            seen.lock().unwrap().push((i, o.name.clone()));
+        };
+        let report = sweep_with(
+            &matrix,
+            SweepOptions {
+                cancel: None,
+                on_row: Some(&on_row),
+            },
+        );
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), report.outcomes.len());
+        for (emitted, (i, name)) in seen.iter().enumerate() {
+            assert_eq!(emitted, *i, "rows streamed in matrix order");
+            assert_eq!(*name, report.outcomes[*i].name);
+        }
+    }
+
+    #[test]
+    fn cancelled_sweep_marks_remaining_points() {
+        let matrix = tiny_pi_matrix(1);
+        let cancel = || true;
+        let report = sweep_with(
+            &matrix,
+            SweepOptions {
+                cancel: Some(&cancel),
+                on_row: None,
+            },
+        );
+        assert_eq!(report.outcomes.len(), 3, "one outcome per point");
+        for o in &report.outcomes {
+            assert!(
+                matches!(o.result, Err(PipelineError::Cancelled)),
+                "{} cancelled",
+                o.name
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! End-to-end test of the `hsmd` binary: spawn it on an ephemeral port,
+//! drive it with the client API, and shut it down cleanly.
+
+use hsm_core::api::{Client, Mode, SpecProgram, SweepSpec};
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+
+#[test]
+fn hsmd_binary_serves_a_sweep_and_exits_on_shutdown() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hsmd"))
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn hsmd");
+
+    // The ready line carries the actual port.
+    let stdout = child.stdout.take().expect("stdout");
+    let mut ready = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut ready)
+        .expect("ready line");
+    let addr = ready
+        .trim()
+        .strip_prefix("hsmd listening on ")
+        .unwrap_or_else(|| panic!("unexpected ready line: {ready:?}"))
+        .to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.ping().expect("pong");
+    let spec = SweepSpec {
+        programs: vec![SpecProgram::inline("ret", 2, "int main() { return 42; }")],
+        modes: vec![Mode::PthreadBaseline, Mode::RcceHsm],
+        workers: 1,
+        ..SweepSpec::default()
+    };
+    let rows = client.sweep(&spec, None).expect("sweep");
+    assert_eq!(rows.len(), 2);
+    assert!(rows.iter().all(|r| r.exit_code == Some(42)), "{rows:?}");
+
+    client.shutdown().expect("shutdown ack");
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "hsmd exit status: {status:?}");
+}
+
+#[test]
+fn hsmd_rejects_unknown_arguments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hsmd"))
+        .arg("--frobnicate")
+        .output()
+        .expect("run hsmd");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument"), "stderr: {stderr}");
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}

@@ -1,0 +1,200 @@
+//! Integration tests of the `hsmd` job server over a real socket:
+//! ping/translate round-trips, two concurrent clients streaming sweeps
+//! of overlapping corpora, malformed-line handling, per-job deadlines,
+//! and graceful shutdown.
+
+use hsm_core::api::{Client, Mode, Server, ServerOptions, SpecProgram, SweepSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const TINY_SRC: &str = r#"
+int shared[2];
+void *tf(void *tid) { shared[(int)tid] = (int)tid + 10; return tid; }
+int main() {
+    pthread_t t[2];
+    int i;
+    for (i = 0; i < 2; i++) pthread_create(&t[i], NULL, tf, (void *)i);
+    for (i = 0; i < 2; i++) pthread_join(t[i], NULL);
+    printf("%d %d\n", shared[0], shared[1]);
+    return 0;
+}
+"#;
+
+/// Binds a server on an ephemeral port, runs it on its own thread, and
+/// returns the address string plus the run-loop join handle.
+fn start_server(
+    options: ServerOptions,
+) -> (String, Server, std::sync::Arc<hsm_core::api::ArtifactCache>) {
+    let server = Server::bind("127.0.0.1:0", options).expect("bind");
+    let addr = server.local_addr().to_string();
+    let cache = server.cache();
+    (addr, server, cache)
+}
+
+fn spec_for(programs: Vec<SpecProgram>) -> SweepSpec {
+    SweepSpec {
+        programs,
+        modes: vec![Mode::PthreadBaseline, Mode::RcceHsm],
+        workers: 2,
+        ..SweepSpec::default()
+    }
+}
+
+#[test]
+fn ping_and_translate_round_trip() {
+    let (addr, server, _cache) = start_server(ServerOptions::default());
+    let run = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&addr).expect("connect");
+    client.ping().expect("pong");
+    let rcce = client
+        .translate("tiny", TINY_SRC, 2, None)
+        .expect("translated");
+    assert!(rcce.contains("RCCE_init"), "RCCE C source:\n{rcce}");
+    client.shutdown().expect("shutdown ack");
+    run.join().expect("run thread").expect("clean exit");
+}
+
+#[test]
+fn two_concurrent_clients_stream_identical_ordered_rows() {
+    let (addr, server, cache) = start_server(ServerOptions::default());
+    let handle = server.handle();
+    let run = std::thread::spawn(move || server.run());
+
+    // Both clients sweep the same overlapping spec: one corpus program
+    // plus one inline program, two modes each.
+    let spec = spec_for(vec![
+        SpecProgram::corpus("example_4_1", 3),
+        SpecProgram::inline("tiny", 2, TINY_SRC),
+    ]);
+    let expected_names = [
+        "example_4_1/baseline",
+        "example_4_1/hsm",
+        "tiny/baseline",
+        "tiny/hsm",
+    ];
+
+    let sweeps: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut streamed = Vec::new();
+                let rows = client
+                    .sweep_streaming(&spec, None, |row| streamed.push(row.name.clone()))
+                    .expect("sweep");
+                (streamed, rows)
+            })
+        })
+        .collect();
+    let results: Vec<_> = sweeps
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    for (streamed, rows) in &results {
+        // Rows arrive in matrix order, one per point.
+        assert_eq!(streamed, &expected_names);
+        for row in rows {
+            assert_eq!(row.error, None, "point {} failed", row.name);
+            assert_eq!(row.exit_code, Some(0), "point {}", row.name);
+            assert!(row.output_fnv.is_some(), "point {}", row.name);
+        }
+    }
+    // Determinism across clients: every simulated field matches.
+    assert_eq!(results[0].1, results[1].1, "clients observed the same rows");
+
+    // The shared cache parsed each distinct source once even though two
+    // clients swept concurrently (the pending-slot discipline).
+    let stats = cache.stats();
+    assert_eq!(stats.parse.misses, 2, "two distinct sources: {stats:?}");
+    assert!(stats.parse.hits >= 2, "the second client hit: {stats:?}");
+
+    handle.stop();
+    run.join().expect("run thread").expect("clean exit");
+}
+
+#[test]
+fn malformed_job_line_reports_an_error_and_keeps_the_connection() {
+    let (addr, server, _cache) = start_server(ServerOptions::default());
+    let handle = server.handle();
+    let run = std::thread::spawn(move || server.run());
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.write_all(b"this is not json\n").expect("write");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error line");
+    assert!(line.contains("\"error\""), "error response: {line}");
+    assert!(line.contains("\"id\":0"), "no-job id: {line}");
+
+    // The connection survives: a well-formed ping still answers.
+    stream
+        .write_all(b"{\"id\": 7, \"op\": \"ping\"}\n")
+        .expect("write ping");
+    line.clear();
+    reader.read_line(&mut line).expect("pong line");
+    assert!(line.contains("\"pong\""), "pong response: {line}");
+
+    handle.stop();
+    run.join().expect("run thread").expect("clean exit");
+}
+
+#[test]
+fn expired_deadline_cancels_remaining_sweep_points() {
+    let (addr, server, _cache) = start_server(ServerOptions::default());
+    let handle = server.handle();
+    let run = std::thread::spawn(move || server.run());
+
+    // A program slow enough (in simulated work) that the 1ms deadline
+    // has long expired by the time its first point finishes.
+    let busy = r#"
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 200000; i++) s += i;
+    return s != 0;
+}
+"#;
+    let mut spec = spec_for(vec![SpecProgram::inline("busy", 2, busy)]);
+    spec.workers = 1;
+    let mut client = Client::connect(&addr).expect("connect");
+    let rows = client.sweep(&spec, Some(1)).expect("sweep completes");
+    assert_eq!(rows.len(), 2);
+    // The deadline check runs before each point: the second point (and
+    // possibly the first, depending on scheduling) is cancelled.
+    assert_eq!(rows[1].error.as_deref(), Some("run cancelled"), "{rows:?}");
+    for row in &rows {
+        match row.error.as_deref() {
+            None => assert!(row.exit_code.is_some(), "{row:?}"),
+            Some("run cancelled") => assert_eq!(row.exit_code, None, "{row:?}"),
+            Some(other) => panic!("unexpected error `{other}`: {row:?}"),
+        }
+    }
+
+    // The same connection still serves an undeadlined sweep afterwards.
+    let rows = client.sweep(&spec, None).expect("second sweep");
+    assert!(rows.iter().all(|r| r.error.is_none()), "{rows:?}");
+
+    handle.stop();
+    run.join().expect("run thread").expect("clean exit");
+}
+
+#[test]
+fn shutdown_job_stops_the_accept_loop() {
+    let (addr, server, _cache) = start_server(ServerOptions::default());
+    let run = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&addr).expect("connect");
+    client.ping().expect("pong");
+    client.shutdown().expect("shutdown ack");
+    run.join().expect("run thread").expect("clean exit");
+    // The listener is gone: a fresh connection cannot complete a ping.
+    std::thread::sleep(Duration::from_millis(100));
+    let refused = match Client::connect(&addr) {
+        Err(_) => true,
+        Ok(mut client) => client.ping().is_err(),
+    };
+    assert!(refused, "server kept serving after shutdown");
+}

@@ -99,6 +99,14 @@ impl Driver {
         self
     }
 
+    /// The names of the configured passes, in execution order (what
+    /// [`Driver::run`] will record as the trace). The persistent artifact
+    /// store uses this to rebuild a [`crate::Translation`]'s pass trace
+    /// from its on-disk entry without re-running the passes.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
     /// Runs every pass in order. After each pass the unit is printed and
     /// re-parsed; failure to re-parse means the pass corrupted the IR and
     /// aborts the pipeline with an internal error naming the pass.

@@ -68,7 +68,7 @@ pub struct FrameVar {
 }
 
 /// A compiled function.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Source name.
     pub name: String,
@@ -99,7 +99,7 @@ impl Function {
 }
 
 /// A compiled global variable.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlobalVar {
     /// Source name.
     pub name: String,
@@ -112,7 +112,7 @@ pub struct GlobalVar {
 }
 
 /// A fully compiled program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// All functions; index = call target.
     pub funcs: Vec<Function>,

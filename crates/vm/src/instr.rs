@@ -131,6 +131,50 @@ impl Intrinsic {
         })
     }
 
+    /// The C function name this intrinsic resolves from — the inverse of
+    /// [`Intrinsic::from_name`], used by the bytecode serializer as the
+    /// stable on-disk spelling.
+    pub fn name(self) -> &'static str {
+        use Intrinsic::*;
+        match self {
+            Printf => "printf",
+            Sqrt => "sqrt",
+            Fabs => "fabs",
+            Exit => "exit",
+            Malloc => "malloc",
+            Wtime => "wtime",
+            PthreadCreate => "pthread_create",
+            PthreadJoin => "pthread_join",
+            PthreadExit => "pthread_exit",
+            PthreadSelf => "pthread_self",
+            MutexInit => "pthread_mutex_init",
+            MutexLock => "pthread_mutex_lock",
+            MutexUnlock => "pthread_mutex_unlock",
+            MutexDestroy => "pthread_mutex_destroy",
+            BarrierInit => "pthread_barrier_init",
+            BarrierWait => "pthread_barrier_wait",
+            BarrierDestroy => "pthread_barrier_destroy",
+            RcceInit => "RCCE_init",
+            RcceFinalize => "RCCE_finalize",
+            RcceUe => "RCCE_ue",
+            RcceNumUes => "RCCE_num_ues",
+            RcceShmalloc => "RCCE_shmalloc",
+            RcceMpbMalloc => "RCCE_malloc",
+            RcceBarrier => "RCCE_barrier",
+            RcceAcquireLock => "RCCE_acquire_lock",
+            RcceReleaseLock => "RCCE_release_lock",
+            RcceWtime => "RCCE_wtime",
+            RccePut => "RCCE_put",
+            RcceGet => "RCCE_get",
+            RcceFlagAlloc => "RCCE_flag_alloc",
+            RcceFlagWrite => "RCCE_flag_write",
+            RcceFlagRead => "RCCE_flag_read",
+            RcceWaitUntil => "RCCE_wait_until",
+            RcceSend => "RCCE_send",
+            RcceRecv => "RCCE_recv",
+        }
+    }
+
     /// Whether the VM can evaluate this intrinsic itself without engine
     /// involvement (pure math).
     pub fn is_pure(self) -> bool {

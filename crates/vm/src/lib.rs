@@ -48,11 +48,13 @@ pub mod compile;
 pub mod data;
 pub mod instr;
 pub mod opt;
+pub mod serial;
 pub mod value;
 pub mod vm;
 
 pub use compile::{compile, CompileError, Program};
 pub use instr::{Instr, Intrinsic, Op};
 pub use opt::{optimize, optimize_with_stats, OptLevel, OptStats};
+pub use serial::{parse_program, serialize_program, SerialError};
 pub use value::{MemKind, Value};
 pub use vm::{StepOutcome, UnitVm, Vm, VmError};

@@ -121,6 +121,14 @@ def main():
 
     check_opt_axis(fresh, fresh_path)
 
+    if "opt" not in golden:
+        sys.exit(
+            f"{golden_path} has no `opt` section: it predates manifest "
+            f"schema v4 (it reports schema_version "
+            f"{golden.get('schema_version')!r}). Regenerate the golden with\n"
+            "  UPDATE_GOLDENS=1 cargo test -p hsm-bench --test manifest_golden"
+        )
+
     # The `sweep` section is compared only via the hit/miss assertions
     # above: its counter totals legitimately differ between the full
     # 5-program manifest and the 2-program golden.
