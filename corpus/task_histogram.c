@@ -1,0 +1,38 @@
+/* The mutex histogram as a task reduction: four counting tasks each
+ * fill a private partial row (their declared output), and a combine
+ * task whose input region covers every row folds them into the final
+ * histogram. The mutex disappears — the dependence graph provides the
+ * ordering the lock provided in the barrier-style version. */
+#include <stdio.h>
+
+int partial[4 * 4];
+int histogram[4];
+
+void count(int id) {
+    int i;
+    for (i = id * 25; i < id * 25 + 25; i++) {
+        int bucket = (i * 7) % 4;
+        partial[id * 4 + bucket] = partial[id * 4 + bucket] + 1;
+    }
+}
+
+void combine(int unused) {
+    int t;
+    int b;
+    for (t = 0; t < 4; t++) {
+        for (b = 0; b < 4; b++) {
+            histogram[b] = histogram[b] + partial[t * 4 + b];
+        }
+    }
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 4; i++) {
+        task_spawn(count, i, 0, 0, 0, 0, &partial[i * 4], 4 * 4);
+    }
+    task_spawn(combine, 0, &partial[0], 16 * 4, 0, 0, &histogram[0], 4 * 4);
+    task_wait_all();
+    for (i = 0; i < 4; i++) printf("bucket %d: %d\n", i, histogram[i]);
+    return histogram[0] + histogram[1] + histogram[2] + histogram[3];
+}

@@ -23,6 +23,8 @@
 //! figures --check-sharing  # run the corpus under the soundness oracle
 //! figures --client ADDR    # sweep the corpus on a running hsmd server
 //! figures --client ADDR --shutdown  # … then stop the server
+//! figures --rows FILE      # sweep in-process, one SweepRow JSON line per point
+//! figures --client ADDR --rows FILE  # … same rows via the server (byte-diffable)
 //! ```
 //!
 //! `--json` composes with the table selectors: `figures fig6.1 --json`
@@ -48,7 +50,12 @@
 //! `--client ADDR` runs the corpus sweep on a running `hsmd` server
 //! instead of in-process: it ships the spec as a sweep job, prints one
 //! row per point as the server streams them back, and with `--shutdown`
-//! stops the server afterwards.
+//! stops the server afterwards. `--modes A,B,..` picks the scenario modes
+//! (baseline, offchip, hsm, task) and repeatable `--program NAME:CORES`
+//! replaces the default corpus; both parse into the spec's `Scenario`
+//! list. `--rows FILE` writes one compact `SweepRow` JSON line per point
+//! — the rows are deterministic and identical whether the sweep runs
+//! in-process or via `--client`, which CI diffs byte-for-byte.
 //!
 //! `--host-timing` measures interpreter throughput (VM steps per host
 //! second) for every corpus program × mode × model, prints the table and
@@ -127,13 +134,31 @@ fn main() -> ExitCode {
         client_addr = Some(value);
         args.drain(i..=i + 1);
     }
+    let mut rows_file = None;
+    if let Some(i) = args.iter().position(|a| a == "--rows") {
+        let Some(value) = args.get(i + 1).cloned() else {
+            eprintln!("figures: --rows needs an output file");
+            return ExitCode::FAILURE;
+        };
+        rows_file = Some(value);
+        args.drain(i..=i + 1);
+    }
     let client_shutdown = args.iter().any(|a| a == "--shutdown");
     args.retain(|a| {
         a != "--json" && a != "--check-sharing" && a != "--host-timing" && a != "--shutdown"
     });
 
     if let Some(addr) = client_addr {
-        return match run_client(&addr, &spec, client_shutdown) {
+        return match run_client(&addr, &spec, rows_file.as_deref(), client_shutdown) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("figures: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(path) = rows_file {
+        return match run_rows_local(&spec, &path) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("figures: {e}");
@@ -339,10 +364,10 @@ fn write_artifact(path: &str, content: &str) -> Result<(), ()> {
     }
 }
 
-/// Runs the corpus sweep as a job on a running `hsmd` server, printing
-/// one row per point as the server streams them back (matrix order).
-fn run_client(addr: &str, spec: &hsm_core::spec::SweepSpec, shutdown: bool) -> Result<(), String> {
-    use hsm_core::api::{Client, SpecProgram};
+/// Fills an empty program list with the manifest corpus, so `--client`
+/// and `--rows` sweep the same default set the manifest reports.
+fn with_default_programs(spec: &hsm_core::spec::SweepSpec) -> hsm_core::spec::SweepSpec {
+    use hsm_core::api::SpecProgram;
     let mut spec = spec.clone();
     if spec.programs.is_empty() {
         spec.programs = hsm_bench::manifest::MANIFEST_PROGRAMS
@@ -350,6 +375,63 @@ fn run_client(addr: &str, spec: &hsm_core::spec::SweepSpec, shutdown: bool) -> R
             .map(|&(name, cores)| SpecProgram::corpus(name, cores))
             .collect();
     }
+    spec
+}
+
+/// Serializes sweep rows as newline-delimited compact JSON — one
+/// `SweepRow` per line, in matrix order. The encoding is deterministic,
+/// so the in-process and `--client` paths produce identical bytes for
+/// the same spec; CI diffs the two files directly.
+fn write_rows(path: &str, rows: &[hsm_core::api::SweepRow]) -> Result<(), String> {
+    let mut doc = rows
+        .iter()
+        .map(|row| row.to_json().render_compact())
+        .collect::<Vec<_>>()
+        .join("\n");
+    doc.push('\n');
+    write_artifact_at(path, &doc)
+}
+
+/// [`write_artifact`] without the `bench-out/` convention baked into the
+/// caller's constants: `--rows` takes an explicit destination.
+fn write_artifact_at(path: &str, content: &str) -> Result<(), String> {
+    hsm_bench::write_artifact(path, content)
+        .map(|()| println!("wrote {path}"))
+        .map_err(|e| format!("writing {path} failed: {e}"))
+}
+
+/// Runs the spec's sweep in this process and writes the row file —
+/// the reference bytes the `--client --rows` transport must reproduce.
+fn run_rows_local(spec: &hsm_core::spec::SweepSpec, path: &str) -> Result<(), String> {
+    use hsm_core::api::SweepRow;
+    use hsm_core::experiment::sweep;
+    let spec = with_default_programs(spec);
+    let cache = spec.open_cache().map_err(|e| e.to_string())?;
+    let matrix = spec
+        .to_matrix(&scc_sim::SccConfig::table_6_1())
+        .map_err(|e| e.to_string())?
+        .cache(cache);
+    let report = sweep(&matrix);
+    let rows: Vec<SweepRow> = report.outcomes.iter().map(SweepRow::from_outcome).collect();
+    write_rows(path, &rows)?;
+    let failed = rows.iter().filter(|r| r.error.is_some()).count();
+    println!("{} points, {failed} failed", rows.len());
+    if failed > 0 {
+        return Err(format!("{failed} sweep points failed"));
+    }
+    Ok(())
+}
+
+/// Runs the corpus sweep as a job on a running `hsmd` server, printing
+/// one row per point as the server streams them back (matrix order).
+fn run_client(
+    addr: &str,
+    spec: &hsm_core::spec::SweepSpec,
+    rows_file: Option<&str>,
+    shutdown: bool,
+) -> Result<(), String> {
+    use hsm_core::api::Client;
+    let spec = with_default_programs(spec);
     let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
     println!("sweeping {} programs on {addr}\n", spec.programs.len());
     println!("{:<32}{:>6}{:>14}  Output FNV", "Point", "Exit", "Cycles");
@@ -370,6 +452,9 @@ fn run_client(addr: &str, spec: &hsm_core::spec::SweepSpec, shutdown: bool) -> R
         .map_err(|e| format!("sweep failed: {e}"))?;
     let failed = rows.iter().filter(|r| r.error.is_some()).count();
     println!("\n{} points, {failed} failed", rows.len());
+    if let Some(path) = rows_file {
+        write_rows(path, &rows)?;
+    }
     if shutdown {
         client
             .shutdown()

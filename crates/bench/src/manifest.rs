@@ -16,7 +16,9 @@
 //! the CI gate that pins the simulator's observable behaviour.
 
 use crate::json::Json;
-use hsm_core::experiment::{sweep, Mode, SweepMatrix, SweepReport, SweepTask, TimingStats};
+use hsm_core::experiment::{
+    outputs_equivalent, sweep, Mode, Scenario, SweepMatrix, SweepReport, SweepTask, TimingStats,
+};
 use hsm_core::metrics::PipelineMetrics;
 use hsm_core::spec::SweepSpec;
 use hsm_core::{ArtifactCache, OptLevel, Pipeline, PipelineError, StageCounters};
@@ -33,8 +35,12 @@ use std::sync::Arc;
 /// per-entry `exec_model` field. Version 4 records the bytecode
 /// optimization level in a per-entry `opt_level` field and adds the
 /// top-level `opt` section with per-program `O0`-vs-`O2` instruction and
-/// simulated-cycle deltas.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 4;
+/// simulated-cycle deltas. Version 5 adds the top-level `tasks` section:
+/// for each ported corpus pair, the barrier (RCCE HSM) run of the
+/// original against the task-dataflow run of the port, with cycle counts
+/// and an output-equivalence verdict; entry axes now come from the
+/// spec's [`Scenario`] list.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 5;
 
 /// The corpus programs the manifest replays, with the core counts the
 /// corpus integration tests use.
@@ -44,6 +50,15 @@ pub const MANIFEST_PROGRAMS: [(&str, usize); 5] = [
     ("mutex_histogram", 4),
     ("switch_classifier", 2),
     ("escaping_local", 4),
+];
+
+/// The barrier-program → task-annotated-port pairs behind the `tasks`
+/// section: the original pthread corpus program, its
+/// `task_spawn`-annotated port, and the core count both run at. A pair is
+/// included when its barrier program is in the manifest's program list.
+pub const TASK_PROGRAMS: [(&str, &str, usize); 2] = [
+    ("matrix_vector", "task_matrix_vector", 4),
+    ("mutex_histogram", "task_histogram", 4),
 ];
 
 /// The subset of [`MANIFEST_PROGRAMS`] covered by the checked-in goldens
@@ -80,14 +95,29 @@ impl Default for ManifestOptions {
 }
 
 impl ManifestOptions {
-    /// The memory model manifest entries execute under.
+    /// The memory model manifest entries execute under (the first
+    /// spec scenario's — the manifest's mode axis is its own).
     fn exec_model(&self) -> ExecModel {
-        self.spec.exec_model
+        self.spec
+            .scenarios
+            .first()
+            .map_or(ExecModel::Coherent, |s| s.exec_model)
     }
 
     /// The optimization level manifest entries execute at.
     fn opt_level(&self) -> OptLevel {
-        self.spec.opt_level
+        self.spec
+            .scenarios
+            .first()
+            .map_or(OptLevel::O0, |s| s.opt_level)
+    }
+
+    /// The manifest's scenario for `mode` (the spec's shared model and
+    /// level applied to the given mode).
+    fn scenario(&self, mode: Mode) -> Scenario {
+        Scenario::new(mode)
+            .exec_model(self.exec_model())
+            .opt_level(self.opt_level())
     }
 }
 
@@ -314,20 +344,16 @@ fn manifest_matrix(
             .point(
                 format!("{name}/baseline"),
                 Arc::clone(&src),
-                SweepTask::RunMetered(Mode::PthreadBaseline),
+                SweepTask::RunMetered(opts.scenario(Mode::PthreadBaseline)),
                 cores,
             )
-            .model(opts.exec_model())
-            .opt(opts.opt_level())
             .timed_point(
                 format!("{name}/hsm"),
                 src,
-                SweepTask::RunMetered(Mode::RcceHsm),
+                SweepTask::RunMetered(opts.scenario(Mode::RcceHsm)),
                 cores,
                 timing_runs,
-            )
-            .model(opts.exec_model())
-            .opt(opts.opt_level());
+            );
     }
     matrix
 }
@@ -394,7 +420,7 @@ pub fn program_entry(
 /// instructions, and simulated timed cycles.
 fn opt_level_json(pipeline: &Pipeline) -> Result<Json, PipelineError> {
     let program = pipeline.program()?;
-    let run = pipeline.run()?;
+    let run = pipeline.run_scenario()?;
     Ok(Json::obj(vec![
         ("instr_static", Json::UInt(program.code_len() as u64)),
         ("instructions", Json::UInt(run.instructions)),
@@ -423,10 +449,10 @@ pub fn opt_json(
         let session = Pipeline::new(corpus_source(name))
             .cores(cores)
             .config(config.clone())
-            .exec_model(opts.exec_model())
             .cache(Arc::clone(cache));
-        let o0 = opt_level_json(&session.clone().opt_level(OptLevel::O0))?;
-        let o2 = opt_level_json(&session.opt_level(OptLevel::O2))?;
+        let hsm = Scenario::new(Mode::RcceHsm).exec_model(opts.exec_model());
+        let o0 = opt_level_json(&session.clone().scenario(hsm.opt_level(OptLevel::O0)))?;
+        let o2 = opt_level_json(&session.scenario(hsm.opt_level(OptLevel::O2)))?;
         let delta = |field: &str| {
             let a = match o0.get(field) {
                 Some(&Json::UInt(v)) => v,
@@ -446,6 +472,62 @@ pub fn opt_json(
             ("timed_cycles_delta", delta("timed_cycles")),
             ("O0", o0),
             ("O2", o2),
+        ]));
+    }
+    Ok(Json::Arr(entries))
+}
+
+/// The `tasks` section: for every [`TASK_PROGRAMS`] pair whose barrier
+/// program is in the manifest's program list, the barrier (RCCE HSM) run
+/// of the original against the task-dataflow run of the annotated port —
+/// same memory model and opt level as the rest of the manifest. Each
+/// entry pins both runs' timed and total cycles, exit codes, and whether
+/// the two programs produced equivalent output (the paper's
+/// barrier-vs-task comparison as a manifest axis).
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn tasks_json(
+    programs: &[(&str, usize)],
+    opts: &ManifestOptions,
+    config: &SccConfig,
+    cache: &Arc<ArtifactCache>,
+) -> Result<Json, PipelineError> {
+    let mut entries = Vec::new();
+    for &(barrier_name, task_name, cores) in &TASK_PROGRAMS {
+        if !programs.iter().any(|&(name, _)| name == barrier_name) {
+            continue;
+        }
+        let barrier_run = Pipeline::new(corpus_source(barrier_name))
+            .cores(cores)
+            .config(config.clone())
+            .cache(Arc::clone(cache))
+            .scenario(opts.scenario(Mode::RcceHsm))
+            .run_scenario()?;
+        let task_run = Pipeline::new(corpus_source(task_name))
+            .cores(cores)
+            .config(config.clone())
+            .cache(Arc::clone(cache))
+            .scenario(opts.scenario(Mode::TaskDataflow))
+            .run_scenario()?;
+        let run_block = |r: &RunResult| {
+            Json::obj(vec![
+                ("timed_cycles", Json::UInt(r.timed_cycles)),
+                ("total_cycles", Json::UInt(r.total_cycles)),
+                ("instructions", Json::UInt(r.instructions)),
+                ("exit_code", Json::Int(r.exit_code)),
+            ])
+        };
+        let outputs_match = outputs_equivalent(&barrier_run, &task_run)
+            && barrier_run.exit_code == task_run.exit_code;
+        entries.push(Json::obj(vec![
+            ("name", Json::str(barrier_name)),
+            ("task_program", Json::str(task_name)),
+            ("cores", Json::UInt(cores as u64)),
+            ("outputs_match", Json::Bool(outputs_match)),
+            ("barrier", run_block(&barrier_run)),
+            ("task", run_block(&task_run)),
         ]));
     }
     Ok(Json::Arr(entries))
@@ -476,11 +558,13 @@ pub fn manifest_for(
         entries.push(entry_json(name, cores, base, hsm, opts));
     }
     let opt_section = opt_json(programs, opts, &config, &cache)?;
+    let tasks_section = tasks_json(programs, opts, &config, &cache)?;
     Ok(Json::obj(vec![
         ("schema_version", Json::UInt(MANIFEST_SCHEMA_VERSION)),
         ("config", config_json(&config)),
         ("sweep", sweep_section),
         ("opt", opt_section),
+        ("tasks", tasks_section),
         ("programs", Json::Arr(entries)),
     ]))
 }

@@ -21,8 +21,8 @@ pub use crate::cache::{
     source_hash, ArtifactCache, ArtifactKey, CacheStats, StageCounters, StoreCounters, StoreStats,
 };
 pub use crate::experiment::{
-    sweep, sweep_with, Mode, SweepMatrix, SweepOptions, SweepOutcome, SweepPayload, SweepPoint,
-    SweepReport, SweepTask, TimingStats,
+    sweep, sweep_with, Mode, Scenario, SweepMatrix, SweepOptions, SweepOutcome, SweepPayload,
+    SweepPoint, SweepReport, SweepTask, TimingStats,
 };
 pub use crate::json::{Json, JsonError};
 pub use crate::metrics::{PipelineMetrics, StageMetric, STAGE_NAMES};

@@ -30,6 +30,7 @@ pub mod json;
 pub mod metrics;
 mod pipeline;
 pub mod protocol;
+pub mod scenario;
 pub mod server;
 pub mod spec;
 pub mod store;
@@ -48,6 +49,7 @@ pub use hsm_partition::{MemorySpec, Policy};
 pub use hsm_vm::OptLevel;
 pub use metrics::{StageMetric, STAGE_NAMES};
 pub use pipeline::Pipeline;
+pub use scenario::{Mode, Scenario};
 
 /// A pipeline failure at any stage.
 ///
@@ -145,50 +147,11 @@ pub mod experiment {
     use super::*;
     use std::sync::Arc;
 
+    pub use crate::scenario::{Mode, Scenario};
     pub use crate::sweep::{
         sweep, sweep_with, SweepMatrix, SweepOptions, SweepOutcome, SweepPayload, SweepPoint,
         SweepReport, SweepTask, TimingStats,
     };
-
-    /// The three evaluated configurations.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-    pub enum Mode {
-        /// 32 threads on one core (the Figure 6.1 denominator).
-        PthreadBaseline,
-        /// Converted program, shared data forced off-chip (Figure 6.1).
-        RcceOffChip,
-        /// Converted program with Algorithm 3 MPB placement (Figure 6.2).
-        RcceHsm,
-    }
-
-    impl Mode {
-        /// All three modes, in the canonical baseline/offchip/hsm order.
-        pub const ALL: [Mode; 3] = [Mode::PthreadBaseline, Mode::RcceOffChip, Mode::RcceHsm];
-
-        /// The placement policy the mode implies (the baseline never
-        /// partitions; it reports the HSM default).
-        pub fn policy(self) -> Policy {
-            match self {
-                Mode::RcceOffChip => Policy::OffChipOnly,
-                Mode::PthreadBaseline | Mode::RcceHsm => Policy::SizeAscending,
-            }
-        }
-
-        /// The stable wire/CLI spelling (`"baseline"`, `"offchip"`,
-        /// `"hsm"`) used by sweep specs and the `hsmd` protocol.
-        pub fn label(self) -> &'static str {
-            match self {
-                Mode::PthreadBaseline => "baseline",
-                Mode::RcceOffChip => "offchip",
-                Mode::RcceHsm => "hsm",
-            }
-        }
-
-        /// Inverse of [`Mode::label`].
-        pub fn parse(label: &str) -> Option<Mode> {
-            Mode::ALL.into_iter().find(|m| m.label() == label)
-        }
-    }
 
     /// The session for one benchmark × mode point.
     fn point_pipeline(
@@ -199,11 +162,12 @@ pub mod experiment {
     ) -> Pipeline {
         Pipeline::new(src)
             .cores(cores)
-            .policy(mode.policy())
+            .scenario(Scenario::new(mode))
             .config(config.clone())
     }
 
-    /// Runs one benchmark in one mode.
+    /// Runs one benchmark in one mode. A [`Mode::TaskDataflow`] run
+    /// expects the source to use the `task_spawn` API.
     ///
     /// # Errors
     ///
@@ -215,15 +179,12 @@ pub mod experiment {
         config: &SccConfig,
     ) -> Result<RunResult, PipelineError> {
         let src = hsm_workloads::source(bench, params);
-        let pipeline = point_pipeline(src, params.threads, mode, config);
-        match mode {
-            Mode::PthreadBaseline => pipeline.run_baseline(),
-            Mode::RcceOffChip | Mode::RcceHsm => pipeline.run(),
-        }
+        point_pipeline(src, params.threads, mode, config).run_scenario()
     }
 
-    /// [`run`] with per-stage pipeline instrumentation: the baseline meters
-    /// its two stages (parse, compile), the RCCE modes all five.
+    /// [`run`] with per-stage pipeline instrumentation: the baseline and
+    /// task modes meter their two stages (parse, compile), the RCCE modes
+    /// all five.
     ///
     /// # Errors
     ///
@@ -235,11 +196,7 @@ pub mod experiment {
         config: &SccConfig,
     ) -> Result<(RunResult, PipelineMetrics), PipelineError> {
         let src = hsm_workloads::source(bench, params);
-        let pipeline = point_pipeline(src, params.threads, mode, config);
-        match mode {
-            Mode::PthreadBaseline => pipeline.run_baseline_metered(),
-            Mode::RcceOffChip | Mode::RcceHsm => pipeline.run_metered(),
-        }
+        point_pipeline(src, params.threads, mode, config).run_scenario_metered()
     }
 
     /// One bar of Figure 6.1 (or one pair of Figure 6.2).
@@ -297,16 +254,21 @@ pub mod experiment {
             .point(
                 "baseline",
                 Arc::clone(&src),
-                SweepTask::Run(Mode::PthreadBaseline),
+                SweepTask::Run(Mode::PthreadBaseline.into()),
                 params.threads,
             )
             .point(
                 "offchip",
                 Arc::clone(&src),
-                SweepTask::Run(Mode::RcceOffChip),
+                SweepTask::Run(Mode::RcceOffChip.into()),
                 params.threads,
             )
-            .point("hsm", src, SweepTask::Run(Mode::RcceHsm), params.threads);
+            .point(
+                "hsm",
+                src,
+                SweepTask::Run(Mode::RcceHsm.into()),
+                params.threads,
+            );
         let report = sweep(&matrix);
         let mut outcomes = report.outcomes.into_iter();
         let base = into_run(outcomes.next().expect("baseline point"))?;
@@ -650,19 +612,19 @@ int main() {
                 .point(
                     "baseline",
                     Arc::clone(&src),
-                    experiment::SweepTask::Run(Mode::PthreadBaseline),
+                    experiment::SweepTask::Run(Mode::PthreadBaseline.into()),
                     4,
                 )
                 .point(
                     "offchip",
                     Arc::clone(&src),
-                    experiment::SweepTask::Run(Mode::RcceOffChip),
+                    experiment::SweepTask::Run(Mode::RcceOffChip.into()),
                     4,
                 )
                 .point(
                     "hsm",
                     Arc::clone(&src),
-                    experiment::SweepTask::Run(Mode::RcceHsm),
+                    experiment::SweepTask::Run(Mode::RcceHsm.into()),
                     4,
                 )
         };

@@ -26,14 +26,17 @@
 //! [`Pipeline::spec`] overrides it, the spec is [`MemorySpec::scc`] of
 //! the configured core count, so the on-chip budget follows `.cores(n)`.
 //!
-//! [`Pipeline::exec_model`] selects the memory model runs execute under
-//! ([`ExecModel::Coherent`] by default). The model is deliberately *not*
-//! part of any artifact key: it changes what a run observes, not what the
-//! translator produces, so a multi-model sweep of one benchmark still
-//! parses, analyzes, translates and compiles exactly once.
+//! [`Pipeline::scenario`] configures every execution axis — the mode
+//! (baseline / RCCE / task-dataflow), the memory model and the opt level
+//! — from one [`Scenario`] value; [`Pipeline::run_scenario`] dispatches
+//! on it. The memory model is deliberately *not* part of any artifact
+//! key: it changes what a run observes, not what the translator
+//! produces, so a multi-model sweep of one benchmark still parses,
+//! analyzes, translates and compiles exactly once.
 
 use crate::cache::{source_hash, ArtifactCache, ArtifactKey};
 use crate::metrics::PipelineMetrics;
+use crate::scenario::{Mode, Scenario};
 use crate::{PipelineError, SharingCheck};
 use hsm_analysis::ProgramAnalysis;
 use hsm_cir::TranslationUnit;
@@ -51,6 +54,7 @@ pub struct Pipeline {
     src: Arc<str>,
     src_hash: u64,
     cores: usize,
+    mode: Mode,
     policy: Policy,
     spec: Option<MemorySpec>,
     config: SccConfig,
@@ -61,7 +65,8 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// A session over `src` with the evaluation defaults: 32 cores,
-    /// [`Policy::SizeAscending`], a spec following the core count, the
+    /// the default [`Scenario`] (HSM mode, coherent, `O0`,
+    /// [`Policy::SizeAscending`]), a spec following the core count, the
     /// Table 6.1 chip, and a fresh private cache.
     pub fn new(src: impl Into<Arc<str>>) -> Self {
         let src = src.into();
@@ -70,6 +75,7 @@ impl Pipeline {
             src,
             src_hash,
             cores: 32,
+            mode: Mode::RcceHsm,
             policy: Policy::SizeAscending,
             spec: None,
             config: SccConfig::table_6_1(),
@@ -77,6 +83,20 @@ impl Pipeline {
             opt_level: OptLevel::O0,
             cache: ArtifactCache::shared(),
         }
+    }
+
+    /// Configures every execution axis from one [`Scenario`]: mode,
+    /// memory model, optimization level, and the placement policy the
+    /// mode implies (a later [`Pipeline::policy`] call still overrides
+    /// the policy). This is the one way new code selects axes; the
+    /// per-axis setters are deprecated delegating wrappers.
+    #[must_use]
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.mode = scenario.mode;
+        self.exec_model = scenario.exec_model;
+        self.opt_level = scenario.opt_level;
+        self.policy = scenario.mode.policy();
+        self
     }
 
     /// Sets the participating core count (also sizes the default spec).
@@ -112,6 +132,7 @@ impl Pipeline {
     /// artifacts are model-independent (the model only changes what runs
     /// observe), so sessions differing only in model share every cached
     /// artifact.
+    #[deprecated(since = "0.9.0", note = "configure axes through `Pipeline::scenario`")]
     #[must_use]
     pub fn exec_model(mut self, model: ExecModel) -> Self {
         self.exec_model = model;
@@ -122,6 +143,7 @@ impl Pipeline {
     /// (default [`OptLevel::O0`]). The level is part of the compiled
     /// artifact's cache key, so sessions at different levels coexist in
     /// one cache while still sharing every stage up to translation.
+    #[deprecated(since = "0.9.0", note = "configure axes through `Pipeline::scenario`")]
     #[must_use]
     pub fn opt_level(mut self, level: OptLevel) -> Self {
         self.opt_level = level;
@@ -164,6 +186,15 @@ impl Pipeline {
     /// The bytecode optimization level programs compile at.
     pub fn configured_opt_level(&self) -> OptLevel {
         self.opt_level
+    }
+
+    /// The session's axes as one [`Scenario`].
+    pub fn configured_scenario(&self) -> Scenario {
+        Scenario {
+            mode: self.mode,
+            exec_model: self.exec_model,
+            opt_level: self.opt_level,
+        }
     }
 
     /// The partition spec in effect: the explicit override, or the SCC
@@ -338,6 +369,80 @@ impl Pipeline {
     }
 
     // ----------------------------------------------------------- runs --
+
+    /// Runs the program the way the configured [`Scenario`] selects:
+    /// the pthread interpreter, the translated RCCE program, or the
+    /// task-dataflow runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any stage.
+    pub fn run_scenario(&self) -> Result<RunResult, PipelineError> {
+        match self.mode {
+            Mode::PthreadBaseline => self.run_baseline(),
+            Mode::RcceOffChip | Mode::RcceHsm => self.run(),
+            Mode::TaskDataflow => self.run_task(),
+        }
+    }
+
+    /// [`Pipeline::run_scenario`] with per-stage metering: the RCCE modes
+    /// meter all five stages, the baseline and task modes their two
+    /// (parse, compile).
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any stage.
+    pub fn run_scenario_metered(&self) -> Result<(RunResult, PipelineMetrics), PipelineError> {
+        match self.mode {
+            Mode::PthreadBaseline => self.run_baseline_metered(),
+            Mode::RcceOffChip | Mode::RcceHsm => self.run_metered(),
+            Mode::TaskDataflow => {
+                let (program, metrics) = self.task_program_metered()?;
+                Ok((
+                    hsm_exec::run_task_model(&program, self.cores, &self.config, self.exec_model)?,
+                    metrics,
+                ))
+            }
+        }
+    }
+
+    /// Runs the task-annotated program (`task_spawn`/`task_wait_all`)
+    /// under the dependence-tracking task scheduler. The source is
+    /// compiled directly — the pthread→RCCE translation stages do not
+    /// apply to task programs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any stage.
+    pub fn run_task(&self) -> Result<RunResult, PipelineError> {
+        let program = self.baseline_program()?;
+        Ok(hsm_exec::run_task_model(
+            &program,
+            self.cores,
+            &self.config,
+            self.exec_model,
+        )?)
+    }
+
+    /// Parses and compiles a task program with the two stages metered.
+    fn task_program_metered(
+        &self,
+    ) -> Result<(Arc<hsm_vm::Program>, PipelineMetrics), PipelineError> {
+        let mut metrics = PipelineMetrics::default();
+        let unit = metrics.measure("parse", || {
+            self.unit().map(|u| {
+                let size = hsm_cir::print_unit(&u).len();
+                (u, size)
+            })
+        })?;
+        let program = metrics.measure("compile", || {
+            self.baseline_program_of(&unit).map(|p| {
+                let len = p.code_len();
+                (p, len)
+            })
+        })?;
+        Ok((program, metrics))
+    }
 
     /// Translates (reusing cached artifacts) and runs the RCCE program on
     /// the configured cores.
@@ -516,6 +621,37 @@ impl Pipeline {
             result,
         })
     }
+
+    /// Runs the task program under the oracle in pthread mode with an
+    /// empty classification manifest: pure happens-before race detection
+    /// over the spawn/dependence/wait edges the task runtime emits. A
+    /// task program whose in/out annotations cover its sharing is clean;
+    /// undeclared sharing shows up as a data race.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, compile and execution failures.
+    pub fn check_sharing_task(&self) -> Result<SharingCheck, PipelineError> {
+        let program = self.baseline_program()?;
+        let mut oracle = hsm_exec::Oracle::new(
+            &program,
+            hsm_analysis::ClassificationManifest::empty(),
+            hsm_exec::OracleMode::Pthread,
+            self.config.line_bytes,
+        );
+        let result = hsm_exec::run_task_model_traced(
+            &program,
+            self.cores,
+            &self.config,
+            self.exec_model,
+            &mut oracle,
+        )?;
+        Ok(SharingCheck {
+            manifest: hsm_analysis::ClassificationManifest::empty(),
+            report: oracle.finish(),
+            result,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -578,7 +714,7 @@ int main() {
         let coherent = p.run().expect("coherent");
         let stale = p
             .clone()
-            .exec_model(ExecModel::NonCoherentWriteBack)
+            .scenario(Scenario::default().exec_model(ExecModel::NonCoherentWriteBack))
             .run()
             .expect("non-coherent");
         // The translated program is staleness-immune by construction.
@@ -587,5 +723,24 @@ int main() {
         assert_eq!(stats.translate.misses, 1, "model is not an artifact key");
         assert_eq!(stats.compile.misses, 1);
         assert!(stats.compile.hits > 0, "second model reused the bytecode");
+    }
+
+    /// Migration check for the deprecated per-axis setters: they must
+    /// keep delegating to the same state `Pipeline::scenario` sets.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_axis_setters_match_scenario() {
+        let via_setters = Pipeline::new(SRC)
+            .exec_model(ExecModel::SeqCstReference)
+            .opt_level(hsm_vm::OptLevel::O2);
+        let via_scenario = Pipeline::new(SRC).scenario(
+            Scenario::default()
+                .exec_model(ExecModel::SeqCstReference)
+                .opt_level(hsm_vm::OptLevel::O2),
+        );
+        assert_eq!(
+            via_setters.configured_scenario(),
+            via_scenario.configured_scenario()
+        );
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::experiment::Mode;
 use crate::json::{Json, JsonError};
+use crate::scenario::Scenario;
 use crate::spec::SweepSpec;
 use crate::store::fnv1a_bytes;
 use crate::sweep::SweepOutcome;
@@ -76,7 +77,7 @@ pub enum JobRequest {
         /// Participating core count.
         cores: usize,
     },
-    /// Run one program in one mode and return its row.
+    /// Run one program under one scenario and return its row.
     Simulate {
         /// Program name (labels the row).
         name: String,
@@ -84,12 +85,9 @@ pub enum JobRequest {
         source: String,
         /// Participating core count.
         cores: usize,
-        /// The mode to run in.
-        mode: Mode,
-        /// Memory model to execute under.
-        exec_model: ExecModel,
-        /// Bytecode optimization level.
-        opt_level: OptLevel,
+        /// The full scenario (mode × memory model × opt level) — the
+        /// single serialized currency for axes on the wire.
+        scenario: Scenario,
     },
     /// Run a whole sweep, streaming one row per point.
     Sweep {
@@ -149,19 +147,18 @@ impl SweepRow {
         fnv1a_bytes(result.output_sorted().join("\n").as_bytes())
     }
 
-    /// Builds the row of one completed sweep point. `exec_model` and
-    /// `opt_level` come from the sweep's spec (uniform across points).
-    pub fn from_outcome(
-        outcome: &SweepOutcome,
-        exec_model: ExecModel,
-        opt_level: OptLevel,
-    ) -> Self {
+    /// Builds the row of one completed sweep point. The axis labels come
+    /// from the scenario the point's task carries — nothing is
+    /// re-supplied (or silently defaulted) at the call site. Oracle-check
+    /// points run under the pipeline defaults and report them.
+    pub fn from_outcome(outcome: &SweepOutcome) -> Self {
+        let scenario = outcome.task.scenario().unwrap_or_default();
         let mut row = SweepRow {
             name: outcome.name.clone(),
             task: outcome.task.label().to_string(),
             cores: outcome.cores as u64,
-            exec_model: exec_model.label().to_string(),
-            opt_level: opt_level.label().to_string(),
+            exec_model: scenario.exec_model.label().to_string(),
+            opt_level: scenario.opt_level.label().to_string(),
             exit_code: None,
             timed_cycles: None,
             total_cycles: None,
@@ -311,16 +308,12 @@ pub fn encode_job(job: &Job) -> String {
             name,
             source,
             cores,
-            mode,
-            exec_model,
-            opt_level,
+            scenario,
         } => {
             pairs.push(("name", Json::Str(name.clone())));
             pairs.push(("source", Json::Str(source.clone())));
             pairs.push(("cores", Json::UInt(*cores as u64)));
-            pairs.push(("mode", Json::str(mode.label())));
-            pairs.push(("exec_model", Json::str(exec_model.label())));
-            pairs.push(("opt_level", Json::str(opt_level.label())));
+            pairs.push(("scenario", scenario.to_json()));
         }
         JobRequest::Sweep { spec } => {
             pairs.push(("spec", spec.to_json()));
@@ -365,28 +358,41 @@ pub fn parse_job(line: &str) -> Result<Job, ProtocolError> {
             cores: field_cores()?,
         },
         "simulate" => {
-            let mode_label = field_str("mode")?;
-            let mode = Mode::parse(&mode_label)
-                .ok_or_else(|| ProtocolError::new(format!("unknown mode `{mode_label}`")))?;
-            let exec_model = match doc.get("exec_model") {
-                None => ExecModel::Coherent,
-                Some(Json::Str(s)) => ExecModel::parse(s)
-                    .ok_or_else(|| ProtocolError::new(format!("unknown exec model `{s}`")))?,
-                Some(_) => return Err(ProtocolError::new("`exec_model` must be a string")),
-            };
-            let opt_level = match doc.get("opt_level") {
-                None => OptLevel::O0,
-                Some(Json::Str(s)) => OptLevel::parse(s)
-                    .ok_or_else(|| ProtocolError::new(format!("unknown opt level `{s}`")))?,
-                Some(_) => return Err(ProtocolError::new("`opt_level` must be a string")),
+            let scenario = match doc.get("scenario") {
+                Some(nested) => {
+                    Scenario::from_json(nested).map_err(|e| ProtocolError::new(e.to_string()))?
+                }
+                // Legacy flat form: a required `mode` label plus optional
+                // `exec_model`/`opt_level` sibling fields.
+                None => {
+                    let mode_label = field_str("mode")?;
+                    let mode = Mode::parse(&mode_label).ok_or_else(|| {
+                        ProtocolError::new(format!("unknown mode `{mode_label}`"))
+                    })?;
+                    let exec_model = match doc.get("exec_model") {
+                        None => ExecModel::Coherent,
+                        Some(Json::Str(s)) => ExecModel::parse(s).ok_or_else(|| {
+                            ProtocolError::new(format!("unknown exec model `{s}`"))
+                        })?,
+                        Some(_) => return Err(ProtocolError::new("`exec_model` must be a string")),
+                    };
+                    let opt_level = match doc.get("opt_level") {
+                        None => OptLevel::O0,
+                        Some(Json::Str(s)) => OptLevel::parse(s).ok_or_else(|| {
+                            ProtocolError::new(format!("unknown opt level `{s}`"))
+                        })?,
+                        Some(_) => return Err(ProtocolError::new("`opt_level` must be a string")),
+                    };
+                    Scenario::new(mode)
+                        .exec_model(exec_model)
+                        .opt_level(opt_level)
+                }
             };
             JobRequest::Simulate {
                 name: field_str("name")?,
                 source: field_str("source")?,
                 cores: field_cores()?,
-                mode,
-                exec_model,
-                opt_level,
+                scenario,
             }
         }
         "sweep" => {
@@ -510,9 +516,18 @@ mod tests {
                     name: "tiny".to_string(),
                     source: "int main() { return 1; }".to_string(),
                     cores: 2,
-                    mode: Mode::RcceHsm,
-                    exec_model: ExecModel::Coherent,
-                    opt_level: OptLevel::O1,
+                    scenario: Scenario::new(Mode::RcceHsm).opt_level(OptLevel::O1),
+                },
+            },
+            Job {
+                id: 6,
+                timeout_ms: None,
+                request: JobRequest::Simulate {
+                    name: "task".to_string(),
+                    source: "int main() { task_wait_all(); return 0; }".to_string(),
+                    cores: 4,
+                    scenario: Scenario::new(Mode::TaskDataflow)
+                        .exec_model(ExecModel::NonCoherentWriteBack),
                 },
             },
             Job {
@@ -584,6 +599,31 @@ mod tests {
         let line = encode_response(1, &JobResponse::Row(row.clone()));
         let (_, back) = parse_response(&line).expect("parses");
         assert_eq!(back, JobResponse::Row(row));
+    }
+
+    #[test]
+    fn legacy_flat_simulate_jobs_still_parse() {
+        let line = r#"{"id": 7, "op": "simulate", "name": "tiny",
+            "source": "int main() { return 1; }", "cores": 2,
+            "mode": "hsm", "opt_level": "O2"}"#;
+        let job = parse_job(line).expect("parses");
+        assert_eq!(
+            job.request,
+            JobRequest::Simulate {
+                name: "tiny".to_string(),
+                source: "int main() { return 1; }".to_string(),
+                cores: 2,
+                scenario: Scenario::new(Mode::RcceHsm).opt_level(OptLevel::O2),
+            }
+        );
+        // But the encoder only ever emits the nested scenario object —
+        // re-encoding a legacy job normalizes it, and it still parses.
+        let encoded = encode_job(&job);
+        assert!(
+            encoded.contains("\"scenario\":{\"mode\":\"hsm\""),
+            "{encoded}"
+        );
+        assert_eq!(parse_job(&encoded).expect("reparses"), job);
     }
 
     #[test]

@@ -261,15 +261,11 @@ fn handle_line(
             name,
             source,
             cores,
-            mode,
-            exec_model,
-            opt_level,
+            scenario,
         } => {
             let spec = SweepSpec {
                 programs: vec![crate::spec::SpecProgram::inline(name, cores, source)],
-                modes: vec![mode],
-                exec_model,
-                opt_level,
+                scenarios: vec![scenario],
                 workers: 1,
                 cache_dir: None,
             };
@@ -343,7 +339,7 @@ fn run_sweep_job(
     let cancel = move || deadline.is_some_and(|d| Instant::now() >= d);
     let rows = AtomicU64::new(0);
     let on_row = |_: usize, outcome: &crate::sweep::SweepOutcome| {
-        let row = SweepRow::from_outcome(outcome, spec.exec_model, spec.opt_level);
+        let row = SweepRow::from_outcome(outcome);
         send(writer, id, &JobResponse::Row(row));
         rows.fetch_add(1, Ordering::Relaxed);
     };

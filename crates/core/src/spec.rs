@@ -1,14 +1,14 @@
 //! The serializable sweep specification.
 //!
 //! A [`SweepSpec`] names everything a sweep varies — corpus programs ×
-//! modes × exec model × opt level — plus the execution knobs (worker
-//! threads, persistent cache directory) that used to be plumbed through
-//! ad-hoc CLI flags. One spec value flows unchanged through all three
-//! consumers: the `figures` CLI parses its flags into one
-//! ([`SweepSpec::take_cli_flags`]), the `hsmd` job server receives one as
-//! JSON inside a sweep job ([`SweepSpec::from_json`]), and library
-//! callers build the [`SweepMatrix`] it
-//! describes with [`SweepSpec::to_matrix`].
+//! [`Scenario`]s (mode × exec model × opt level as one typed value) —
+//! plus the execution knobs (worker threads, persistent cache directory)
+//! that used to be plumbed through ad-hoc CLI flags. One spec value flows
+//! unchanged through all three consumers: the `figures` CLI parses its
+//! flags into one ([`SweepSpec::take_cli_flags`]), the `hsmd` job server
+//! receives one as JSON inside a sweep job ([`SweepSpec::from_json`]),
+//! and library callers build the [`SweepMatrix`] it describes with
+//! [`SweepSpec::to_matrix`].
 //!
 //! Programs are corpus names by default (resolved against the
 //! repository's `corpus/` directory); a program may instead carry its
@@ -17,6 +17,7 @@
 
 use crate::experiment::{Mode, SweepMatrix, SweepTask};
 use crate::json::{Json, JsonError};
+use crate::scenario::Scenario;
 use crate::{ArtifactCache, ExecModel, OptLevel};
 use scc_sim::SccConfig;
 use std::fmt;
@@ -56,20 +57,16 @@ impl SpecProgram {
     }
 }
 
-/// A serializable description of one sweep: which programs, in which
-/// modes, under which model and optimization level, with which execution
-/// knobs. See the module docs for the consumers.
+/// A serializable description of one sweep: which programs, run under
+/// which [`Scenario`]s, with which execution knobs. See the module docs
+/// for the consumers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// The programs to sweep.
     pub programs: Vec<SpecProgram>,
-    /// The modes each program runs in (point names are
-    /// `"{program}/{mode label}"`, in this order).
-    pub modes: Vec<Mode>,
-    /// Memory model every point executes under.
-    pub exec_model: ExecModel,
-    /// Bytecode optimization level every point executes at.
-    pub opt_level: OptLevel,
+    /// The scenarios each program runs under (point names are
+    /// `"{program}/{scenario label}"`, in this order).
+    pub scenarios: Vec<Scenario>,
     /// Sweep worker threads (0 = one per available host core).
     pub workers: usize,
     /// Persistent artifact-store directory ([`SweepSpec::open_cache`]
@@ -81,9 +78,10 @@ impl Default for SweepSpec {
     fn default() -> Self {
         SweepSpec {
             programs: Vec::new(),
-            modes: vec![Mode::PthreadBaseline, Mode::RcceHsm],
-            exec_model: ExecModel::Coherent,
-            opt_level: OptLevel::O0,
+            scenarios: vec![
+                Scenario::new(Mode::PthreadBaseline),
+                Scenario::new(Mode::RcceHsm),
+            ],
             workers: 0,
             cache_dir: None,
         }
@@ -98,7 +96,7 @@ pub struct SpecError {
 }
 
 impl SpecError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         SpecError {
             message: message.into(),
         }
@@ -143,12 +141,10 @@ impl SweepSpec {
                 Json::obj(pairs)
             })
             .collect();
-        let modes = self.modes.iter().map(|m| Json::str(m.label())).collect();
+        let scenarios = self.scenarios.iter().map(|s| s.to_json()).collect();
         let mut pairs = vec![
             ("programs", Json::Arr(programs)),
-            ("modes", Json::Arr(modes)),
-            ("exec_model", Json::str(self.exec_model.label())),
-            ("opt_level", Json::str(self.opt_level.label())),
+            ("scenarios", Json::Arr(scenarios)),
             ("workers", Json::UInt(self.workers as u64)),
         ];
         if let Some(dir) = &self.cache_dir {
@@ -201,32 +197,60 @@ impl SweepSpec {
                 })
                 .collect::<Result<_, _>>()?;
         }
-        if let Some(modes) = doc.get("modes") {
-            let Json::Arr(items) = modes else {
-                return Err(SpecError::new("`modes` must be an array"));
+        if let Some(scenarios) = doc.get("scenarios") {
+            let Json::Arr(items) = scenarios else {
+                return Err(SpecError::new("`scenarios` must be an array"));
             };
-            spec.modes = items
+            spec.scenarios = items
                 .iter()
-                .map(|item| match item {
-                    Json::Str(label) => Mode::parse(label)
-                        .ok_or_else(|| SpecError::new(format!("unknown mode `{label}`"))),
-                    _ => Err(SpecError::new("`modes` entries must be strings")),
-                })
+                .map(Scenario::from_json)
                 .collect::<Result<_, _>>()?;
-        }
-        if let Some(model) = doc.get("exec_model") {
-            spec.exec_model = match model {
-                Json::Str(label) => ExecModel::parse(label)
-                    .ok_or_else(|| SpecError::new(format!("unknown exec model `{label}`")))?,
-                _ => return Err(SpecError::new("`exec_model` must be a string")),
-            };
-        }
-        if let Some(level) = doc.get("opt_level") {
-            spec.opt_level = match level {
-                Json::Str(label) => OptLevel::parse(label)
-                    .ok_or_else(|| SpecError::new(format!("unknown opt level `{label}`")))?,
-                _ => return Err(SpecError::new("`opt_level` must be a string")),
-            };
+        } else {
+            // Legacy flat form: a `modes` list plus spec-wide
+            // `exec_model`/`opt_level` fields expand to one scenario per
+            // mode carrying the shared axes.
+            let mut exec_model = ExecModel::Coherent;
+            let mut opt_level = OptLevel::O0;
+            if let Some(model) = doc.get("exec_model") {
+                exec_model = match model {
+                    Json::Str(label) => ExecModel::parse(label)
+                        .ok_or_else(|| SpecError::new(format!("unknown exec model `{label}`")))?,
+                    _ => return Err(SpecError::new("`exec_model` must be a string")),
+                };
+            }
+            if let Some(level) = doc.get("opt_level") {
+                opt_level = match level {
+                    Json::Str(label) => OptLevel::parse(label)
+                        .ok_or_else(|| SpecError::new(format!("unknown opt level `{label}`")))?,
+                    _ => return Err(SpecError::new("`opt_level` must be a string")),
+                };
+            }
+            if let Some(modes) = doc.get("modes") {
+                let Json::Arr(items) = modes else {
+                    return Err(SpecError::new("`modes` must be an array"));
+                };
+                spec.scenarios = items
+                    .iter()
+                    .map(|item| match item {
+                        Json::Str(label) => Mode::parse(label)
+                            .ok_or_else(|| SpecError::new(format!("unknown mode `{label}`"))),
+                        _ => Err(SpecError::new("`modes` entries must be strings")),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+                    .into_iter()
+                    .map(|mode| {
+                        Scenario::new(mode)
+                            .exec_model(exec_model)
+                            .opt_level(opt_level)
+                    })
+                    .collect();
+            } else {
+                spec.scenarios = spec
+                    .scenarios
+                    .iter()
+                    .map(|s| s.exec_model(exec_model).opt_level(opt_level))
+                    .collect();
+            }
         }
         if let Some(workers) = doc.get("workers") {
             spec.workers = match workers {
@@ -264,36 +288,34 @@ impl SweepSpec {
     }
 
     /// Builds the [`SweepMatrix`] the spec describes: every program ×
-    /// mode as a point named `"{program}/{mode label}"`, carrying the
-    /// spec's model, opt level and worker count. The caller attaches the
-    /// cache (typically from [`SweepSpec::open_cache`]) and the chip
-    /// config stays a separate argument — it describes the simulated
-    /// machine, not the sweep.
+    /// scenario as a point named `"{program}/{scenario label}"`, the
+    /// point's [`SweepTask::Run`] carrying the full scenario. The caller
+    /// attaches the cache (typically from [`SweepSpec::open_cache`]) and
+    /// the chip config stays a separate argument — it describes the
+    /// simulated machine, not the sweep.
     ///
     /// # Errors
     ///
-    /// Rejects an empty program or mode list and unresolvable sources.
+    /// Rejects an empty program or scenario list and unresolvable
+    /// sources.
     pub fn to_matrix(&self, config: &SccConfig) -> Result<SweepMatrix, SpecError> {
         if self.programs.is_empty() {
             return Err(SpecError::new("no programs to sweep"));
         }
-        if self.modes.is_empty() {
-            return Err(SpecError::new("no modes to sweep"));
+        if self.scenarios.is_empty() {
+            return Err(SpecError::new("no scenarios to sweep"));
         }
         let mut matrix = SweepMatrix::new(config.clone()).workers(self.workers);
         for program in &self.programs {
             let src = Self::resolve_source(program)?;
-            for &mode in &self.modes {
-                let task = SweepTask::Run(mode);
-                matrix = matrix
-                    .point(
-                        format!("{}/{}", program.name, task.label()),
-                        Arc::clone(&src),
-                        task,
-                        program.cores,
-                    )
-                    .model(self.exec_model)
-                    .opt(self.opt_level);
+            for &scenario in &self.scenarios {
+                let task = SweepTask::Run(scenario);
+                matrix = matrix.point(
+                    format!("{}/{}", program.name, task.label()),
+                    Arc::clone(&src),
+                    task,
+                    program.cores,
+                );
             }
         }
         Ok(matrix)
@@ -314,10 +336,17 @@ impl SweepSpec {
     }
 
     /// Extracts the spec-owned CLI flags out of `args` (removing each
-    /// flag and its value): `--workers N`, `--exec-model NAME`,
-    /// `--opt-level LEVEL`, `--cache-dir PATH`. Unrelated arguments are
-    /// left in place. This replaces the per-flag parsing the `figures`
-    /// binary used to duplicate.
+    /// flag and its value): `--workers N`, `--modes A,B,..`,
+    /// `--exec-model NAME`, `--opt-level LEVEL`, `--cache-dir PATH`, and
+    /// repeatable `--program NAME:CORES`. Unrelated arguments are left in
+    /// place. This replaces the per-flag parsing the `figures` binary
+    /// used to duplicate.
+    ///
+    /// `--modes` rebuilds the scenario list (one scenario per listed mode
+    /// label, inheriting the first current scenario's model and level);
+    /// `--exec-model`/`--opt-level` then apply to *every* scenario — so
+    /// the flags compose in any order and nothing is silently dropped on
+    /// the way to the wire.
     ///
     /// # Errors
     ///
@@ -329,20 +358,55 @@ impl SweepSpec {
                 .parse()
                 .map_err(|_| SpecError::new("--workers needs a number"))?;
         }
+        if let Some(value) = take_flag(args, "--modes")? {
+            let template = self.scenarios.first().copied().unwrap_or_default();
+            self.scenarios = value
+                .split(',')
+                .map(str::trim)
+                .filter(|label| !label.is_empty())
+                .map(|label| {
+                    Mode::parse(label)
+                        .map(|mode| template.mode(mode))
+                        .ok_or_else(|| {
+                            let labels: Vec<&str> = Mode::ALL.iter().map(|m| m.label()).collect();
+                            SpecError::new(format!(
+                                "--modes needs labels from: {}",
+                                labels.join(", ")
+                            ))
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            if self.scenarios.is_empty() {
+                return Err(SpecError::new("--modes needs at least one mode label"));
+            }
+        }
         if let Some(value) = take_flag(args, "--exec-model")? {
-            self.exec_model = ExecModel::parse(&value).ok_or_else(|| {
+            let model = ExecModel::parse(&value).ok_or_else(|| {
                 let labels: Vec<&str> = ExecModel::ALL.iter().map(|m| m.label()).collect();
                 SpecError::new(format!("--exec-model needs one of: {}", labels.join(", ")))
             })?;
+            self.scenarios = self.scenarios.iter().map(|s| s.exec_model(model)).collect();
         }
         if let Some(value) = take_flag(args, "--opt-level")? {
-            self.opt_level = OptLevel::parse(&value).ok_or_else(|| {
+            let level = OptLevel::parse(&value).ok_or_else(|| {
                 let labels: Vec<&str> = OptLevel::ALL.iter().map(|l| l.label()).collect();
                 SpecError::new(format!("--opt-level needs one of: {}", labels.join(", ")))
             })?;
+            self.scenarios = self.scenarios.iter().map(|s| s.opt_level(level)).collect();
         }
         if let Some(value) = take_flag(args, "--cache-dir")? {
             self.cache_dir = Some(value);
+        }
+        while let Some(value) = take_flag(args, "--program")? {
+            let (name, cores) = value.split_once(':').ok_or_else(|| {
+                SpecError::new("--program needs NAME:CORES (e.g. matrix_vector:4)")
+            })?;
+            let cores: usize = cores
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| SpecError::new("--program needs a positive core count"))?;
+            self.programs.push(SpecProgram::corpus(name, cores));
         }
         Ok(())
     }
@@ -371,9 +435,10 @@ mod tests {
                 SpecProgram::corpus("example_4_1", 3),
                 SpecProgram::inline("inline_ret", 2, "int main() { return 5; }"),
             ],
-            modes: vec![Mode::PthreadBaseline, Mode::RcceHsm],
-            exec_model: ExecModel::Coherent,
-            opt_level: OptLevel::O2,
+            scenarios: vec![
+                Scenario::new(Mode::PthreadBaseline).opt_level(OptLevel::O2),
+                Scenario::new(Mode::RcceHsm).opt_level(OptLevel::O2),
+            ],
             workers: 2,
             cache_dir: Some("/tmp/hsm-store".to_string()),
         }
@@ -396,11 +461,41 @@ mod tests {
         let doc =
             Json::parse(r#"{"programs": [{"name": "example_4_1", "cores": 3}]}"#).expect("parses");
         let spec = SweepSpec::from_json(&doc).expect("spec");
-        assert_eq!(spec.modes, vec![Mode::PthreadBaseline, Mode::RcceHsm]);
-        assert_eq!(spec.exec_model, ExecModel::Coherent);
-        assert_eq!(spec.opt_level, OptLevel::O0);
+        assert_eq!(
+            spec.scenarios,
+            vec![
+                Scenario::new(Mode::PthreadBaseline),
+                Scenario::new(Mode::RcceHsm),
+            ]
+        );
         assert_eq!(spec.workers, 0);
         assert_eq!(spec.cache_dir, None);
+    }
+
+    #[test]
+    fn legacy_flat_documents_expand_to_scenarios() {
+        let doc = Json::parse(
+            r#"{"programs": [{"name": "example_4_1", "cores": 3}],
+                "modes": ["hsm", "task"], "exec_model": "non_coherent_wb",
+                "opt_level": "O2"}"#,
+        )
+        .expect("parses");
+        let spec = SweepSpec::from_json(&doc).expect("spec");
+        assert_eq!(
+            spec.scenarios,
+            vec![
+                Scenario::new(Mode::RcceHsm)
+                    .exec_model(ExecModel::NonCoherentWriteBack)
+                    .opt_level(OptLevel::O2),
+                Scenario::new(Mode::TaskDataflow)
+                    .exec_model(ExecModel::NonCoherentWriteBack)
+                    .opt_level(OptLevel::O2),
+            ]
+        );
+        // Flat axes without a mode list still apply to the defaults.
+        let doc = Json::parse(r#"{"opt_level": "O1"}"#).expect("parses");
+        let spec = SweepSpec::from_json(&doc).expect("spec");
+        assert!(spec.scenarios.iter().all(|s| s.opt_level == OptLevel::O1));
     }
 
     #[test]
@@ -428,10 +523,10 @@ mod tests {
                 "inline_ret/hsm",
             ]
         );
-        assert!(matrix
-            .points
-            .iter()
-            .all(|p| p.opt_level == OptLevel::O2 && p.exec_model == ExecModel::Coherent));
+        assert!(matrix.points.iter().all(|p| {
+            let s = p.task.scenario().expect("run point");
+            s.opt_level == OptLevel::O2 && s.exec_model == ExecModel::Coherent
+        }));
         assert_eq!(matrix.workers, 2);
         // The inline program's source came from the spec, not a file.
         assert!(matrix.points[2].src.contains("return 5"));
@@ -462,9 +557,52 @@ mod tests {
         .collect();
         spec.take_cli_flags(&mut args).expect("flags");
         assert_eq!(spec.workers, 3);
-        assert_eq!(spec.opt_level, OptLevel::O2);
+        assert!(spec.scenarios.iter().all(|s| s.opt_level == OptLevel::O2));
         assert_eq!(spec.cache_dir.as_deref(), Some("/tmp/store"));
         assert_eq!(args, vec!["fig6.1", "--json"]);
+    }
+
+    #[test]
+    fn mode_and_axis_flags_compose_over_every_scenario() {
+        let mut spec = SweepSpec::default();
+        let mut args: Vec<String> = [
+            "--modes",
+            "hsm,task",
+            "--exec-model",
+            "non_coherent_wb",
+            "--program",
+            "matrix_vector:4",
+            "--program",
+            "task_matrix_vector:4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        spec.take_cli_flags(&mut args).expect("flags");
+        assert!(args.is_empty());
+        assert_eq!(
+            spec.scenarios,
+            vec![
+                Scenario::new(Mode::RcceHsm).exec_model(ExecModel::NonCoherentWriteBack),
+                Scenario::new(Mode::TaskDataflow).exec_model(ExecModel::NonCoherentWriteBack),
+            ]
+        );
+        assert_eq!(
+            spec.programs,
+            vec![
+                SpecProgram::corpus("matrix_vector", 4),
+                SpecProgram::corpus("task_matrix_vector", 4),
+            ]
+        );
+        let mut bad: Vec<String> = ["--modes", "warp"].iter().map(|s| s.to_string()).collect();
+        let err = spec.take_cli_flags(&mut bad).unwrap_err();
+        assert!(err.to_string().contains("task"), "{err}");
+        let mut bad: Vec<String> = ["--program", "nocolon"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = spec.take_cli_flags(&mut bad).unwrap_err();
+        assert!(err.to_string().contains("NAME:CORES"), "{err}");
     }
 
     #[test]

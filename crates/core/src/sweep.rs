@@ -16,8 +16,8 @@
 //! hit/miss counters schedule-independent.
 
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::experiment::Mode;
 use crate::metrics::PipelineMetrics;
+use crate::scenario::{Mode, Scenario};
 use crate::{Pipeline, PipelineError, Policy, SharingCheck};
 use hsm_exec::{ExecModel, RunResult};
 use hsm_vm::OptLevel;
@@ -27,13 +27,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// What one sweep point executes.
+/// What one sweep point executes. Run tasks carry their full
+/// [`Scenario`] — mode, memory model and opt level travel together.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SweepTask {
-    /// A plain run in the given mode.
-    Run(Mode),
-    /// A run with per-stage pipeline metering.
-    RunMetered(Mode),
+    /// A plain run of the given scenario.
+    Run(Scenario),
+    /// A run of the given scenario with per-stage pipeline metering.
+    RunMetered(Scenario),
     /// The pthread-mode sharing-soundness oracle check.
     CheckSharing,
     /// The RCCE-mode oracle check of the translated program.
@@ -44,24 +45,48 @@ impl SweepTask {
     /// A stable label for manifests and progress output.
     pub fn label(self) -> &'static str {
         match self {
-            SweepTask::Run(Mode::PthreadBaseline)
-            | SweepTask::RunMetered(Mode::PthreadBaseline) => "baseline",
-            SweepTask::Run(Mode::RcceOffChip) | SweepTask::RunMetered(Mode::RcceOffChip) => {
-                "offchip"
-            }
-            SweepTask::Run(Mode::RcceHsm) | SweepTask::RunMetered(Mode::RcceHsm) => "hsm",
+            SweepTask::Run(s) | SweepTask::RunMetered(s) => s.label(),
             SweepTask::CheckSharing => "check_sharing",
             SweepTask::CheckSharingRcce => "check_sharing_rcce",
         }
     }
 
+    /// The scenario a run task carries (oracle checks run with the
+    /// pipeline defaults and have none).
+    pub fn scenario(self) -> Option<Scenario> {
+        match self {
+            SweepTask::Run(s) | SweepTask::RunMetered(s) => Some(s),
+            SweepTask::CheckSharing | SweepTask::CheckSharingRcce => None,
+        }
+    }
+
+    /// The same task with the scenario's memory model replaced (no-op on
+    /// oracle checks).
+    #[must_use]
+    fn with_exec_model(self, model: ExecModel) -> Self {
+        match self {
+            SweepTask::Run(s) => SweepTask::Run(s.exec_model(model)),
+            SweepTask::RunMetered(s) => SweepTask::RunMetered(s.exec_model(model)),
+            other => other,
+        }
+    }
+
+    /// The same task with the scenario's opt level replaced (no-op on
+    /// oracle checks).
+    #[must_use]
+    fn with_opt_level(self, level: OptLevel) -> Self {
+        match self {
+            SweepTask::Run(s) => SweepTask::Run(s.opt_level(level)),
+            SweepTask::RunMetered(s) => SweepTask::RunMetered(s.opt_level(level)),
+            other => other,
+        }
+    }
+
     /// The placement policy the task's mode implies.
     fn default_policy(self) -> Policy {
-        match self {
-            SweepTask::Run(Mode::RcceOffChip) | SweepTask::RunMetered(Mode::RcceOffChip) => {
-                Policy::OffChipOnly
-            }
-            _ => Policy::SizeAscending,
+        match self.scenario() {
+            Some(s) => s.mode.policy(),
+            None => Policy::SizeAscending,
         }
     }
 }
@@ -73,20 +98,13 @@ pub struct SweepPoint {
     pub name: String,
     /// The program source (shared, not cloned, across points).
     pub src: Arc<str>,
-    /// What to execute.
+    /// What to execute (a run task carries its [`Scenario`]: mode,
+    /// memory model and opt level).
     pub task: SweepTask,
     /// Participating core count.
     pub cores: usize,
     /// Placement policy (defaults from the task's mode).
     pub policy: Policy,
-    /// Memory model the point executes under (default
-    /// [`ExecModel::Coherent`]; not part of any artifact key, so a
-    /// multi-model sweep of one benchmark compiles it once).
-    pub exec_model: ExecModel,
-    /// Bytecode optimization level (default [`OptLevel::O0`]; part of
-    /// the compiled artifact's cache key, so an `O0`-vs-`O2` sweep
-    /// compiles twice but shares everything up to translation).
-    pub opt_level: OptLevel,
     /// Extra cache-hot re-runs to time after the point completes
     /// (0 = none). Feeds the manifest's `host_timing` block.
     pub timing_runs: usize,
@@ -159,31 +177,51 @@ impl SweepMatrix {
             task,
             cores,
             policy: task.default_policy(),
-            exec_model: ExecModel::Coherent,
-            opt_level: OptLevel::O0,
             timing_runs,
         });
         self
     }
 
-    /// Sets the memory model of the most recently appended point, so a
-    /// multi-model sweep reads as `.point(..).model(..)` chains. No-op on
-    /// an empty matrix.
+    /// Replaces the scenario of the most recently appended point (and
+    /// re-derives its default policy). No-op on an empty matrix or an
+    /// oracle-check point.
+    #[must_use]
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        if let Some(point) = self.points.last_mut() {
+            point.task = match point.task {
+                SweepTask::Run(_) => SweepTask::Run(scenario),
+                SweepTask::RunMetered(_) => SweepTask::RunMetered(scenario),
+                other => other,
+            };
+            point.policy = point.task.default_policy();
+        }
+        self
+    }
+
+    /// Sets the memory model of the most recently appended point. No-op
+    /// on an empty matrix.
+    #[deprecated(
+        since = "0.9.0",
+        note = "carry the model in the point's `Scenario` (`SweepTask::Run`)"
+    )]
     #[must_use]
     pub fn model(mut self, exec_model: ExecModel) -> Self {
         if let Some(point) = self.points.last_mut() {
-            point.exec_model = exec_model;
+            point.task = point.task.with_exec_model(exec_model);
         }
         self
     }
 
     /// Sets the bytecode optimization level of the most recently
-    /// appended point, so an opt sweep reads as `.point(..).opt(..)`
-    /// chains. No-op on an empty matrix.
+    /// appended point. No-op on an empty matrix.
+    #[deprecated(
+        since = "0.9.0",
+        note = "carry the level in the point's `Scenario` (`SweepTask::Run`)"
+    )]
     #[must_use]
     pub fn opt(mut self, opt_level: OptLevel) -> Self {
         if let Some(point) = self.points.last_mut() {
-            point.opt_level = opt_level;
+            point.task = point.task.with_opt_level(opt_level);
         }
         self
     }
@@ -196,7 +234,7 @@ impl SweepMatrix {
             let params = bench.default_params(units);
             let src: Arc<str> = hsm_workloads::source(bench, &params).into();
             for &mode in modes {
-                let task = SweepTask::Run(mode);
+                let task = SweepTask::Run(Scenario::new(mode));
                 matrix = matrix.point(
                     format!("{}/{}", bench.name(), task.label()),
                     Arc::clone(&src),
@@ -221,7 +259,7 @@ impl SweepMatrix {
             let params = bench.default_params(cores);
             let src: Arc<str> = hsm_workloads::source(bench, &params).into();
             for &mode in modes {
-                let task = SweepTask::Run(mode);
+                let task = SweepTask::Run(Scenario::new(mode));
                 matrix = matrix.point(
                     format!("{}@{}/{}", bench.name(), cores, task.label()),
                     Arc::clone(&src),
@@ -338,23 +376,18 @@ fn effective_workers(requested: usize, points: usize) -> usize {
 /// Executes one point through an artifact-reuse session.
 fn run_point(point: &SweepPoint, config: &SccConfig, cache: &Arc<ArtifactCache>) -> SweepOutcome {
     let started = Instant::now();
-    let pipeline = Pipeline::new(Arc::clone(&point.src))
-        .cores(point.cores)
+    let mut pipeline = Pipeline::new(Arc::clone(&point.src)).cores(point.cores);
+    if let Some(scenario) = point.task.scenario() {
+        pipeline = pipeline.scenario(scenario);
+    }
+    let pipeline = pipeline
         .policy(point.policy)
-        .exec_model(point.exec_model)
-        .opt_level(point.opt_level)
         .config(config.clone())
         .cache(Arc::clone(cache));
     let result = match point.task {
-        SweepTask::Run(Mode::PthreadBaseline) => {
-            pipeline.run_baseline().map(|r| SweepPayload::Run(r, None))
-        }
-        SweepTask::Run(_) => pipeline.run().map(|r| SweepPayload::Run(r, None)),
-        SweepTask::RunMetered(Mode::PthreadBaseline) => pipeline
-            .run_baseline_metered()
-            .map(|(r, m)| SweepPayload::Run(r, Some(m))),
+        SweepTask::Run(_) => pipeline.run_scenario().map(|r| SweepPayload::Run(r, None)),
         SweepTask::RunMetered(_) => pipeline
-            .run_metered()
+            .run_scenario_metered()
             .map(|(r, m)| SweepPayload::Run(r, Some(m))),
         SweepTask::CheckSharing => pipeline
             .check_sharing()
@@ -384,11 +417,9 @@ fn time_reruns(pipeline: &Pipeline, task: SweepTask, runs: usize) -> TimingStats
     for _ in 0..runs {
         let started = Instant::now();
         let result = match task {
-            SweepTask::Run(Mode::PthreadBaseline)
-            | SweepTask::RunMetered(Mode::PthreadBaseline) => pipeline.run_baseline(),
+            SweepTask::Run(_) | SweepTask::RunMetered(_) => pipeline.run_scenario(),
             SweepTask::CheckSharing => pipeline.check_sharing().map(|c| c.result),
             SweepTask::CheckSharingRcce => pipeline.check_sharing_rcce().map(|c| c.result),
-            _ => pipeline.run(),
         };
         let _ = std::hint::black_box(result);
         samples.push(started.elapsed().as_nanos());
@@ -523,16 +554,16 @@ mod tests {
             .point(
                 "pi/baseline",
                 Arc::clone(&src),
-                SweepTask::Run(Mode::PthreadBaseline),
+                SweepTask::Run(Mode::PthreadBaseline.into()),
                 4,
             )
             .point(
                 "pi/offchip",
                 Arc::clone(&src),
-                SweepTask::Run(Mode::RcceOffChip),
+                SweepTask::Run(Mode::RcceOffChip.into()),
                 4,
             )
-            .point("pi/hsm", src, SweepTask::Run(Mode::RcceHsm), 4)
+            .point("pi/hsm", src, SweepTask::Run(Mode::RcceHsm.into()), 4)
     }
 
     fn cycles(report: &SweepReport) -> Vec<u64> {
@@ -571,7 +602,7 @@ mod tests {
         let matrix = SweepMatrix::new(SccConfig::table_6_1()).point(
             "bad",
             src,
-            SweepTask::Run(Mode::RcceHsm),
+            SweepTask::Run(Mode::RcceHsm.into()),
             2,
         );
         let report = sweep(&matrix);

@@ -1,0 +1,81 @@
+//! Transport parity: a sweep run in-process and the same sweep shipped
+//! through a real `hsmd` server must produce byte-identical row files.
+//!
+//! `figures --rows FILE` and `figures --client ADDR --rows FILE` both
+//! serialize one compact [`SweepRow`] JSON line per point; CI diffs the
+//! two files. This test pins the property at the library level so a
+//! protocol field that forgets to round-trip (or a server-side default
+//! that diverges from the point's own [`Scenario`]) fails here first,
+//! with a readable diff, rather than as an opaque CI byte mismatch.
+
+use hsm_core::api::{
+    sweep, Client, Mode, Scenario, Server, ServerOptions, SpecProgram, SweepRow, SweepSpec,
+};
+use scc_sim::SccConfig;
+
+/// The rows of an in-process sweep of `spec`, serialized exactly the way
+/// `figures --rows` writes them.
+fn local_rows(spec: &SweepSpec) -> Vec<String> {
+    let matrix = spec
+        .to_matrix(&SccConfig::table_6_1())
+        .expect("matrix")
+        .cache(spec.open_cache().expect("cache"));
+    sweep(&matrix)
+        .outcomes
+        .iter()
+        .map(|outcome| SweepRow::from_outcome(outcome).to_json().render_compact())
+        .collect()
+}
+
+/// The same spec swept through a live server, serialized identically.
+fn server_rows(spec: &SweepSpec) -> Vec<String> {
+    let server = Server::bind("127.0.0.1:0", ServerOptions::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let run = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&addr).expect("connect");
+    let rows = client.sweep(spec, None).expect("sweep");
+    client.shutdown().expect("shutdown");
+    run.join().expect("run thread").expect("clean exit");
+    rows.iter()
+        .map(|row| row.to_json().render_compact())
+        .collect()
+}
+
+#[test]
+fn client_and_local_sweep_rows_are_byte_identical() {
+    // Three modes over the corpus original and two over its task port:
+    // the task point exercises the TaskDataflow scenario end to end
+    // through the wire format, and the baseline point on the task port
+    // exercises error rows (task intrinsics are rejected in pthread
+    // mode) — errors must round-trip byte-identically too.
+    let spec = SweepSpec {
+        programs: vec![
+            SpecProgram::corpus("matrix_vector", 4),
+            SpecProgram::corpus("task_matrix_vector", 4),
+        ],
+        scenarios: vec![
+            Scenario::new(Mode::PthreadBaseline),
+            Scenario::new(Mode::RcceHsm),
+            Scenario::new(Mode::TaskDataflow),
+        ],
+        workers: 2,
+        ..SweepSpec::default()
+    };
+    let local = local_rows(&spec);
+    let remote = server_rows(&spec);
+    assert_eq!(local.len(), remote.len(), "point counts differ");
+    for (l, r) in local.iter().zip(&remote) {
+        assert_eq!(l, r, "transport changed a row");
+    }
+    // Sanity: the sweep exercised both healthy and error rows.
+    assert!(
+        local
+            .iter()
+            .any(|row| row.contains("\"task\":\"task\"") && row.contains("\"exit_code\"")),
+        "no successful task-dataflow row: {local:#?}"
+    );
+    assert!(
+        local.iter().any(|row| row.contains("\"error\"")),
+        "expected at least one error row (task port under pthread mode): {local:#?}"
+    );
+}

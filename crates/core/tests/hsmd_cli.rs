@@ -1,7 +1,7 @@
 //! End-to-end test of the `hsmd` binary: spawn it on an ephemeral port,
 //! drive it with the client API, and shut it down cleanly.
 
-use hsm_core::api::{Client, Mode, SpecProgram, SweepSpec};
+use hsm_core::api::{Client, Mode, Scenario, SpecProgram, SweepSpec};
 use std::io::{BufRead, BufReader};
 use std::process::{Command, Stdio};
 
@@ -30,7 +30,10 @@ fn hsmd_binary_serves_a_sweep_and_exits_on_shutdown() {
     client.ping().expect("pong");
     let spec = SweepSpec {
         programs: vec![SpecProgram::inline("ret", 2, "int main() { return 42; }")],
-        modes: vec![Mode::PthreadBaseline, Mode::RcceHsm],
+        scenarios: vec![
+            Scenario::new(Mode::PthreadBaseline),
+            Scenario::new(Mode::RcceHsm),
+        ],
         workers: 1,
         ..SweepSpec::default()
     };

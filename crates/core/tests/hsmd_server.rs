@@ -3,7 +3,7 @@
 //! of overlapping corpora, malformed-line handling, per-job deadlines,
 //! and graceful shutdown.
 
-use hsm_core::api::{Client, Mode, Server, ServerOptions, SpecProgram, SweepSpec};
+use hsm_core::api::{Client, Mode, Scenario, Server, ServerOptions, SpecProgram, SweepSpec};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -35,7 +35,10 @@ fn start_server(
 fn spec_for(programs: Vec<SpecProgram>) -> SweepSpec {
     SweepSpec {
         programs,
-        modes: vec![Mode::PthreadBaseline, Mode::RcceHsm],
+        scenarios: vec![
+            Scenario::new(Mode::PthreadBaseline),
+            Scenario::new(Mode::RcceHsm),
+        ],
         workers: 2,
         ..SweepSpec::default()
     }

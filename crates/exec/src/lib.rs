@@ -55,6 +55,7 @@ pub mod oracle;
 pub mod printf;
 mod pthread;
 mod rcce;
+mod taskflow;
 pub mod trace;
 
 pub use coherence::{CoherenceModel, Coherent, ExecModel, NonCoherentWriteBack, SeqCstReference};
@@ -63,6 +64,7 @@ pub use machine::{DataSpaces, ExecError, OutputLine, RunResult};
 pub use oracle::{Oracle, OracleMode, OracleReport, Violation, ViolationClass};
 pub use pthread::{run_pthread, run_pthread_model, run_pthread_model_traced, run_pthread_traced};
 pub use rcce::{run_rcce, run_rcce_model, run_rcce_model_traced, run_rcce_traced};
+pub use taskflow::{run_task, run_task_model, run_task_model_traced, run_task_traced};
 pub use trace::{NullSink, RingTrace, SyncEvent, TraceEvent, TraceSink};
 
 /// Fixed syscall overheads in core cycles (single place to tune).
@@ -81,6 +83,14 @@ pub mod syscall_cost {
     pub const JOIN: u64 = 600;
     /// Mutex fast path.
     pub const MUTEX: u64 = 120;
+    /// `task_spawn` descriptor construction + dependence lookup (a
+    /// user-level operation, far cheaper than a kernel thread spawn).
+    pub const TASK_SPAWN: u64 = 900;
+    /// Per-task dispatch bookkeeping on the worker side, on top of the
+    /// input-region DMA cost.
+    pub const TASK_DISPATCH: u64 = 300;
+    /// `task_wait_all` completion check and return.
+    pub const TASK_WAIT: u64 = 400;
 }
 
 #[cfg(test)]
@@ -797,5 +807,159 @@ int RCCE_APP(int *argc, char **argv) {
         let p = compile_src(src);
         let r = run_rcce_model(&p, 2, &cfg(), ExecModel::NonCoherentWriteBack).expect("run");
         assert_eq!(r.exit_code, 7, "core 0's exit");
+    }
+
+    // ------------------------------------------------------ task dataflow --
+
+    const TASK_SUM: &str = r#"
+int sum[4];
+void tf(int id) {
+    int i;
+    for (i = 0; i < 100; i++) sum[id] += 1;
+}
+int main() {
+    int i;
+    for (i = 0; i < 4; i++) task_spawn(tf, i, 0, 0, 0, 0, &sum[i], 4);
+    task_wait_all();
+    return sum[0] + sum[1] + sum[2] + sum[3];
+}
+"#;
+
+    const TASK_CHAIN: &str = r#"
+int a[8];
+int b[8];
+void produce(int n) {
+    int i;
+    for (i = 0; i < 8; i++) a[i] = i + n;
+}
+void transform(int unused) {
+    int i;
+    for (i = 0; i < 8; i++) b[i] = a[i] * 2;
+}
+int main() {
+    int s;
+    int i;
+    task_spawn(produce, 1, 0, 0, 0, 0, &a[0], 32);
+    task_spawn(transform, 0, &a[0], 32, 0, 0, &b[0], 32);
+    task_wait_all();
+    s = 0;
+    for (i = 0; i < 8; i++) s += b[i];
+    return s;
+}
+"#;
+
+    #[test]
+    fn independent_tasks_run_and_publish_their_outputs() {
+        let p = compile_src(TASK_SUM);
+        let r = run_task(&p, 4, &cfg()).expect("task run");
+        assert_eq!(r.exit_code, 400);
+        // The four tasks really spread across cores: more than one core
+        // accumulated busy cycles.
+        let active = r.per_unit_cycles.iter().filter(|&&c| c > 0).count();
+        assert!(
+            active > 1,
+            "expected parallel execution: {:?}",
+            r.per_unit_cycles
+        );
+    }
+
+    #[test]
+    fn task_dataflow_is_deterministic() {
+        let p = compile_src(TASK_SUM);
+        let a = run_task(&p, 4, &cfg()).expect("run a");
+        let b = run_task(&p, 4, &cfg()).expect("run b");
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn raw_dependences_order_producer_before_consumer() {
+        let p = compile_src(TASK_CHAIN);
+        for model in ExecModel::ALL {
+            let r = run_task_model(&p, 4, &cfg(), model).expect("chain run");
+            // sum(2 * (i + 1) for i in 0..8) = 72 — only right when the
+            // transform task observed the producer's published output.
+            assert_eq!(r.exit_code, 72, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn task_programs_survive_non_coherent_caches() {
+        let p = compile_src(TASK_SUM);
+        let truth = run_task(&p, 4, &cfg()).expect("coherent");
+        let wb = run_task_model(&p, 4, &cfg(), ExecModel::NonCoherentWriteBack).expect("wb");
+        assert_eq!(
+            truth.exit_code, wb.exit_code,
+            "declared outputs are flushed and DMAed"
+        );
+    }
+
+    #[test]
+    fn undeclared_sharing_is_lost_like_an_unflushed_pthread_program() {
+        // The task writes a global it never declares as an output: the
+        // runtime has no reason to move it off the worker's core, so main
+        // keeps seeing the load-image value.
+        let src = r#"
+int flag;
+void tf(int unused) { flag = 1; }
+int main() {
+    task_spawn(tf, 0, 0, 0, 0, 0, 0, 0);
+    task_wait_all();
+    return flag;
+}
+"#;
+        let p = compile_src(src);
+        let r = run_task(&p, 4, &cfg()).expect("run");
+        assert_eq!(
+            r.exit_code, 0,
+            "undeclared output never reaches main's space"
+        );
+    }
+
+    #[test]
+    fn task_self_and_workers_report() {
+        let src = r#"
+int ids[3];
+void tf(int slot) { ids[slot] = task_self(); }
+int main() {
+    task_spawn(tf, 0, 0, 0, 0, 0, &ids[0], 4);
+    task_spawn(tf, 1, 0, 0, 0, 0, &ids[1], 4);
+    task_wait_all();
+    return ids[0] * 10 + ids[1] + task_workers() * 100 + task_self() * 1000;
+}
+"#;
+        let p = compile_src(src);
+        let r = run_task(&p, 4, &cfg()).expect("run");
+        // Task ids are 1 and 2 in spawn order; main is task 0; 4 workers:
+        // 1*10 + 2 + 4*100.
+        assert_eq!(r.exit_code, 412);
+    }
+
+    #[test]
+    fn foreign_intrinsics_are_rejected_in_task_mode() {
+        let src = r#"
+pthread_mutex_t lock;
+int main() {
+    pthread_mutex_lock(&lock);
+    return 0;
+}
+"#;
+        let p = compile_src(src);
+        let err = run_task(&p, 2, &cfg()).expect_err("mutex in task mode");
+        assert!(err.message.contains("task"), "{}", err.message);
+    }
+
+    #[test]
+    fn wait_all_inside_a_task_is_an_error() {
+        let src = r#"
+void tf(int unused) { task_wait_all(); }
+int main() {
+    task_spawn(tf, 0, 0, 0, 0, 0, 0, 0);
+    task_wait_all();
+    return 0;
+}
+"#;
+        let p = compile_src(src);
+        let err = run_task(&p, 2, &cfg()).expect_err("nested wait_all");
+        assert!(err.message.contains("task_wait_all"), "{}", err.message);
     }
 }

@@ -85,6 +85,16 @@ pub enum Intrinsic {
     RcceSend,
     /// `RCCE_recv(buf, size, ue)` — blocking MPB receive.
     RcceRecv,
+    /// `task_spawn(fn, arg, in1, in1_bytes, in2, in2_bytes, out, out_bytes)`
+    /// — spawn a dataflow task running `fn(arg)` with up to two declared
+    /// input regions and one output region. Returns the task id (>= 1).
+    TaskSpawn,
+    /// `task_wait_all()` — block until every spawned task has completed.
+    TaskWaitAll,
+    /// `task_self()` — id of the calling task (0 in `main`).
+    TaskSelf,
+    /// `task_workers()` — number of cores available to run tasks.
+    TaskWorkers,
 }
 
 impl Intrinsic {
@@ -127,6 +137,10 @@ impl Intrinsic {
             "RCCE_wait_until" => RcceWaitUntil,
             "RCCE_send" => RcceSend,
             "RCCE_recv" => RcceRecv,
+            "task_spawn" => TaskSpawn,
+            "task_wait_all" => TaskWaitAll,
+            "task_self" => TaskSelf,
+            "task_workers" => TaskWorkers,
             _ => return None,
         })
     }
@@ -172,6 +186,10 @@ impl Intrinsic {
             RcceWaitUntil => "RCCE_wait_until",
             RcceSend => "RCCE_send",
             RcceRecv => "RCCE_recv",
+            TaskSpawn => "task_spawn",
+            TaskWaitAll => "task_wait_all",
+            TaskSelf => "task_self",
+            TaskWorkers => "task_workers",
         }
     }
 

@@ -12,7 +12,7 @@
 //! is the translation core count (default 3), and an optional `FUNC`
 //! restricts the dump to one function by name.
 
-use hsm_core::{OptLevel, Pipeline};
+use hsm_core::{OptLevel, Pipeline, Scenario};
 
 fn main() {
     let name = std::env::args()
@@ -30,7 +30,7 @@ fn main() {
         .expect("compile at O0");
     let o2 = Pipeline::new(src)
         .cores(cores)
-        .opt_level(OptLevel::O2)
+        .scenario(Scenario::default().opt_level(OptLevel::O2))
         .program()
         .expect("compile at O2");
     for (f0, f2) in o0.funcs.iter().zip(o2.funcs.iter()) {

@@ -94,6 +94,44 @@ def check_opt_axis(fresh, fresh_path):
     )
 
 
+def check_tasks_axis(fresh, fresh_path):
+    """Validates the schema-v5 `tasks` section of the full fresh manifest.
+
+    Every barrier-vs-task pair the manifest ran must agree: the task
+    port's `outputs_match` verdict (same output, same exit code as the
+    barrier original) is the correctness gate for the task-dataflow
+    runtime, checked over the whole corpus before restricting to the
+    golden program set.
+    """
+    tasks = fresh.get("tasks")
+    if not isinstance(tasks, list) or not tasks:
+        sys.exit(f"{fresh_path}: missing or empty `tasks` section (schema v5)")
+
+    for entry in tasks:
+        name = entry.get("name", "<unnamed>")
+        if not isinstance(entry.get("task_program"), str):
+            sys.exit(f"{fresh_path}: tasks entry {name!r} lacks `task_program`")
+        if entry.get("outputs_match") is not True:
+            sys.exit(
+                f"{fresh_path}: tasks entry {name!r} diverged: the "
+                "task-dataflow port no longer matches the barrier original"
+            )
+        for side in ("barrier", "task"):
+            block = entry.get(side)
+            if not isinstance(block, dict):
+                sys.exit(f"{fresh_path}: tasks entry {name!r} lacks {side!r} metrics")
+            for key in ("timed_cycles", "total_cycles", "instructions", "exit_code"):
+                if not isinstance(block.get(key), int):
+                    sys.exit(
+                        f"{fresh_path}: tasks entry {name!r} {side} block "
+                        f"lacks integer {key!r}"
+                    )
+    print(
+        f"{fresh_path}: task axis ok — {len(tasks)} barrier/task pair(s), "
+        "all outputs match"
+    )
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(f"usage: {sys.argv[0]} FRESH_MANIFEST GOLDEN_MANIFEST")
@@ -120,11 +158,12 @@ def main():
         sys.exit(f"{fresh_path}: sweep cache recorded no misses: {cache}")
 
     check_opt_axis(fresh, fresh_path)
+    check_tasks_axis(fresh, fresh_path)
 
-    if "opt" not in golden:
+    if "opt" not in golden or "tasks" not in golden:
         sys.exit(
-            f"{golden_path} has no `opt` section: it predates manifest "
-            f"schema v4 (it reports schema_version "
+            f"{golden_path} lacks the `opt` or `tasks` section: it predates "
+            f"manifest schema v5 (it reports schema_version "
             f"{golden.get('schema_version')!r}). Regenerate the golden with\n"
             "  UPDATE_GOLDENS=1 cargo test -p hsm-bench --test manifest_golden"
         )
@@ -137,6 +176,7 @@ def main():
         "schema_version": fresh["schema_version"],
         "config": fresh["config"],
         "opt": [o for o in fresh["opt"] if o["name"] in golden_names],
+        "tasks": [t for t in fresh["tasks"] if t["name"] in golden_names],
         "programs": [p for p in fresh["programs"] if p["name"] in golden_names],
     }
     restricted = strip_host_keys(restricted)
@@ -145,6 +185,7 @@ def main():
             "schema_version": golden["schema_version"],
             "config": golden["config"],
             "opt": golden["opt"],
+            "tasks": golden["tasks"],
             "programs": golden["programs"],
         }
     )

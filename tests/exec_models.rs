@@ -15,7 +15,7 @@
 //!   whose threads share memory without synchronization — visibly breaks.
 
 use hsm_core::experiment::{outputs_equivalent, sweep, Mode, SweepMatrix, SweepTask};
-use hsm_core::{ExecModel, Pipeline};
+use hsm_core::{ExecModel, Pipeline, Scenario};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -60,7 +60,7 @@ fn coherent_is_deterministic_and_seq_cst_agrees() {
 
         let seq = session
             .clone()
-            .exec_model(ExecModel::SeqCstReference)
+            .scenario(Scenario::default().exec_model(ExecModel::SeqCstReference))
             .run_baseline()
             .unwrap_or_else(|e| panic!("{name} seq_cst_ref: {e}"));
         assert_eq!(a.exit_code, seq.exit_code, "{name}: seq_cst_ref exit");
@@ -84,7 +84,7 @@ fn translated_corpus_survives_non_coherent_caches() {
             .run()
             .unwrap_or_else(|e| panic!("{name} hsm coherent: {e}"));
         let wb = session
-            .exec_model(ExecModel::NonCoherentWriteBack)
+            .scenario(Scenario::default().exec_model(ExecModel::NonCoherentWriteBack))
             .run()
             .unwrap_or_else(|e| panic!("{name} hsm non-coherent: {e}"));
         assert_eq!(coherent.exit_code, wb.exit_code, "{name}: exit differs");
@@ -127,7 +127,7 @@ fn adversarial_corpus_breaks_without_coherence() {
             .run_baseline()
             .unwrap_or_else(|e| panic!("{name} coherent: {e}"));
         let wb = session
-            .exec_model(ExecModel::NonCoherentWriteBack)
+            .scenario(Scenario::default().exec_model(ExecModel::NonCoherentWriteBack))
             .run_baseline()
             .unwrap_or_else(|e| panic!("{name} non-coherent: {e}"));
         assert_eq!(coherent.exit_code, good_exit, "{name}: coherent exit");
@@ -161,17 +161,17 @@ fn multi_model_sweep_shares_artifacts() {
         .point(
             "example_4_1/coherent",
             Arc::clone(&src),
-            SweepTask::Run(Mode::RcceHsm),
+            SweepTask::Run(Scenario::new(Mode::RcceHsm).exec_model(ExecModel::Coherent)),
             3,
         )
-        .model(ExecModel::Coherent)
         .point(
             "example_4_1/non_coherent_wb",
             src,
-            SweepTask::Run(Mode::RcceHsm),
+            SweepTask::Run(
+                Scenario::new(Mode::RcceHsm).exec_model(ExecModel::NonCoherentWriteBack),
+            ),
             3,
-        )
-        .model(ExecModel::NonCoherentWriteBack);
+        );
     let report = sweep(&matrix);
     for outcome in &report.outcomes {
         assert!(

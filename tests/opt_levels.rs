@@ -9,11 +9,18 @@
 //! contract. This suite is the optimizer's safety net; `exec_models.rs`
 //! is its template on the model axis.
 
-use hsm_core::{ExecModel, OptLevel, Pipeline};
+use hsm_core::{ExecModel, OptLevel, Pipeline, Scenario};
 use hsm_exec::{SyncEvent, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+/// The default-mode scenario at the given memory model and level (the
+/// mode field is irrelevant to the direct `run_*` entry points these
+/// tests drive).
+fn at(model: ExecModel, level: OptLevel) -> Scenario {
+    Scenario::default().exec_model(model).opt_level(level)
+}
 
 fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
@@ -58,15 +65,16 @@ fn observed(r: &hsm_exec::RunResult) -> (i64, Vec<String>) {
 fn translated_corpus_is_level_invariant_under_every_model() {
     for (name, cores) in CLEAN {
         for model in MODELS {
-            let session = Pipeline::new(read(name)).cores(cores).exec_model(model);
+            let session = Pipeline::new(read(name)).cores(cores);
             let o0 = session
                 .clone()
+                .scenario(at(model, OptLevel::O0))
                 .run()
                 .unwrap_or_else(|e| panic!("{name} {model:?} O0: {e}"));
             for level in [OptLevel::O1, OptLevel::O2] {
                 let opt = session
                     .clone()
-                    .opt_level(level)
+                    .scenario(at(model, level))
                     .run()
                     .unwrap_or_else(|e| panic!("{name} {model:?} {level}: {e}"));
                 assert_eq!(
@@ -87,15 +95,16 @@ fn translated_corpus_is_level_invariant_under_every_model() {
 fn baseline_corpus_is_level_invariant_under_every_model() {
     for (name, cores) in CLEAN {
         for model in MODELS {
-            let session = Pipeline::new(read(name)).cores(cores).exec_model(model);
+            let session = Pipeline::new(read(name)).cores(cores);
             let o0 = session
                 .clone()
+                .scenario(at(model, OptLevel::O0))
                 .run_baseline()
                 .unwrap_or_else(|e| panic!("{name} {model:?} O0: {e}"));
             for level in [OptLevel::O1, OptLevel::O2] {
                 let opt = session
                     .clone()
-                    .opt_level(level)
+                    .scenario(at(model, level))
                     .run_baseline()
                     .unwrap_or_else(|e| panic!("{name} {model:?} {level}: {e}"));
                 assert_eq!(
@@ -116,15 +125,16 @@ fn baseline_corpus_is_level_invariant_under_every_model() {
 fn adversarial_corpus_is_level_invariant_under_every_model() {
     for (name, cores) in ADVERSARIAL {
         for model in MODELS {
-            let session = Pipeline::new(read(name)).cores(cores).exec_model(model);
+            let session = Pipeline::new(read(name)).cores(cores);
             let o0 = session
                 .clone()
+                .scenario(at(model, OptLevel::O0))
                 .run_baseline()
                 .unwrap_or_else(|e| panic!("{name} {model:?} O0: {e}"));
             for level in [OptLevel::O1, OptLevel::O2] {
                 let opt = session
                     .clone()
-                    .opt_level(level)
+                    .scenario(at(model, level))
                     .run_baseline()
                     .unwrap_or_else(|e| panic!("{name} {model:?} {level}: {e}"));
                 assert_eq!(
@@ -153,7 +163,7 @@ fn oracle_verdicts_are_level_invariant() {
         for level in [OptLevel::O1, OptLevel::O2] {
             let opt = session
                 .clone()
-                .opt_level(level)
+                .scenario(at(ExecModel::Coherent, level))
                 .check_sharing()
                 .unwrap_or_else(|e| panic!("{name} {level} oracle: {e}"));
             assert_eq!(
@@ -177,7 +187,7 @@ fn oracle_verdicts_are_level_invariant() {
         for level in [OptLevel::O1, OptLevel::O2] {
             let opt = session
                 .clone()
-                .opt_level(level)
+                .scenario(at(ExecModel::Coherent, level))
                 .check_sharing_rcce()
                 .unwrap_or_else(|e| panic!("{name} {level} rcce oracle: {e}"));
             assert_eq!(
@@ -236,7 +246,7 @@ fn sync_event_streams_are_level_invariant() {
     for (name, cores) in CLEAN {
         let session = Pipeline::new(read(name)).cores(cores);
         let streams = |level: OptLevel| {
-            let s = session.clone().opt_level(level);
+            let s = session.clone().scenario(at(ExecModel::Coherent, level));
             let mut pthread_log = EventLog::default();
             let baseline = s
                 .baseline_program()
@@ -290,12 +300,15 @@ fn multi_level_sweep_shares_artifacts_up_to_translation() {
         .point(
             "example_4_1/O0",
             Arc::clone(&src),
-            SweepTask::Run(Mode::RcceHsm),
+            SweepTask::Run(Scenario::new(Mode::RcceHsm).opt_level(OptLevel::O0)),
             3,
         )
-        .opt(OptLevel::O0)
-        .point("example_4_1/O2", src, SweepTask::Run(Mode::RcceHsm), 3)
-        .opt(OptLevel::O2);
+        .point(
+            "example_4_1/O2",
+            src,
+            SweepTask::Run(Scenario::new(Mode::RcceHsm).opt_level(OptLevel::O2)),
+            3,
+        );
     let report = sweep(&matrix);
     for outcome in &report.outcomes {
         assert!(
@@ -321,9 +334,9 @@ fn random_points_agree_across_levels() {
         let (name, src) = &sources[rng.gen_range_usize(0, sources.len())];
         let cores = rng.gen_range_usize(2, 17);
         let model = MODELS[rng.gen_range_usize(0, MODELS.len())];
-        let session = Pipeline::new(src.as_str()).cores(cores).exec_model(model);
-        let o0 = session.clone();
-        let o2 = session.opt_level(OptLevel::O2);
+        let session = Pipeline::new(src.as_str()).cores(cores);
+        let o0 = session.clone().scenario(at(model, OptLevel::O0));
+        let o2 = session.scenario(at(model, OptLevel::O2));
         let base0 = o0
             .run_baseline()
             .unwrap_or_else(|e| panic!("{name}@{cores} {model:?} O0 baseline: {e}"));
