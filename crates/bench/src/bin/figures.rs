@@ -20,6 +20,7 @@
 //! figures --json --opt-level O2   # … with entries executed at O2
 //! figures --json --cache-dir DIR  # … over a persistent artifact store
 //! figures --host-timing    # write bench-out/BENCH_interp.json (steps/sec)
+//! figures --predict        # predicted vs simulated surfaces (BENCH_predict.json)
 //! figures --check-sharing  # run the corpus under the soundness oracle
 //! figures --client ADDR    # sweep the corpus on a running hsmd server
 //! figures --client ADDR --shutdown  # … then stop the server
@@ -80,6 +81,9 @@ const MANIFEST_FILE: &str = "bench-out/BENCH_pipeline.json";
 /// Output file of `--host-timing`.
 const INTERP_FILE: &str = "bench-out/BENCH_interp.json";
 
+/// Output file of `--predict`.
+const PREDICT_FILE: &str = "bench-out/BENCH_predict.json";
+
 /// The error document `--json` writes when the sweep fails: the failing
 /// stage name (from `PipelineError::stage`) plus the rendered error chain.
 fn error_manifest(e: &hsm_core::PipelineError) -> Json {
@@ -103,6 +107,7 @@ fn main() -> ExitCode {
     let emit_json = args.iter().any(|a| a == "--json");
     let check_sharing = args.iter().any(|a| a == "--check-sharing");
     let host_timing = args.iter().any(|a| a == "--host-timing");
+    let predict = args.iter().any(|a| a == "--predict");
     let mut timing_runs = 0usize;
     if let Some(i) = args.iter().position(|a| a == "--timing-runs") {
         let value = args.get(i + 1).and_then(|v| v.parse().ok());
@@ -145,7 +150,11 @@ fn main() -> ExitCode {
     }
     let client_shutdown = args.iter().any(|a| a == "--shutdown");
     args.retain(|a| {
-        a != "--json" && a != "--check-sharing" && a != "--host-timing" && a != "--shutdown"
+        a != "--json"
+            && a != "--check-sharing"
+            && a != "--host-timing"
+            && a != "--predict"
+            && a != "--shutdown"
     });
 
     if let Some(addr) = client_addr {
@@ -167,7 +176,7 @@ fn main() -> ExitCode {
         };
     }
     let workers = spec.workers;
-    let all = args.is_empty() && !emit_json && !check_sharing && !host_timing;
+    let all = args.is_empty() && !emit_json && !check_sharing && !host_timing && !predict;
     let want = |name: &str| all || args.iter().any(|a| a == name);
     let mut failed = false;
 
@@ -209,6 +218,21 @@ fn main() -> ExitCode {
         };
         if write_artifact(MANIFEST_FILE, &manifest.render()).is_err() {
             failed = true;
+        }
+    }
+
+    if predict {
+        match hsm_bench::predict::predict_report() {
+            Ok(report) => {
+                println!("{}", hsm_bench::predict::render_predict_table(&report));
+                if write_artifact(PREDICT_FILE, &report.render()).is_err() {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("predict validation failed: {e}");
+                failed = true;
+            }
         }
     }
 
@@ -404,14 +428,20 @@ fn write_artifact_at(path: &str, content: &str) -> Result<(), String> {
 /// the reference bytes the `--client --rows` transport must reproduce.
 fn run_rows_local(spec: &hsm_core::spec::SweepSpec, path: &str) -> Result<(), String> {
     use hsm_core::api::SweepRow;
-    use hsm_core::experiment::sweep;
+    use hsm_core::experiment::{sweep_with, SweepOptions};
     let spec = with_default_programs(spec);
     let cache = spec.open_cache().map_err(|e| e.to_string())?;
     let matrix = spec
         .to_matrix(&scc_sim::SccConfig::table_6_1())
         .map_err(|e| e.to_string())?
         .cache(cache);
-    let report = sweep(&matrix);
+    let report = sweep_with(
+        &matrix,
+        SweepOptions {
+            predict_first: spec.predict_first,
+            ..SweepOptions::default()
+        },
+    );
     let rows: Vec<SweepRow> = report.outcomes.iter().map(SweepRow::from_outcome).collect();
     write_rows(path, &rows)?;
     let failed = rows.iter().filter(|r| r.error.is_some()).count();

@@ -13,6 +13,7 @@ pub mod interp;
 /// spec/protocol layer; re-exported so `hsm_bench::json` keeps working).
 pub use hsm_core::json;
 pub mod manifest;
+pub mod predict;
 pub mod sharing;
 
 use hsm_core::experiment::{self, BenchResult, Mode, SweepMatrix};

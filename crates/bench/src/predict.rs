@@ -1,0 +1,262 @@
+//! The `--predict` validation harness: predicted vs ground-truth sweep
+//! surfaces on held-out corpus programs.
+//!
+//! The cycle predictor (`hsm-predict`) is fitted from **one** profiled
+//! seed run per (program, scenario) pair and asked for the rest of the
+//! core-count axis. This module measures how honest that shortcut is on
+//! programs the model was *not* tuned against: `dot_product` in its
+//! barrier (RCCE HSM) and task-dataflow forms, swept over 2–32 cores
+//! under all three memory models. Every point is also fully simulated,
+//! so each row carries the predicted and actual makespans plus their
+//! absolute and relative errors.
+//!
+//! Relative errors are encoded as integer **basis points** (1 bp =
+//! 0.01%) so the JSON stays float-free and byte-deterministic; the gate
+//! in `scripts/check_predict.py` fails the build when the mean error of
+//! the extrapolated points exceeds [`MEAN_ERROR_LIMIT_BP`]. The seed
+//! point is reproduced exactly by construction, so it is excluded from
+//! the means (it would only flatter them).
+
+use crate::json::Json;
+use crate::manifest::{corpus_source, MANIFEST_SCHEMA_VERSION};
+use hsm_core::experiment::{
+    absolute_error, fit_options_for, relative_error, CyclePredictor, Mode, Scenario,
+};
+use hsm_core::{ArtifactCache, Pipeline, PipelineError};
+use hsm_exec::ExecModel;
+use scc_sim::SccConfig;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The held-out validation pair: the same dot product decomposed 32
+/// ways, once as a barrier program and once as a task-dataflow program.
+/// Neither is in [`crate::manifest::MANIFEST_PROGRAMS`], so the
+/// predictor is graded on programs that played no part in its tuning.
+pub const PREDICT_PROGRAMS: [(&str, Mode); 2] = [
+    ("dot_product", Mode::RcceHsm),
+    ("task_dot_product", Mode::TaskDataflow),
+];
+
+/// The swept core-count axis (the thesis' 2–32 range).
+pub const PREDICT_CORES: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// The core count the one profiled seed run executes at.
+pub const SEED_CORES: usize = 2;
+
+/// The CI gate: mean relative error of the extrapolated points, in
+/// basis points (1500 bp = 15%).
+pub const MEAN_ERROR_LIMIT_BP: u64 = 1500;
+
+/// A relative error as integer basis points (rounded).
+fn basis_points(rel: f64) -> u64 {
+    (rel * 10_000.0).round() as u64
+}
+
+/// One (program, scenario) surface: fits the predictor from the seed
+/// profile, simulates every core count for ground truth, and renders
+/// the per-point comparison rows.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn predict_entry(
+    name: &str,
+    mode: Mode,
+    exec_model: ExecModel,
+    config: &SccConfig,
+    cache: &Arc<ArtifactCache>,
+) -> Result<Json, PipelineError> {
+    let scenario = Scenario::new(mode).exec_model(exec_model);
+    let session = Pipeline::new(corpus_source(name))
+        .config(config.clone())
+        .cache(Arc::clone(cache))
+        .scenario(scenario);
+    let profile = session.clone().cores(SEED_CORES).profile()?;
+    let predictor = CyclePredictor::fit(&profile, SEED_CORES, config, fit_options_for(scenario));
+    let mut points = Vec::with_capacity(PREDICT_CORES.len());
+    let mut error_sum = 0u64;
+    let mut extrapolated = 0u64;
+    for cores in PREDICT_CORES {
+        let actual = session.clone().cores(cores).run_scenario()?.total_cycles;
+        let predicted = predictor.predict(cores);
+        let rel_bp = basis_points(relative_error(predicted, actual));
+        if cores != SEED_CORES {
+            error_sum += rel_bp;
+            extrapolated += 1;
+        }
+        points.push(Json::obj(vec![
+            ("cores", Json::UInt(cores as u64)),
+            ("seed", Json::Bool(cores == SEED_CORES)),
+            ("predicted_cycles", Json::UInt(predicted)),
+            ("actual_cycles", Json::UInt(actual)),
+            ("abs_error", Json::UInt(absolute_error(predicted, actual))),
+            ("rel_error_bp", Json::UInt(rel_bp)),
+        ]));
+    }
+    Ok(Json::obj(vec![
+        ("name", Json::str(name)),
+        ("mode", Json::str(mode.label())),
+        ("exec_model", Json::str(exec_model.label())),
+        ("seed_cores", Json::UInt(SEED_CORES as u64)),
+        (
+            "mean_rel_error_bp",
+            Json::UInt(error_sum / extrapolated.max(1)),
+        ),
+        ("points", Json::Arr(points)),
+    ]))
+}
+
+/// The manifest's `predict` section: both held-out programs under the
+/// manifest's exec model, sharing the manifest sweep's artifact cache.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn predict_json(
+    exec_model: ExecModel,
+    config: &SccConfig,
+    cache: &Arc<ArtifactCache>,
+) -> Result<Json, PipelineError> {
+    let mut entries = Vec::with_capacity(PREDICT_PROGRAMS.len());
+    for (name, mode) in PREDICT_PROGRAMS {
+        entries.push(predict_entry(name, mode, exec_model, config, cache)?);
+    }
+    Ok(Json::obj(vec![
+        ("seed_cores", Json::UInt(SEED_CORES as u64)),
+        ("mean_rel_error_bp", Json::UInt(mean_error_bp(&entries))),
+        ("surfaces", Json::Arr(entries)),
+    ]))
+}
+
+/// Mean of the entries' per-surface mean errors (they cover equally
+/// many extrapolated points each).
+fn mean_error_bp(entries: &[Json]) -> u64 {
+    let sum: u64 = entries
+        .iter()
+        .filter_map(|e| match e.get("mean_rel_error_bp") {
+            Some(&Json::UInt(v)) => Some(v),
+            _ => None,
+        })
+        .sum();
+    sum / (entries.len().max(1) as u64)
+}
+
+/// The full `--predict` report: both held-out programs × all three
+/// memory models, as a standalone versioned document
+/// (`bench-out/BENCH_predict.json`, gated by `scripts/check_predict.py`
+/// against the committed `BENCH_predict.json` baseline).
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn predict_report() -> Result<Json, PipelineError> {
+    let config = SccConfig::table_6_1();
+    let cache = ArtifactCache::shared();
+    let mut entries = Vec::new();
+    for exec_model in ExecModel::ALL {
+        for (name, mode) in PREDICT_PROGRAMS {
+            entries.push(predict_entry(name, mode, exec_model, &config, &cache)?);
+        }
+    }
+    Ok(Json::obj(vec![
+        ("schema_version", Json::UInt(MANIFEST_SCHEMA_VERSION)),
+        ("seed_cores", Json::UInt(SEED_CORES as u64)),
+        ("error_limit_bp", Json::UInt(MEAN_ERROR_LIMIT_BP)),
+        ("mean_rel_error_bp", Json::UInt(mean_error_bp(&entries))),
+        ("surfaces", Json::Arr(entries)),
+    ]))
+}
+
+/// Renders the `--predict` report as the stdout table.
+pub fn render_predict_table(report: &Json) -> String {
+    let mut out = String::from(
+        "Predicted vs simulated makespan — held-out dot_product surfaces\n\
+         (fit from one profiled seed run; errors in % of simulated cycles)\n\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<18}{:<8}{:<16}{:>6}{:>14}{:>14}{:>9}",
+        "Program", "Mode", "Model", "Cores", "Predicted", "Simulated", "Err"
+    );
+    out.push_str(&"-".repeat(85));
+    out.push('\n');
+    let Some(Json::Arr(surfaces)) = report.get("surfaces") else {
+        return out;
+    };
+    let text = |e: &Json, k: &str| match e.get(k) {
+        Some(Json::Str(s)) => s.clone(),
+        _ => "?".to_string(),
+    };
+    let uint = |e: &Json, k: &str| match e.get(k) {
+        Some(&Json::UInt(v)) => v,
+        _ => 0,
+    };
+    for surface in surfaces {
+        let Some(Json::Arr(points)) = surface.get("points") else {
+            continue;
+        };
+        for point in points {
+            let seed = point.get("seed") == Some(&Json::Bool(true));
+            let _ = writeln!(
+                out,
+                "{:<18}{:<8}{:<16}{:>6}{:>14}{:>14}{:>8.2}%{}",
+                text(surface, "name"),
+                text(surface, "mode"),
+                text(surface, "exec_model"),
+                uint(point, "cores"),
+                uint(point, "predicted_cycles"),
+                uint(point, "actual_cycles"),
+                uint(point, "rel_error_bp") as f64 / 100.0,
+                if seed { "  (seed)" } else { "" }
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nmean extrapolation error {:.2}% (gate: {:.0}%)",
+        uint(report, "mean_rel_error_bp") as f64 / 100.0,
+        MEAN_ERROR_LIMIT_BP as f64 / 100.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn held_out_surfaces_meet_the_error_gate() {
+        let report = predict_report().expect("report");
+        println!("{}", render_predict_table(&report));
+        let Some(&Json::UInt(mean)) = report.get("mean_rel_error_bp") else {
+            panic!("mean missing");
+        };
+        assert!(
+            mean <= MEAN_ERROR_LIMIT_BP,
+            "mean extrapolation error {mean} bp exceeds {MEAN_ERROR_LIMIT_BP} bp\n{}",
+            render_predict_table(&report)
+        );
+        // Every surface's seed point is reproduced exactly — the
+        // residual calibration guarantee, now on real programs.
+        let Some(Json::Arr(surfaces)) = report.get("surfaces") else {
+            panic!("surfaces missing");
+        };
+        assert_eq!(surfaces.len(), 6, "2 programs x 3 exec models");
+        for surface in surfaces {
+            let Some(Json::Arr(points)) = surface.get("points") else {
+                panic!("points missing");
+            };
+            assert_eq!(points.len(), PREDICT_CORES.len());
+            let seed = &points[0];
+            assert_eq!(seed.get("seed"), Some(&Json::Bool(true)));
+            assert_eq!(seed.get("rel_error_bp"), Some(&Json::UInt(0)));
+        }
+    }
+
+    #[test]
+    fn predict_report_is_deterministic() {
+        let a = predict_report().expect("first");
+        let b = predict_report().expect("second");
+        assert_eq!(a.render(), b.render());
+    }
+}

@@ -116,7 +116,9 @@ fn sharing_payload(outcome: SweepOutcome) -> Result<SharingCheck, PipelineError>
     let payload = outcome.result?;
     match payload {
         SweepPayload::Sharing(check) => Ok(*check),
-        SweepPayload::Run(..) => unreachable!("sharing points always run the oracle"),
+        SweepPayload::Run(..) | SweepPayload::Predicted(..) => {
+            unreachable!("sharing points always run the oracle")
+        }
     }
 }
 

@@ -125,6 +125,23 @@ pub enum ArtifactKey {
         /// Bytecode optimization level.
         opt: OptLevel,
     },
+    /// A [`Profile`](hsm_exec::Profile) of one simulated run. Unlike the
+    /// compile-side artifacts, a profile depends on *everything* that
+    /// selects the run — including the full [`Scenario`](crate::Scenario),
+    /// because the execution model changes what the run observes even
+    /// though it changes no compiled artifact.
+    Profile {
+        /// [`source_hash`] of the program.
+        src: u64,
+        /// Simulated core count.
+        cores: usize,
+        /// Placement policy.
+        policy: Policy,
+        /// Memory spec partitioned against.
+        spec: MemorySpec,
+        /// The full scenario (mode × exec model × opt level).
+        scenario: crate::Scenario,
+    },
 }
 
 impl ArtifactKey {
@@ -141,6 +158,7 @@ impl ArtifactKey {
             ArtifactKey::BaselineProgram { .. } | ArtifactKey::TranslatedProgram { .. } => {
                 "compile"
             }
+            ArtifactKey::Profile { .. } => "profile",
         }
     }
 
@@ -184,6 +202,21 @@ impl ArtifactKey {
                 spec.on_chip_capacity,
                 spec.off_chip_capacity,
                 opt.label()
+            ),
+            ArtifactKey::Profile {
+                src,
+                cores,
+                policy,
+                spec,
+                scenario,
+            } => format!(
+                "profile/{src:016x}-c{cores}-{}-m{}x{}-{}-{}-{}",
+                policy.label(),
+                spec.on_chip_capacity,
+                spec.off_chip_capacity,
+                scenario.mode.label(),
+                scenario.exec_model.label(),
+                scenario.opt_level.label()
             ),
         }
     }
@@ -229,6 +262,8 @@ pub struct StoreStats {
     /// Compiled bytecode programs (payload: the versioned `hsm_vm`
     /// serial format).
     pub compile: StoreCounters,
+    /// Run profiles (payload: the `hsmprofile` text codec).
+    pub profile: StoreCounters,
     /// Entries evicted to enforce the store's byte capacity.
     pub evictions: u64,
 }
@@ -241,6 +276,7 @@ impl StoreStats {
             + self.partition.loads
             + self.translate.loads
             + self.compile.loads
+            + self.profile.loads
     }
 
     /// Total on-disk misses across all artifact kinds.
@@ -250,6 +286,7 @@ impl StoreStats {
             + self.partition.misses
             + self.translate.misses
             + self.compile.misses
+            + self.profile.misses
     }
 
     /// Total entries written back across all artifact kinds.
@@ -259,6 +296,7 @@ impl StoreStats {
             + self.partition.writes
             + self.translate.writes
             + self.compile.writes
+            + self.profile.writes
     }
 
     /// Total corrupt entries encountered across all artifact kinds.
@@ -268,6 +306,7 @@ impl StoreStats {
             + self.partition.corrupt
             + self.translate.corrupt
             + self.compile.corrupt
+            + self.profile.corrupt
     }
 }
 
@@ -286,6 +325,8 @@ pub struct CacheStats {
     pub translate: StageCounters,
     /// Compiled bytecode programs.
     pub compile: StageCounters,
+    /// Run profiles.
+    pub profile: StageCounters,
     /// Persistent-store counters, when a store is attached.
     pub store: Option<StoreStats>,
 }
@@ -298,6 +339,7 @@ impl CacheStats {
             + self.partition.hits
             + self.translate.hits
             + self.compile.hits
+            + self.profile.hits
     }
 
     /// Total misses across all artifact kinds.
@@ -307,6 +349,7 @@ impl CacheStats {
             + self.partition.misses
             + self.translate.misses
             + self.compile.misses
+            + self.profile.misses
     }
 }
 
@@ -446,6 +489,7 @@ pub struct ArtifactCache {
     partition: Shelf<PartitionPlan>,
     translate: Shelf<Translation>,
     compile: Shelf<hsm_vm::Program>,
+    profile: Shelf<hsm_exec::Profile>,
     store: Option<DiskStore>,
 }
 
@@ -490,12 +534,14 @@ impl ArtifactCache {
             partition: self.partition.counters(),
             translate: self.translate.counters(),
             compile: self.compile.counters(),
+            profile: self.profile.counters(),
             store: self.store.as_ref().map(|s| StoreStats {
                 parse: self.parse.store_counters(),
                 analyze: self.analyze.store_counters(),
                 partition: self.partition.store_counters(),
                 translate: self.translate.store_counters(),
                 compile: self.compile.store_counters(),
+                profile: self.profile.store_counters(),
                 evictions: s.evictions(),
             }),
         }
@@ -641,6 +687,31 @@ impl ArtifactCache {
                 hsm_vm::parse_program(text).ok()
             },
             |program| hsm_vm::serialize_program(program).into_bytes(),
+            compute,
+        )
+    }
+
+    /// Memoized run profile for `key` (an [`ArtifactKey::Profile`]). The
+    /// store payload is the deterministic `hsmprofile` text codec, so a
+    /// warm sweep serves profiles from disk without re-simulating.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error without caching it.
+    pub fn profile_with<E>(
+        &self,
+        key: ArtifactKey,
+        compute: impl FnOnce() -> Result<hsm_exec::Profile, E>,
+    ) -> Result<Arc<hsm_exec::Profile>, E> {
+        debug_assert!(matches!(key, ArtifactKey::Profile { .. }));
+        self.profile.get_or_try_insert(
+            key,
+            self.store.as_ref(),
+            |payload| {
+                let text = std::str::from_utf8(payload).ok()?;
+                hsm_exec::Profile::from_text(text).ok()
+            },
+            |profile| profile.to_text().into_bytes(),
             compute,
         )
     }
@@ -797,6 +868,13 @@ mod tests {
                 spec,
                 opt: OptLevel::O2,
             },
+            ArtifactKey::Profile {
+                src: 0xabcd,
+                cores: 4,
+                policy: Policy::SizeAscending,
+                spec,
+                scenario: crate::Scenario::default(),
+            },
         ];
         let paths: Vec<String> = keys.iter().map(ArtifactKey::path).collect();
         for (i, p) in paths.iter().enumerate() {
@@ -813,6 +891,13 @@ mod tests {
             paths[3],
             format!(
                 "translate/000000000000abcd-c4-size_ascending-m{}x{}",
+                spec.on_chip_capacity, spec.off_chip_capacity
+            )
+        );
+        assert_eq!(
+            paths[6],
+            format!(
+                "profile/000000000000abcd-c4-size_ascending-m{}x{}-hsm-coherent-O0",
                 spec.on_chip_capacity, spec.off_chip_capacity
             )
         );

@@ -44,7 +44,7 @@ use scc_sim::SccConfig;
 use std::fmt;
 
 pub use cache::{ArtifactCache, ArtifactKey, CacheStats, StageCounters, StoreCounters, StoreStats};
-pub use hsm_exec::ExecModel;
+pub use hsm_exec::{ExecModel, Profile};
 pub use hsm_partition::{MemorySpec, Policy};
 pub use hsm_vm::OptLevel;
 pub use metrics::{StageMetric, STAGE_NAMES};
@@ -68,6 +68,9 @@ pub enum PipelineError {
     /// The run was cancelled before it completed (a sweep shutting down,
     /// or a job server enforcing a deadline).
     Cancelled,
+    /// The point was satisfied by an analytical prediction in a
+    /// predict-first sweep, so no simulated run exists to extract.
+    PredictedOnly,
 }
 
 impl PipelineError {
@@ -80,6 +83,7 @@ impl PipelineError {
             PipelineError::Compile(_) => "compile",
             PipelineError::Exec(_) => "exec",
             PipelineError::Cancelled => "cancelled",
+            PipelineError::PredictedOnly => "predicted",
         }
     }
 }
@@ -92,6 +96,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Compile(e) => write!(f, "compile stage: {e}"),
             PipelineError::Exec(e) => write!(f, "exec stage: {e}"),
             PipelineError::Cancelled => write!(f, "run cancelled"),
+            PipelineError::PredictedOnly => write!(f, "point predicted, not simulated"),
         }
     }
 }
@@ -103,7 +108,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Translate(e) => Some(e),
             PipelineError::Compile(e) => Some(e),
             PipelineError::Exec(e) => Some(e),
-            PipelineError::Cancelled => None,
+            PipelineError::Cancelled | PipelineError::PredictedOnly => None,
         }
     }
 }
@@ -149,8 +154,11 @@ pub mod experiment {
 
     pub use crate::scenario::{Mode, Scenario};
     pub use crate::sweep::{
-        sweep, sweep_with, SweepMatrix, SweepOptions, SweepOutcome, SweepPayload, SweepPoint,
-        SweepReport, SweepTask, TimingStats,
+        fit_options_for, sweep, sweep_with, Prediction, SweepMatrix, SweepOptions, SweepOutcome,
+        SweepPayload, SweepPoint, SweepReport, SweepTask, TimingStats,
+    };
+    pub use hsm_predict::{
+        absolute_error, relative_error, CacheModel, CyclePredictor, FitOptions, WorkScaling,
     };
 
     /// The session for one benchmark × mode point.

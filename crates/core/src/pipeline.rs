@@ -88,8 +88,8 @@ impl Pipeline {
     /// Configures every execution axis from one [`Scenario`]: mode,
     /// memory model, optimization level, and the placement policy the
     /// mode implies (a later [`Pipeline::policy`] call still overrides
-    /// the policy). This is the one way new code selects axes; the
-    /// per-axis setters are deprecated delegating wrappers.
+    /// the policy). This is the only way to select axes — the old
+    /// per-axis setters (`exec_model`, `opt_level`) are gone.
     #[must_use]
     pub fn scenario(mut self, scenario: Scenario) -> Self {
         self.mode = scenario.mode;
@@ -125,28 +125,6 @@ impl Pipeline {
     #[must_use]
     pub fn config(mut self, config: SccConfig) -> Self {
         self.config = config;
-        self
-    }
-
-    /// Selects the memory model the program executes under. Translation
-    /// artifacts are model-independent (the model only changes what runs
-    /// observe), so sessions differing only in model share every cached
-    /// artifact.
-    #[deprecated(since = "0.9.0", note = "configure axes through `Pipeline::scenario`")]
-    #[must_use]
-    pub fn exec_model(mut self, model: ExecModel) -> Self {
-        self.exec_model = model;
-        self
-    }
-
-    /// Selects the bytecode optimization level programs compile at
-    /// (default [`OptLevel::O0`]). The level is part of the compiled
-    /// artifact's cache key, so sessions at different levels coexist in
-    /// one cache while still sharing every stage up to translation.
-    #[deprecated(since = "0.9.0", note = "configure axes through `Pipeline::scenario`")]
-    #[must_use]
-    pub fn opt_level(mut self, level: OptLevel) -> Self {
-        self.opt_level = level;
         self
     }
 
@@ -215,6 +193,16 @@ impl Pipeline {
             cores: self.cores,
             policy: self.policy,
             spec: self.effective_spec(),
+        }
+    }
+
+    fn profile_key(&self) -> ArtifactKey {
+        ArtifactKey::Profile {
+            src: self.src_hash,
+            cores: self.cores,
+            policy: self.policy,
+            spec: self.effective_spec(),
+            scenario: self.configured_scenario(),
         }
     }
 
@@ -404,6 +392,67 @@ impl Pipeline {
                 ))
             }
         }
+    }
+
+    /// The mode-matched profiled execution, without cache interaction.
+    fn compute_profiled(&self) -> Result<(RunResult, hsm_exec::Profile), PipelineError> {
+        Ok(match self.mode {
+            Mode::PthreadBaseline => {
+                let program = self.baseline_program()?;
+                hsm_exec::run_pthread_model_profiled(&program, &self.config, self.exec_model)?
+            }
+            Mode::RcceOffChip | Mode::RcceHsm => {
+                let program = self.program()?;
+                hsm_exec::run_rcce_model_profiled(
+                    &program,
+                    self.cores,
+                    &self.config,
+                    self.exec_model,
+                )?
+            }
+            Mode::TaskDataflow => {
+                let program = self.baseline_program()?;
+                hsm_exec::run_task_model_profiled(
+                    &program,
+                    self.cores,
+                    &self.config,
+                    self.exec_model,
+                )?
+            }
+        })
+    }
+
+    /// [`Pipeline::run_scenario`] with profiling: always simulates, and
+    /// deposits the resulting [`Profile`](hsm_exec::Profile) in the
+    /// cache's `profile` shelf (keyed like any other stage artifact, so
+    /// a warm sweep can reuse it without re-running) as a side effect.
+    ///
+    /// Profiling never perturbs timing — the returned [`RunResult`] is
+    /// identical to what [`Pipeline::run_scenario`] reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any stage.
+    pub fn run_profiled(&self) -> Result<(RunResult, hsm_exec::Profile), PipelineError> {
+        let (result, profile) = self.compute_profiled()?;
+        let stored = profile.clone();
+        self.cache
+            .profile_with(self.profile_key(), move || Ok::<_, PipelineError>(stored))?;
+        Ok((result, profile))
+    }
+
+    /// The run profile for the configured scenario (memoized per source
+    /// × cores × policy × spec × scenario). A cache hit — in memory or
+    /// through the persistent store — skips simulation entirely; a miss
+    /// simulates once via the mode-matched profiled entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any stage.
+    pub fn profile(&self) -> Result<Arc<hsm_exec::Profile>, PipelineError> {
+        self.cache.profile_with(self.profile_key(), || {
+            self.compute_profiled().map(|(_, profile)| profile)
+        })
     }
 
     /// Runs the task-annotated program (`task_spawn`/`task_wait_all`)
@@ -725,22 +774,48 @@ int main() {
         assert!(stats.compile.hits > 0, "second model reused the bytecode");
     }
 
-    /// Migration check for the deprecated per-axis setters: they must
-    /// keep delegating to the same state `Pipeline::scenario` sets.
+    /// Ported from the deprecated-setter migration check (the per-axis
+    /// setters are gone): `Pipeline::scenario` must configure every axis
+    /// the setters used to reach, and the round trip through
+    /// `configured_scenario` must be lossless.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_axis_setters_match_scenario() {
-        let via_setters = Pipeline::new(SRC)
+    fn scenario_configures_every_axis() {
+        let scenario = Scenario::default()
             .exec_model(ExecModel::SeqCstReference)
             .opt_level(hsm_vm::OptLevel::O2);
-        let via_scenario = Pipeline::new(SRC).scenario(
-            Scenario::default()
-                .exec_model(ExecModel::SeqCstReference)
-                .opt_level(hsm_vm::OptLevel::O2),
-        );
-        assert_eq!(
-            via_setters.configured_scenario(),
-            via_scenario.configured_scenario()
-        );
+        let p = Pipeline::new(SRC).scenario(scenario);
+        assert_eq!(p.configured_exec_model(), ExecModel::SeqCstReference);
+        assert_eq!(p.configured_opt_level(), hsm_vm::OptLevel::O2);
+        assert_eq!(p.configured_scenario(), scenario);
+    }
+
+    #[test]
+    fn profiles_are_cached_and_match_the_plain_run() {
+        let p = Pipeline::new(SRC).cores(2);
+        let plain = p.run().expect("plain run");
+        let (profiled, profile) = p.run_profiled().expect("profiled run");
+        assert_eq!(plain.total_cycles, profiled.total_cycles);
+        assert_eq!(profile.total_cycles, plain.total_cycles);
+        assert_eq!(profile.exit_code, plain.exit_code);
+        // run_profiled deposited the artifact: profile() is now a hit.
+        let cached = p.profile().expect("cached profile");
+        assert_eq!(cached.total_cycles, profile.total_cycles);
+        let stats = p.cache_handle().stats();
+        assert_eq!(stats.profile.misses, 1, "one profile computed");
+        assert!(stats.profile.hits > 0, "the lookup reused it");
+    }
+
+    #[test]
+    fn profile_keys_distinguish_scenarios() {
+        let p = Pipeline::new(SRC).cores(2);
+        let hsm = p.profile().expect("hsm profile");
+        let base = p
+            .clone()
+            .scenario(Scenario::default().mode(Mode::PthreadBaseline))
+            .profile()
+            .expect("baseline profile");
+        assert_eq!(hsm.exit_code, base.exit_code);
+        assert!(base.active_cores() <= hsm.active_cores());
+        assert_eq!(p.cache_handle().stats().profile.misses, 2);
     }
 }

@@ -18,7 +18,7 @@ use crate::json::{Json, JsonError};
 use crate::scenario::Scenario;
 use crate::spec::SweepSpec;
 use crate::store::fnv1a_bytes;
-use crate::sweep::SweepOutcome;
+use crate::sweep::{Prediction, SweepOutcome};
 use crate::{ExecModel, OptLevel};
 use hsm_exec::RunResult;
 use std::fmt;
@@ -94,6 +94,20 @@ pub enum JobRequest {
         /// The sweep description.
         spec: SweepSpec,
     },
+    /// Run one program profiled and return its serialized
+    /// [`Profile`](hsm_exec::Profile) (the `hsmprofile` text form). The
+    /// profile also lands in the server's artifact cache, so later
+    /// predict-first sweeps reuse it.
+    Profile {
+        /// Program name (labels the response).
+        name: String,
+        /// The C source.
+        source: String,
+        /// Participating core count.
+        cores: usize,
+        /// The full scenario to profile under.
+        scenario: Scenario,
+    },
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
 }
@@ -106,6 +120,7 @@ impl JobRequest {
             JobRequest::Translate { .. } => "translate",
             JobRequest::Simulate { .. } => "simulate",
             JobRequest::Sweep { .. } => "sweep",
+            JobRequest::Profile { .. } => "profile",
             JobRequest::Shutdown => "shutdown",
         }
     }
@@ -139,6 +154,12 @@ pub struct SweepRow {
     pub output_fnv: Option<u64>,
     /// The pipeline error, when the point failed.
     pub error: Option<String>,
+    /// The analytical prediction a predict-first sweep attached. On a
+    /// predicted-only point the run fields above are absent and this is
+    /// the row's substance; on a simulated seed/validation point it
+    /// rides alongside the measured numbers so clients can compute
+    /// ground-truth error.
+    pub predicted: Option<Prediction>,
 }
 
 impl SweepRow {
@@ -165,6 +186,7 @@ impl SweepRow {
             instructions: None,
             output_fnv: None,
             error: None,
+            predicted: outcome.predicted,
         };
         match &outcome.result {
             Ok(payload) => {
@@ -208,6 +230,15 @@ impl SweepRow {
         if let Some(e) = &self.error {
             pairs.push(("error", Json::Str(e.clone())));
         }
+        if let Some(p) = &self.predicted {
+            pairs.push((
+                "predicted",
+                Json::obj(vec![
+                    ("predicted_cycles", Json::UInt(p.predicted_cycles)),
+                    ("seed_cores", Json::UInt(p.seed_cores as u64)),
+                ]),
+            ));
+        }
         Json::obj(pairs)
     }
 
@@ -239,6 +270,25 @@ impl SweepRow {
                 Some(Json::Str(s)) => Some(s.clone()),
                 _ => None,
             },
+            predicted: match doc.get("predicted") {
+                Some(obj) => {
+                    let predicted_cycles = obj
+                        .get("predicted_cycles")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| {
+                            ProtocolError::new("`predicted` missing `predicted_cycles`")
+                        })?;
+                    let seed_cores = obj
+                        .get("seed_cores")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ProtocolError::new("`predicted` missing `seed_cores`"))?;
+                    Some(Prediction {
+                        predicted_cycles,
+                        seed_cores: seed_cores as usize,
+                    })
+                }
+                None => None,
+            },
         })
     }
 }
@@ -263,6 +313,14 @@ pub enum JobResponse {
         /// Number of rows streamed.
         rows: u64,
     },
+    /// Answer to [`JobRequest::Profile`]: the run's serialized profile.
+    Profile {
+        /// The program's name.
+        name: String,
+        /// The profile in its deterministic `hsmprofile` text form
+        /// (parse with [`hsm_exec::Profile::from_text`]).
+        profile: String,
+    },
     /// The job failed (malformed request, pipeline failure, timeout).
     Error {
         /// Human-readable cause.
@@ -280,6 +338,7 @@ impl JobResponse {
             JobResponse::Translated { .. } => "translated",
             JobResponse::Row(_) => "row",
             JobResponse::SweepDone { .. } => "sweep_done",
+            JobResponse::Profile { .. } => "profile",
             JobResponse::Error { .. } => "error",
             JobResponse::ShuttingDown => "shutting_down",
         }
@@ -317,6 +376,17 @@ pub fn encode_job(job: &Job) -> String {
         }
         JobRequest::Sweep { spec } => {
             pairs.push(("spec", spec.to_json()));
+        }
+        JobRequest::Profile {
+            name,
+            source,
+            cores,
+            scenario,
+        } => {
+            pairs.push(("name", Json::Str(name.clone())));
+            pairs.push(("source", Json::Str(source.clone())));
+            pairs.push(("cores", Json::UInt(*cores as u64)));
+            pairs.push(("scenario", scenario.to_json()));
         }
     }
     Json::obj(pairs).render_compact()
@@ -403,6 +473,20 @@ pub fn parse_job(line: &str) -> Result<Job, ProtocolError> {
                 spec: SweepSpec::from_json(spec).map_err(|e| ProtocolError::new(e.to_string()))?,
             }
         }
+        "profile" => {
+            let scenario = match doc.get("scenario") {
+                Some(nested) => {
+                    Scenario::from_json(nested).map_err(|e| ProtocolError::new(e.to_string()))?
+                }
+                None => Scenario::default(),
+            };
+            JobRequest::Profile {
+                name: field_str("name")?,
+                source: field_str("source")?,
+                cores: field_cores()?,
+                scenario,
+            }
+        }
         other => return Err(ProtocolError::new(format!("unknown op `{other}`"))),
     };
     Ok(Job {
@@ -424,6 +508,10 @@ pub fn encode_response(id: u64, response: &JobResponse) -> String {
         }
         JobResponse::Row(row) => pairs.push(("row", row.to_json())),
         JobResponse::SweepDone { rows } => pairs.push(("rows", Json::UInt(*rows))),
+        JobResponse::Profile { name, profile } => {
+            pairs.push(("name", Json::Str(name.clone())));
+            pairs.push(("profile", Json::Str(profile.clone())));
+        }
         JobResponse::Error { message } => pairs.push(("message", Json::Str(message.clone()))),
     }
     Json::obj(pairs).render_compact()
@@ -468,6 +556,10 @@ pub fn parse_response(line: &str) -> Result<(u64, JobResponse), ProtocolError> {
                 .get("rows")
                 .and_then(Json::as_u64)
                 .ok_or_else(|| ProtocolError::new("`sweep_done` response missing `rows`"))?,
+        },
+        "profile" => JobResponse::Profile {
+            name: field_str("name")?,
+            profile: field_str("profile")?,
         },
         "error" => JobResponse::Error {
             message: field_str("message")?,
@@ -531,6 +623,16 @@ mod tests {
                 },
             },
             Job {
+                id: 7,
+                timeout_ms: Some(10_000),
+                request: JobRequest::Profile {
+                    name: "dot".to_string(),
+                    source: "int main() { return 0; }".to_string(),
+                    cores: 2,
+                    scenario: Scenario::new(Mode::RcceHsm),
+                },
+            },
+            Job {
                 id: 5,
                 timeout_ms: None,
                 request: JobRequest::Shutdown,
@@ -558,6 +660,24 @@ mod tests {
             instructions: Some(99_000),
             output_fnv: Some(0xdead_beef),
             error: None,
+            predicted: None,
+        };
+        let predicted_row = SweepRow {
+            name: "example_4_1@16/hsm".to_string(),
+            task: "hsm".to_string(),
+            cores: 16,
+            exec_model: "coherent".to_string(),
+            opt_level: "O0".to_string(),
+            exit_code: None,
+            timed_cycles: None,
+            total_cycles: None,
+            instructions: None,
+            output_fnv: None,
+            error: None,
+            predicted: Some(Prediction {
+                predicted_cycles: 654_321,
+                seed_cores: 2,
+            }),
         };
         let responses = vec![
             JobResponse::Pong,
@@ -566,7 +686,12 @@ mod tests {
                 source: "RCCE_APP(int argc, char **argv) { return 0; }".to_string(),
             },
             JobResponse::Row(row),
+            JobResponse::Row(predicted_row),
             JobResponse::SweepDone { rows: 4 },
+            JobResponse::Profile {
+                name: "dot".to_string(),
+                profile: "hsmprofile 1\nrun 1 10 10 5 0\n".to_string(),
+            },
             JobResponse::Error {
                 message: "parse stage: unexpected token".to_string(),
             },
@@ -595,6 +720,7 @@ mod tests {
             instructions: None,
             output_fnv: None,
             error: Some("parse stage: unexpected `{`".to_string()),
+            predicted: None,
         };
         let line = encode_response(1, &JobResponse::Row(row.clone()));
         let (_, back) = parse_response(&line).expect("parses");

@@ -9,9 +9,9 @@
 //! configures a session from one, [`SweepTask::Run`](crate::sweep::SweepTask)
 //! carries one per sweep point, [`SweepSpec`](crate::spec::SweepSpec)
 //! serializes a list of them, and the `hsmd` protocol ships one inside
-//! every `simulate` job. The old per-axis setters survive as
-//! `#[deprecated]` wrappers that delegate here (see DESIGN.md §13 for the
-//! migration table).
+//! every `simulate` job. The old per-axis setters (one `#[deprecated]`
+//! delegating wrapper per axis during the PR 9 migration) are gone;
+//! DESIGN.md §13 keeps the migration table.
 
 use crate::json::Json;
 use crate::spec::SpecError;

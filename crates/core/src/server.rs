@@ -268,11 +268,34 @@ fn handle_line(
                 scenarios: vec![scenario],
                 workers: 1,
                 cache_dir: None,
+                predict_first: false,
             };
             run_sweep_job(job.id, &spec, timeout_ms, writer, cache, options, false);
         }
         JobRequest::Sweep { spec } => {
             run_sweep_job(job.id, &spec, timeout_ms, writer, cache, options, true);
+        }
+        JobRequest::Profile {
+            name,
+            source,
+            cores,
+            scenario,
+        } => {
+            let cache = Arc::clone(cache);
+            let config = options.config.clone();
+            let response = run_with_deadline(timeout_ms, move || {
+                Pipeline::new(source)
+                    .cores(cores)
+                    .scenario(scenario)
+                    .config(config)
+                    .cache(cache)
+                    .profile()
+                    .map(|profile| JobResponse::Profile {
+                        name,
+                        profile: profile.to_text(),
+                    })
+            });
+            send(writer, job.id, &response);
         }
     }
     true
@@ -348,6 +371,7 @@ fn run_sweep_job(
         SweepOptions {
             cancel: Some(&cancel),
             on_row: Some(&on_row),
+            predict_first: spec.predict_first,
         },
     );
     if sweep_done {

@@ -72,6 +72,10 @@ pub struct SweepSpec {
     /// Persistent artifact-store directory ([`SweepSpec::open_cache`]
     /// attaches it); `None` = in-memory cache only.
     pub cache_dir: Option<String>,
+    /// Predict-first triage: simulate only each prediction group's seed
+    /// and validation points, predict the rest analytically (see
+    /// [`SweepOptions::predict_first`](crate::experiment::SweepOptions)).
+    pub predict_first: bool,
 }
 
 impl Default for SweepSpec {
@@ -84,6 +88,7 @@ impl Default for SweepSpec {
             ],
             workers: 0,
             cache_dir: None,
+            predict_first: false,
         }
     }
 }
@@ -149,6 +154,9 @@ impl SweepSpec {
         ];
         if let Some(dir) = &self.cache_dir {
             pairs.push(("cache_dir", Json::Str(dir.clone())));
+        }
+        if self.predict_first {
+            pairs.push(("predict_first", Json::Bool(true)));
         }
         Json::obj(pairs)
     }
@@ -264,6 +272,12 @@ impl SweepSpec {
                 _ => return Err(SpecError::new("`cache_dir` must be a string")),
             };
         }
+        if let Some(flag) = doc.get("predict_first") {
+            spec.predict_first = match flag {
+                Json::Bool(b) => *b,
+                _ => return Err(SpecError::new("`predict_first` must be a boolean")),
+            };
+        }
         Ok(spec)
     }
 
@@ -337,10 +351,10 @@ impl SweepSpec {
 
     /// Extracts the spec-owned CLI flags out of `args` (removing each
     /// flag and its value): `--workers N`, `--modes A,B,..`,
-    /// `--exec-model NAME`, `--opt-level LEVEL`, `--cache-dir PATH`, and
-    /// repeatable `--program NAME:CORES`. Unrelated arguments are left in
-    /// place. This replaces the per-flag parsing the `figures` binary
-    /// used to duplicate.
+    /// `--exec-model NAME`, `--opt-level LEVEL`, `--cache-dir PATH`, the
+    /// valueless `--predict-first`, and repeatable `--program
+    /// NAME:CORES`. Unrelated arguments are left in place. This replaces
+    /// the per-flag parsing the `figures` binary used to duplicate.
     ///
     /// `--modes` rebuilds the scenario list (one scenario per listed mode
     /// label, inheriting the first current scenario's model and level);
@@ -397,6 +411,9 @@ impl SweepSpec {
         if let Some(value) = take_flag(args, "--cache-dir")? {
             self.cache_dir = Some(value);
         }
+        if take_bool_flag(args, "--predict-first") {
+            self.predict_first = true;
+        }
         while let Some(value) = take_flag(args, "--program")? {
             let (name, cores) = value.split_once(':').ok_or_else(|| {
                 SpecError::new("--program needs NAME:CORES (e.g. matrix_vector:4)")
@@ -409,6 +426,18 @@ impl SweepSpec {
             self.programs.push(SpecProgram::corpus(name, cores));
         }
         Ok(())
+    }
+}
+
+/// Removes a valueless `flag` from `args`, reporting whether it was
+/// present.
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
     }
 }
 
@@ -441,6 +470,7 @@ mod tests {
             ],
             workers: 2,
             cache_dir: Some("/tmp/hsm-store".to_string()),
+            predict_first: true,
         }
     }
 
@@ -454,6 +484,26 @@ mod tests {
         let wire = doc.render_compact();
         let reparsed = Json::parse(&wire).expect("wire parses");
         assert_eq!(SweepSpec::from_json(&reparsed).expect("spec"), spec);
+    }
+
+    /// Satellite coverage: every Scenario value survives the JSON wire
+    /// form unchanged when carried inside a spec document.
+    #[test]
+    fn every_scenario_round_trips_through_the_wire_form() {
+        for mode in Mode::ALL {
+            for model in ExecModel::ALL {
+                for level in OptLevel::ALL {
+                    let spec = SweepSpec {
+                        scenarios: vec![Scenario::new(mode).exec_model(model).opt_level(level)],
+                        ..SweepSpec::default()
+                    };
+                    let wire = spec.to_json().render_compact();
+                    let back =
+                        SweepSpec::from_json(&Json::parse(&wire).expect("wire")).expect("spec");
+                    assert_eq!(back.scenarios, spec.scenarios, "{wire}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -550,6 +600,7 @@ mod tests {
             "O2",
             "--cache-dir",
             "/tmp/store",
+            "--predict-first",
             "--json",
         ]
         .iter()
@@ -559,6 +610,7 @@ mod tests {
         assert_eq!(spec.workers, 3);
         assert!(spec.scenarios.iter().all(|s| s.opt_level == OptLevel::O2));
         assert_eq!(spec.cache_dir.as_deref(), Some("/tmp/store"));
+        assert!(spec.predict_first);
         assert_eq!(args, vec!["fig6.1", "--json"]);
     }
 

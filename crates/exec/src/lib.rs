@@ -53,6 +53,7 @@ pub mod engine;
 pub mod machine;
 pub mod oracle;
 pub mod printf;
+pub mod profile;
 mod pthread;
 mod rcce;
 mod taskflow;
@@ -62,9 +63,19 @@ pub use coherence::{CoherenceModel, Coherent, ExecModel, NonCoherentWriteBack, S
 pub use engine::{Charge, ExecEnv, ExecutionCore, Flow, SyncModel, UnitState};
 pub use machine::{DataSpaces, ExecError, OutputLine, RunResult};
 pub use oracle::{Oracle, OracleMode, OracleReport, Violation, ViolationClass};
-pub use pthread::{run_pthread, run_pthread_model, run_pthread_model_traced, run_pthread_traced};
-pub use rcce::{run_rcce, run_rcce_model, run_rcce_model_traced, run_rcce_traced};
-pub use taskflow::{run_task, run_task_model, run_task_model_traced, run_task_traced};
+pub use profile::{
+    CoreProfile, Profile, ProfileCollector, RegionProfile, ReuseHistogram, SyncSummary,
+};
+pub use pthread::{
+    run_pthread, run_pthread_model, run_pthread_model_profiled, run_pthread_model_traced,
+    run_pthread_traced,
+};
+pub use rcce::{
+    run_rcce, run_rcce_model, run_rcce_model_profiled, run_rcce_model_traced, run_rcce_traced,
+};
+pub use taskflow::{
+    run_task, run_task_model, run_task_model_profiled, run_task_model_traced, run_task_traced,
+};
 pub use trace::{NullSink, RingTrace, SyncEvent, TraceEvent, TraceSink};
 
 /// Fixed syscall overheads in core cycles (single place to tune).
@@ -720,6 +731,42 @@ int RCCE_APP(int *argc, char **argv) {{
             "a tiny ring overflows and stays bounded"
         );
         assert_eq!(ring.len(), 64);
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_timing() {
+        // The ProfileCollector rides the same monomorphized trace path as
+        // RingTrace: every cycle total must match the unprofiled run, in
+        // all three sync models.
+        let rcce = compile_src(RCCE_SUM);
+        let plain = run_rcce(&rcce, 4, &cfg()).expect("plain");
+        let (profiled, profile) =
+            run_rcce_model_profiled(&rcce, 4, &cfg(), ExecModel::Coherent).expect("profiled");
+        assert_eq!(plain.total_cycles, profiled.total_cycles);
+        assert_eq!(plain.mem_stats, profiled.mem_stats);
+        assert_eq!(profile.total_cycles, plain.total_cycles);
+        assert_eq!(profile.exit_code, plain.exit_code);
+        assert!(profile.sync.barrier_epochs > 0, "RCCE_SUM barriers");
+        assert!(profile.reuse_total().total() > 0, "private accesses seen");
+
+        let pth = compile_src(PTHREAD_SUM);
+        let plain = run_pthread(&pth, &cfg()).expect("plain");
+        let (profiled, profile) =
+            run_pthread_model_profiled(&pth, &cfg(), ExecModel::Coherent).expect("profiled");
+        assert_eq!(plain.total_cycles, profiled.total_cycles);
+        assert_eq!(profile.active_cores(), 1, "baseline shares core 0");
+
+        let task = compile_src(TASK_SUM);
+        let plain = run_task(&task, 5, &cfg()).expect("plain");
+        let (profiled, profile) =
+            run_task_model_profiled(&task, 5, &cfg(), ExecModel::Coherent).expect("profiled");
+        assert_eq!(plain.total_cycles, profiled.total_cycles);
+        assert_eq!(profile.exit_code, 400);
+        assert!(
+            profile.sync.dma_transfers > 0 && profile.sync.dma_bytes > 0,
+            "task DMA volume flows through TraceSink::dma: {:?}",
+            profile.sync
+        );
     }
 
     #[test]

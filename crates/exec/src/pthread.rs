@@ -427,6 +427,25 @@ pub fn run_pthread_model(
     run_pthread_model_traced(program, config, model, &mut NullSink)
 }
 
+/// [`run_pthread_model`] with a
+/// [`ProfileCollector`](crate::profile::ProfileCollector) attached:
+/// returns the run result together with its
+/// [`Profile`](crate::profile::Profile).
+///
+/// # Errors
+///
+/// Same failure modes as [`run_pthread`].
+pub fn run_pthread_model_profiled(
+    program: &Program,
+    config: &SccConfig,
+    model: ExecModel,
+) -> Result<(RunResult, crate::profile::Profile), ExecError> {
+    let mut collector = crate::profile::ProfileCollector::new(config.line_bytes);
+    let result = run_pthread_model_traced(program, config, model, &mut collector)?;
+    let profile = collector.into_profile(&result);
+    Ok((result, profile))
+}
+
 /// [`run_pthread_model`] with every memory access streamed to `sink`.
 ///
 /// # Errors

@@ -644,6 +644,26 @@ pub fn run_rcce_model(
     run_rcce_model_traced(program, cores, config, model, &mut NullSink)
 }
 
+/// [`run_rcce_model`] with a
+/// [`ProfileCollector`](crate::profile::ProfileCollector) attached:
+/// returns the run result together with its
+/// [`Profile`](crate::profile::Profile).
+///
+/// # Errors
+///
+/// Same failure modes as [`run_rcce`].
+pub fn run_rcce_model_profiled(
+    program: &Program,
+    cores: usize,
+    config: &SccConfig,
+    model: ExecModel,
+) -> Result<(RunResult, crate::profile::Profile), ExecError> {
+    let mut collector = crate::profile::ProfileCollector::new(config.line_bytes);
+    let result = run_rcce_model_traced(program, cores, config, model, &mut collector)?;
+    let profile = collector.into_profile(&result);
+    Ok((result, profile))
+}
+
 /// [`run_rcce_model`] with every memory access streamed to `sink`.
 ///
 /// # Errors

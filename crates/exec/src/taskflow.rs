@@ -221,6 +221,9 @@ impl TaskDataflowSync {
             // task's start time.
             let mut cost = syscall_cost::TASK_DISPATCH;
             for r in ins {
+                if S::ENABLED && r.1 > 0 && core != 0 {
+                    sink.dma(0, core, r.1, start0);
+                }
                 cost += self.dma(env, r, 0, core);
             }
             unit.clock = start0 + cost;
@@ -467,7 +470,7 @@ impl SyncModel for TaskDataflowSync {
     fn finished<C: CoherenceModel, S: TraceSink>(
         &mut self,
         env: &mut ExecEnv<C>,
-        _sink: &mut S,
+        sink: &mut S,
         unit: usize,
         exit: i64,
     ) -> Result<Flow, ExecError> {
@@ -483,6 +486,9 @@ impl SyncModel for TaskDataflowSync {
         env.coherence
             .flush_unit(unit, core, &mut env.spaces, &mut env.chip);
         if let Some(out) = self.tasks[id].out {
+            if S::ENABLED && out.1 > 0 && core != 0 {
+                sink.dma(core, 0, out.1, env.units[unit].clock);
+            }
             let cost = self.dma(env, out, core, 0);
             env.units[unit].clock += cost;
         }
@@ -572,6 +578,25 @@ pub fn run_task_model(
     model: ExecModel,
 ) -> Result<RunResult, ExecError> {
     run_task_model_traced(program, cores, config, model, &mut NullSink)
+}
+
+/// [`run_task_model`] with a [`ProfileCollector`](crate::profile::ProfileCollector)
+/// attached: returns the run result together with its
+/// [`Profile`](crate::profile::Profile).
+///
+/// # Errors
+///
+/// Same failure modes as [`run_task`].
+pub fn run_task_model_profiled(
+    program: &Program,
+    cores: usize,
+    config: &SccConfig,
+    model: ExecModel,
+) -> Result<(RunResult, crate::profile::Profile), ExecError> {
+    let mut collector = crate::profile::ProfileCollector::new(config.line_bytes);
+    let result = run_task_model_traced(program, cores, config, model, &mut collector)?;
+    let profile = collector.into_profile(&result);
+    Ok((result, profile))
 }
 
 /// [`run_task_model`] with every memory access streamed to `sink`.

@@ -159,6 +159,13 @@ pub trait TraceSink {
     /// access-only sinks need not care.
     #[inline(always)]
     fn sync(&mut self, _event: SyncEvent) {}
+
+    /// Observes one bulk data transfer (the task runtime's explicit
+    /// canonical↔worker DMA). `bytes` is the payload size; the cycle is
+    /// the initiating unit's clock when the transfer was billed. Defaults
+    /// to a no-op so access-only sinks need not care.
+    #[inline(always)]
+    fn dma(&mut self, _from: usize, _to: usize, _bytes: u64, _cycle: u64) {}
 }
 
 /// The default sink: discards everything, compiles to nothing.

@@ -1,0 +1,416 @@
+//! # hsm-predict — analytical sweep-surface prediction from run profiles
+//!
+//! ROADMAP item 5: escape simulation cost by *predicting* sweep surfaces
+//! instead of simulating every point, the way reuse-distance models
+//! predict shared-cache performance (Barai et al., PAPERS.md). A
+//! [`CyclePredictor`] is fitted from **one** profiled run — a
+//! [`Profile`] produced by the `*_profiled` entry points of `hsm-exec` —
+//! and then predicts the makespan of the same (program, scenario) pair at
+//! any other core count.
+//!
+//! ## The model
+//!
+//! The measured makespan at the seed core count `n₀` is decomposed into
+//!
+//! ```text
+//! T(n) = F + U  +  E · barrier(n)  +  Mshared/w(n)  +  Apriv · λ(n)/w(n)  +  R/w(n)
+//! ```
+//!
+//! * `F` — fixed serial overhead (e.g. `RCCE_init`/`RCCE_finalize`),
+//!   supplied by the caller via [`FitOptions::fixed_cycles`];
+//! * `U` — the profile's *untimed* cycles (`total − timed`): everything
+//!   outside the program's `wtime()`-bracketed parallel region. In the
+//!   SPMD translation that is the serial prologue/epilogue `main` runs
+//!   (workers wait at the first barrier meanwhile), and in the task
+//!   runtime it is the master's sequential spawn loop — work that does
+//!   not shrink when cores are added, so it enters the surface as a
+//!   constant;
+//! * `E · barrier(n)` — the barrier bill: `E` epochs (from the profile's
+//!   sync summary), each costing the RCCE gather-release
+//!   `n · (mpb_access + 4·hop)` cycles;
+//! * `Mshared` — total shared-DRAM + MPB access cycles, constant per-run
+//!   work spread over `w(n)` workers (those latencies are flat per
+//!   access, so only the partitioning changes);
+//! * `Apriv · λ(n)` — private-memory cycles: the access *count* is
+//!   constant work, but the mean latency `λ(n)` changes with the per-core
+//!   working set. This is where the reuse-distance histogram earns its
+//!   keep: scaling the per-core data share by `n₀/n` shifts every reuse
+//!   distance by `log₂(n₀/n)` buckets, and the shifted histogram's hit
+//!   fractions against the L1/L2 capacities give the predicted latency,
+//!   multiplicatively calibrated so the seed point reproduces its
+//!   measured mean exactly;
+//! * `R` — the *signed* residual (compute, syscalls, imbalance waits,
+//!   minus whatever the analytical terms over-bill into `U`'s span),
+//!   calibrated so `predict(n₀) == measured(n₀)` *exactly*, and scaled
+//!   as parallel work.
+//!
+//! `w(n)` is the worker count of the scaling discipline
+//! ([`WorkScaling`]): all `n` cores for barrier-SPMD programs, `n − 1`
+//! for the task runtime (core 0 is the dedicated master), and constant
+//! for the single-core pthread baseline (whose thread count is a program
+//! property, not the sweep axis — its surface is flat).
+//!
+//! The model is deliberately cheap — closed-form, no simulation — and
+//! honest about it: `scripts/check_predict.py` gates the mean relative
+//! error on held-out corpus programs (`dot_product`, ported in both
+//! barrier and task forms) at ≤ 15% across 2–32 cores × all three
+//! exec models.
+
+#![warn(missing_docs)]
+
+use hsm_exec::profile::ReuseHistogram;
+use hsm_exec::Profile;
+use scc_sim::{Region, SccConfig};
+
+/// How the profiled program's work redistributes as the core count
+/// changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkScaling {
+    /// SPMD partitioning: every core is a worker (RCCE barrier modes).
+    Partitioned,
+    /// Task-dataflow: core 0 is a dedicated master; `n − 1` workers.
+    PartitionedWithMaster,
+    /// The pthread baseline: every thread timeshares one core and the
+    /// thread count is fixed by the program, so the sweep surface is
+    /// constant in `n`.
+    Serialized,
+}
+
+impl WorkScaling {
+    /// Workers available at `cores` (at least 1).
+    pub fn workers(self, cores: usize) -> u64 {
+        match self {
+            WorkScaling::Partitioned => cores.max(1) as u64,
+            WorkScaling::PartitionedWithMaster => cores.saturating_sub(1).max(1) as u64,
+            WorkScaling::Serialized => 1,
+        }
+    }
+}
+
+/// Private-cache treatment during latency prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheModel {
+    /// Model the L1/L2 hierarchy from the reuse histogram (the coherent
+    /// and non-coherent write-back exec models).
+    Hierarchy,
+    /// Flat per-access latency (the `seq_cst` differential reference):
+    /// the working-set transform is skipped.
+    Flat,
+}
+
+/// Everything [`CyclePredictor::fit`] needs besides the profile itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitOptions {
+    /// Work-redistribution discipline of the profiled scenario.
+    pub scaling: WorkScaling,
+    /// Private-cache treatment.
+    pub cache: CacheModel,
+    /// Fixed serial overhead cycles (library init/teardown) that do not
+    /// shrink with more workers.
+    pub fixed_cycles: u64,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions {
+            scaling: WorkScaling::Partitioned,
+            cache: CacheModel::Hierarchy,
+            fixed_cycles: 0,
+        }
+    }
+}
+
+/// A fitted cycles predictor for one (program, scenario) pair.
+///
+/// Fit once from a profiled seed run, then evaluate at any core count in
+/// constant time. `predict(seed_cores)` reproduces the measured seed
+/// makespan exactly (the residual term absorbs what the analytical parts
+/// miss).
+#[derive(Debug, Clone)]
+pub struct CyclePredictor {
+    seed_cores: usize,
+    seed_total: u64,
+    options: FitOptions,
+    /// Untimed (outside the `wtime` bracket) cycles at the seed — the
+    /// serial prologue/epilogue, constant across the core axis.
+    untimed: u64,
+    /// Chip-wide private reuse histogram at the seed.
+    reuse: ReuseHistogram,
+    /// Total private-region accesses / cycles at the seed.
+    priv_accesses: u64,
+    /// Calibration: measured-over-model private latency ratio.
+    lat_scale: f64,
+    /// Total shared-DRAM + MPB cycles at the seed.
+    shared_cycles: u64,
+    /// Barrier epochs observed at the seed.
+    epochs: u64,
+    /// Per-epoch, per-participant barrier cost coefficient.
+    barrier_unit: u64,
+    /// L1 / L2 capacities in lines.
+    l1_lines: u64,
+    l2_lines: u64,
+    /// Model latencies (cycles): L1 hit, L2 hit, miss to DRAM.
+    lat: [f64; 3],
+    /// Signed residual work (cycles × workers) calibrated at the seed.
+    residual: f64,
+}
+
+impl CyclePredictor {
+    /// Fits the model from one profiled run executed at `seed_cores`.
+    pub fn fit(
+        profile: &Profile,
+        seed_cores: usize,
+        config: &SccConfig,
+        options: FitOptions,
+    ) -> CyclePredictor {
+        let reuse = profile.reuse_total();
+        let priv_idx = Region::Private.index();
+        let priv_accesses: u64 = profile.per_core.iter().map(|c| c.accesses[priv_idx]).sum();
+        let priv_cycles: u64 = profile.per_core.iter().map(|c| c.cycles[priv_idx]).sum();
+        let shared_cycles = profile.regions[Region::SharedDram.index()].cycles
+            + profile.regions[Region::Mpb.index()].cycles;
+        let l1_lines = (config.l1_bytes / config.line_bytes).max(1) as u64;
+        let l2_lines = (config.l2_bytes / config.line_bytes).max(1) as u64;
+        let lat = [
+            config.l1_hit_cycles as f64,
+            config.l2_hit_cycles as f64,
+            (config.dram_service_cycles + config.dram_occupancy_cycles) as f64,
+        ];
+        let mut p = CyclePredictor {
+            seed_cores,
+            seed_total: profile.total_cycles,
+            options,
+            untimed: profile.total_cycles.saturating_sub(profile.timed_cycles),
+            reuse,
+            priv_accesses,
+            lat_scale: 1.0,
+            shared_cycles,
+            epochs: profile.sync.barrier_epochs,
+            barrier_unit: config.mpb_access_cycles + 4 * config.hop_cycles,
+            l1_lines,
+            l2_lines,
+            lat,
+            residual: 0.0,
+        };
+        // Calibrate the latency model so the unshifted histogram
+        // reproduces the measured mean private latency.
+        let measured_mean = if priv_accesses > 0 {
+            priv_cycles as f64 / priv_accesses as f64
+        } else {
+            0.0
+        };
+        let model_mean = p.model_latency(0);
+        p.lat_scale = if model_mean > 0.0 {
+            measured_mean / model_mean
+        } else {
+            0.0
+        };
+        // Calibrate the (signed) residual so predict(seed) ==
+        // measured(seed) exactly, even when the analytical terms
+        // over-bill work that really sits inside `U`.
+        let analytic = p.analytic_cycles(seed_cores);
+        let w0 = options.scaling.workers(seed_cores) as f64;
+        p.residual = (profile.total_cycles as f64 - analytic) * w0;
+        p
+    }
+
+    /// The un-calibrated mean private-access latency implied by the
+    /// histogram shifted by `shift` buckets.
+    fn model_latency(&self, shift: i32) -> f64 {
+        if self.priv_accesses == 0 {
+            return 0.0;
+        }
+        if self.options.cache == CacheModel::Flat {
+            return 1.0;
+        }
+        let h = self.reuse.shifted(shift);
+        let f1 = h.hit_fraction(self.l1_lines);
+        let f2 = h.hit_fraction(self.l2_lines).max(f1);
+        f1 * self.lat[0] + (f2 - f1) * self.lat[1] + (1.0 - f2) * self.lat[2]
+    }
+
+    /// The bucket shift for evaluating at `cores`: the per-worker data
+    /// share scales by `w₀/w`, so distances shift by its (rounded) log₂.
+    fn shift_for(&self, cores: usize) -> i32 {
+        let w0 = self.options.scaling.workers(self.seed_cores) as f64;
+        let w = self.options.scaling.workers(cores) as f64;
+        (w0 / w).log2().round() as i32
+    }
+
+    /// The analytical (non-residual) terms at `cores`.
+    fn analytic_cycles(&self, cores: usize) -> f64 {
+        let w = self.options.scaling.workers(cores) as f64;
+        let barrier = match self.options.scaling {
+            WorkScaling::Serialized => 0.0,
+            _ => (self.epochs * self.barrier_unit) as f64 * cores as f64,
+        };
+        let shared = self.shared_cycles as f64 / w;
+        let priv_mem =
+            self.priv_accesses as f64 * self.lat_scale * self.model_latency(self.shift_for(cores))
+                / w;
+        self.options.fixed_cycles as f64 + self.untimed as f64 + barrier + shared + priv_mem
+    }
+
+    /// Predicted makespan cycles at `cores`.
+    pub fn predict(&self, cores: usize) -> u64 {
+        if self.options.scaling == WorkScaling::Serialized {
+            // The baseline ignores the core axis entirely.
+            return self.seed_total;
+        }
+        let w = self.options.scaling.workers(cores) as f64;
+        let cycles = self.analytic_cycles(cores) + self.residual / w;
+        cycles.round().max(1.0) as u64
+    }
+
+    /// The seed core count the model was fitted at.
+    pub fn seed_cores(&self) -> usize {
+        self.seed_cores
+    }
+
+    /// The measured seed makespan.
+    pub fn seed_total(&self) -> u64 {
+        self.seed_total
+    }
+}
+
+/// Relative error `|predicted − actual| / actual` (0 when both are 0).
+pub fn relative_error(predicted: u64, actual: u64) -> f64 {
+    if actual == 0 {
+        return if predicted == 0 { 0.0 } else { 1.0 };
+    }
+    (predicted.abs_diff(actual)) as f64 / actual as f64
+}
+
+/// Absolute error `|predicted − actual|`.
+pub fn absolute_error(predicted: u64, actual: u64) -> u64 {
+    predicted.abs_diff(actual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsm_exec::profile::{CoreProfile, SyncSummary};
+
+    fn synthetic_profile(cores: usize, total: u64, epochs: u64) -> Profile {
+        let mut per_core = Vec::new();
+        for _ in 0..cores {
+            let mut c = CoreProfile::default();
+            // 1000 private accesses per core: 900 short-distance (L1),
+            // 100 at distance ~2048 (L2 at the seed).
+            for _ in 0..900 {
+                c.reuse.record(4);
+            }
+            for _ in 0..100 {
+                c.reuse.record(2048);
+            }
+            c.accesses[Region::Private.index()] = 1000;
+            c.cycles[Region::Private.index()] = 900 + 100 * 18;
+            per_core.push(c);
+        }
+        let mut p = Profile {
+            runs: 1,
+            total_cycles: total,
+            timed_cycles: total,
+            instructions: 0,
+            exit_code: 0,
+            per_unit_cycles: vec![total; cores],
+            per_core,
+            regions: Default::default(),
+            sync: SyncSummary {
+                barrier_epochs: epochs,
+                ..SyncSummary::default()
+            },
+        };
+        p.regions[Region::SharedDram.index()].cycles = 8_000;
+        p
+    }
+
+    #[test]
+    fn seed_point_is_reproduced_exactly() {
+        let profile = synthetic_profile(4, 100_000, 3);
+        let cfg = SccConfig::table_6_1();
+        let pred = CyclePredictor::fit(&profile, 4, &cfg, FitOptions::default());
+        assert_eq!(pred.predict(4), 100_000);
+    }
+
+    #[test]
+    fn partitioned_work_shrinks_with_more_cores() {
+        let profile = synthetic_profile(2, 200_000, 0);
+        let cfg = SccConfig::table_6_1();
+        let pred = CyclePredictor::fit(&profile, 2, &cfg, FitOptions::default());
+        let t4 = pred.predict(4);
+        let t16 = pred.predict(16);
+        assert!(t4 < 200_000, "more cores, less time: {t4}");
+        assert!(t16 < t4, "monotone without barriers: {t16} < {t4}");
+    }
+
+    #[test]
+    fn barrier_bill_grows_with_participants() {
+        // A barrier-heavy profile with almost no work: scaling up cores
+        // must eventually cost more than it saves.
+        let mut profile = synthetic_profile(2, 50_000, 400);
+        for c in &mut profile.per_core {
+            *c = CoreProfile::default();
+        }
+        profile.regions = Default::default();
+        let cfg = SccConfig::table_6_1();
+        let pred = CyclePredictor::fit(&profile, 2, &cfg, FitOptions::default());
+        assert!(
+            pred.predict(32) > pred.predict(2),
+            "400 epochs × 32 cores × 16 cycles dominates"
+        );
+    }
+
+    #[test]
+    fn serialized_surface_is_flat() {
+        let profile = synthetic_profile(1, 77_777, 0);
+        let cfg = SccConfig::table_6_1();
+        let pred = CyclePredictor::fit(
+            &profile,
+            4,
+            &cfg,
+            FitOptions {
+                scaling: WorkScaling::Serialized,
+                ..FitOptions::default()
+            },
+        );
+        assert_eq!(pred.predict(2), 77_777);
+        assert_eq!(pred.predict(32), 77_777);
+    }
+
+    #[test]
+    fn master_scaling_uses_n_minus_one_workers() {
+        assert_eq!(WorkScaling::PartitionedWithMaster.workers(2), 1);
+        assert_eq!(WorkScaling::PartitionedWithMaster.workers(8), 7);
+        assert_eq!(WorkScaling::Partitioned.workers(8), 8);
+        assert_eq!(WorkScaling::Serialized.workers(8), 1);
+    }
+
+    #[test]
+    fn error_helpers() {
+        assert!((relative_error(110, 100) - 0.1).abs() < 1e-12);
+        assert!((relative_error(90, 100) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(0, 0), 0.0);
+        assert_eq!(absolute_error(90, 100), 10);
+    }
+
+    #[test]
+    fn flat_cache_skips_the_working_set_transform() {
+        let profile = synthetic_profile(2, 100_000, 0);
+        let cfg = SccConfig::table_6_1();
+        let hier = CyclePredictor::fit(&profile, 2, &cfg, FitOptions::default());
+        let flat = CyclePredictor::fit(
+            &profile,
+            2,
+            &cfg,
+            FitOptions {
+                cache: CacheModel::Flat,
+                ..FitOptions::default()
+            },
+        );
+        // Hierarchy: at 8 cores the 2048-distance tail shifts into L1
+        // range, so predicted private latency drops below flat's.
+        assert!(hier.predict(8) <= flat.predict(8));
+        assert_eq!(flat.predict(2), 100_000, "seed exact either way");
+    }
+}

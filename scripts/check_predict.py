@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Gate the cycle predictor's accuracy against the error budget and the
+committed baseline.
+
+Usage: check_predict.py bench-out/BENCH_predict.json BENCH_predict.json
+
+`figures --predict` fits the cycle predictor from one profiled seed run
+per held-out (program, scenario) surface — `dot_product` in barrier and
+task forms, under all three memory models — then simulates every point
+of the 2-32 core axis for ground truth and writes the fresh report. The
+baseline is the committed snapshot of the same document. This script:
+
+  * fails if the mean relative error of the extrapolated points exceeds
+    ERROR_LIMIT_BP (15%) — overall and per surface at a looser 2x
+    per-surface margin, so one pathological surface cannot hide inside
+    a good average;
+  * requires every surface's seed point to be reproduced exactly
+    (rel_error_bp == 0): the residual-calibration contract;
+  * requires the fresh report to cover the same (name, mode,
+    exec_model) surfaces as the baseline with identical simulated
+    ground-truth cycles — the simulator is deterministic, so an
+    actual-cycles diff means execution changed and the baseline must be
+    regenerated deliberately;
+  * prints the per-surface error table either way.
+
+Regenerate the baseline with:
+  cargo build --release -p hsm-bench --bin figures
+  ./target/release/figures --predict
+  cp bench-out/BENCH_predict.json BENCH_predict.json
+"""
+
+import json
+import sys
+
+# Mean extrapolation error budget, in basis points (1 bp = 0.01%).
+ERROR_LIMIT_BP = 1500
+
+# A single surface may be worse than the mean budget, but not unboundedly.
+SURFACE_LIMIT_BP = 2 * ERROR_LIMIT_BP
+
+
+def load_surfaces(path):
+    """Returns (doc, {(name, mode, exec_model): surface}) for one report."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 6:
+        sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')!r}")
+    surfaces = {}
+    for s in doc.get("surfaces", []):
+        surfaces[(s["name"], s["mode"], s["exec_model"])] = s
+    if not surfaces:
+        sys.exit(f"{path}: no predicted surfaces")
+    return doc, surfaces
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} FRESH_REPORT BASELINE_REPORT")
+    fresh_path, base_path = sys.argv[1], sys.argv[2]
+    fresh_doc, fresh = load_surfaces(fresh_path)
+    _, base = load_surfaces(base_path)
+
+    problems = []
+    if set(fresh) != set(base):
+        for key in sorted(set(base) - set(fresh)):
+            problems.append(f"surface {key} in baseline but not in fresh report")
+        for key in sorted(set(fresh) - set(base)):
+            problems.append(f"surface {key} measured but absent from baseline")
+
+    rows = []
+    for key in sorted(fresh):
+        surface = fresh[key]
+        mean_bp = surface.get("mean_rel_error_bp")
+        if not isinstance(mean_bp, int):
+            problems.append(f"surface {key}: missing mean_rel_error_bp")
+            continue
+        if mean_bp > SURFACE_LIMIT_BP:
+            problems.append(
+                f"surface {key}: mean extrapolation error {mean_bp / 100:.2f}% "
+                f"exceeds the per-surface limit {SURFACE_LIMIT_BP / 100:.0f}%"
+            )
+        for point in surface.get("points", []):
+            if point.get("seed") and point.get("rel_error_bp") != 0:
+                problems.append(
+                    f"surface {key}: seed point not reproduced exactly "
+                    f"({point.get('rel_error_bp')} bp)"
+                )
+        if key in base:
+            got = [(p["cores"], p["actual_cycles"]) for p in surface.get("points", [])]
+            want = [(p["cores"], p["actual_cycles"]) for p in base[key].get("points", [])]
+            if got != want:
+                problems.append(
+                    f"surface {key}: simulated ground-truth cycles changed "
+                    f"({want} -> {got}); regenerate the baseline deliberately"
+                )
+        rows.append((key, mean_bp))
+
+    name_w = max((len("/".join(k)) for k, _ in rows), default=10) + 2
+    print(f"{'Surface':<{name_w}}{'Mean err':>10}")
+    print("-" * (name_w + 10))
+    for key, mean_bp in rows:
+        print(f"{'/'.join(key):<{name_w}}{mean_bp / 100:>9.2f}%")
+
+    overall = fresh_doc.get("mean_rel_error_bp")
+    if not isinstance(overall, int):
+        problems.append("report lacks the overall mean_rel_error_bp")
+    elif overall > ERROR_LIMIT_BP:
+        problems.append(
+            f"overall mean extrapolation error {overall / 100:.2f}% exceeds "
+            f"the {ERROR_LIMIT_BP / 100:.0f}% budget"
+        )
+    else:
+        print(
+            f"\noverall mean extrapolation error {overall / 100:.2f}% "
+            f"(budget {ERROR_LIMIT_BP / 100:.0f}%)"
+        )
+
+    if problems:
+        listing = "\n".join(f"  {p}" for p in problems)
+        sys.exit(
+            f"{fresh_path} failed the predict gate:\n{listing}\n"
+            "If the change is intentional, regenerate the baseline:\n"
+            "  ./target/release/figures --predict\n"
+            f"  cp {fresh_path} {base_path}"
+        )
+    print(f"{fresh_path}: {len(rows)} surfaces within budget, matching {base_path}")
+
+
+if __name__ == "__main__":
+    main()
